@@ -1,0 +1,28 @@
+"""Benchmark + shape gate for the DESIGN.md ablation experiments.
+
+* value of re-orientation vs static/random aiming,
+* offline-vs-online gap across rescheduling delays τ,
+* HASTE under general concave utilities (the §1.3 extension).
+"""
+
+from conftest import run_figure
+
+
+def test_ablation_baselines(benchmark):
+    run_figure(benchmark, "ablation-baselines")
+
+
+def test_ablation_online_gap(benchmark):
+    run_figure(benchmark, "ablation-online-gap")
+
+
+def test_ablation_utilities(benchmark):
+    run_figure(benchmark, "ablation-utilities")
+
+
+def test_ablation_anisotropic(benchmark):
+    run_figure(benchmark, "ablation-anisotropic")
+
+
+def test_ablation_complexity(benchmark):
+    run_figure(benchmark, "ablation-complexity")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 4: charging angle sweep, centralized offline.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+HASTE ≥ GreedyUtility ≥ GreedyCover, rising with A_s, equal at 360°.
+"""
+
+from conftest import run_figure
+
+
+def test_fig04(benchmark):
+    run_figure(benchmark, "fig04")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 5: receiving angle sweep, centralized offline.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+utility rises monotonically with A_o; HASTE on top.
+"""
+
+from conftest import run_figure
+
+
+def test_fig05(benchmark):
+    run_figure(benchmark, "fig05")

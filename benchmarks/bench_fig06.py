@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 6: switching delay sweep, centralized offline.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+utility decays smoothly with ρ; HASTE on top.
+"""
+
+from conftest import run_figure
+
+
+def test_fig06(benchmark):
+    run_figure(benchmark, "fig06")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 7: color-count box plot, centralized offline.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+average utility does not degrade with C; variance small.
+"""
+
+from conftest import run_figure
+
+
+def test_fig07(benchmark):
+    run_figure(benchmark, "fig07")

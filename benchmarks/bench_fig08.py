@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 8: small-scale optimality ratio, centralized offline.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+HASTE ≥ (1−ρ)(1−1/e)·OPT, and ≳90% of OPT in practice.
+"""
+
+from conftest import run_figure
+
+
+def test_fig08(benchmark):
+    run_figure(benchmark, "fig08")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 9: small-scale competitive ratio, distributed online.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+HASTE-DO ≥ ½(1−ρ)(1−1/e)·OPT, far above the bound in practice.
+"""
+
+from conftest import run_figure
+
+
+def test_fig09(benchmark):
+    run_figure(benchmark, "fig09")

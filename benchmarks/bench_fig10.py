@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 10: required-energy × duration grid, centralized offline.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+utility falls with Ē, rises with Δt̄; large corner-to-corner gain.
+"""
+
+from conftest import run_figure
+
+
+def test_fig10(benchmark):
+    run_figure(benchmark, "fig10")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 11: required-energy × duration grid, distributed online.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+same monotone surface as Fig. 10 for HASTE-DO.
+"""
+
+from conftest import run_figure
+
+
+def test_fig11(benchmark):
+    run_figure(benchmark, "fig11")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 12: charging angle sweep, distributed online.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+same shape as Fig. 4 in the online setting.
+"""
+
+from conftest import run_figure
+
+
+def test_fig12(benchmark):
+    run_figure(benchmark, "fig12")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 13: receiving angle sweep, distributed online.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+same shape as Fig. 5 in the online setting.
+"""
+
+from conftest import run_figure
+
+
+def test_fig13(benchmark):
+    run_figure(benchmark, "fig13")

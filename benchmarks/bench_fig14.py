@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 14: switching delay sweep, distributed online.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+same shape as Fig. 6 in the online setting.
+"""
+
+from conftest import run_figure
+
+
+def test_fig14(benchmark):
+    run_figure(benchmark, "fig14")

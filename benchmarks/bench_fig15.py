@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 15: color-count box plot, distributed online.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+average utility does not degrade with C online.
+"""
+
+from conftest import run_figure
+
+
+def test_fig15(benchmark):
+    run_figure(benchmark, "fig15")

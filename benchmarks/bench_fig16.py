@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 16: communication cost vs fleet size.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+messages grow superlinearly, rounds much slower.
+"""
+
+from conftest import run_figure
+
+
+def test_fig16(benchmark):
+    run_figure(benchmark, "fig16")

@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 17: Gaussian task concentration surface.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+placement matters; trend monotone (documented deviation).
+"""
+
+from conftest import run_figure
+
+
+def test_fig17(benchmark):
+    run_figure(benchmark, "fig17")

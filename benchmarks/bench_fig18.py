@@ -1,0 +1,11 @@
+"""Benchmark + shape gate for Fig. 18: individual utility vs required energy.
+
+Regenerates the figure's data at reduced (quick) scale and asserts:
+small-E tasks saturate; the upper envelope decays with E_j.
+"""
+
+from conftest import run_figure
+
+
+def test_fig18(benchmark):
+    run_figure(benchmark, "fig18")

@@ -1,0 +1,23 @@
+"""Benchmark + shape gate for the testbed figures (Figs. 21/22/24/25).
+
+Runs all four emulated field experiments and asserts the paper's orderings
+(HASTE best overall; tasks 1 and 6 on top for topology 1).
+"""
+
+from conftest import run_figure
+
+
+def test_fig21_topology1_offline(benchmark):
+    run_figure(benchmark, "fig21")
+
+
+def test_fig22_topology1_online(benchmark):
+    run_figure(benchmark, "fig22")
+
+
+def test_fig24_topology2_offline(benchmark):
+    run_figure(benchmark, "fig24")
+
+
+def test_fig25_topology2_online(benchmark):
+    run_figure(benchmark, "fig25")

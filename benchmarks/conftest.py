@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure benchmark runs its experiment end-to-end (at ``quick`` scale,
+2 trials) under pytest-benchmark and then **asserts the figure's shape
+checks** — the benchmark suite is simultaneously the regression gate for
+"the paper's qualitative results still hold".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_experiment
+
+#: Scale/trials used by every figure benchmark.
+BENCH_SCALE = "quick"
+BENCH_TRIALS = 2
+BENCH_SEED = 0
+
+
+def run_figure(benchmark, experiment_id: str):
+    """Benchmark one experiment and assert its shape checks."""
+    exp = get_experiment(experiment_id)
+    output = benchmark.pedantic(
+        lambda: exp.run(trials=BENCH_TRIALS, seed=BENCH_SEED, scale=BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    failed = [c for c in output.checks if not c.passed]
+    assert not failed, "shape checks failed:\n" + "\n".join(
+        c.render() for c in failed
+    )
+    return output
+
+
+@pytest.fixture
+def figure_runner():
+    return run_figure

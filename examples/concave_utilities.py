@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Extension: scheduling under general concave utilities (paper §1.3).
+
+The paper proves its guarantees for the linear-bounded utility of Eq. (1)
+but notes the machinery extends to *any* concave utility — the
+submodularity proof (Lemma 4.2) only uses concavity.  This example runs the
+same network under three utility families and shows how the chosen utility
+changes the schedule's *character*:
+
+* linear-bounded (the paper's): indifferent below the threshold, so the
+  scheduler happily concentrates energy until saturation;
+* logarithmic: steeply diminishing returns, so the scheduler spreads energy
+  across many tasks ("fairness-flavoured");
+* power-law (γ = 0.5): in between.
+
+Run:  python examples/concave_utilities.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LinearBoundedUtility,
+    LogUtility,
+    PowerLawUtility,
+    SimulationConfig,
+    execute_schedule,
+    sample_network,
+    schedule_offline,
+)
+
+RHO = 1.0 / 12.0
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient — 0 means perfectly even energy split."""
+    v = np.sort(np.asarray(values, dtype=float))
+    if v.sum() <= 0:
+        return 0.0
+    n = len(v)
+    return float((2 * np.arange(1, n + 1) - n - 1) @ v / (n * v.sum()))
+
+
+def main() -> None:
+    config = SimulationConfig()
+    network = sample_network(config, np.random.default_rng(11))
+    print(network.describe())
+    print()
+
+    families = {
+        "linear-bounded (paper Eq. 1)": LinearBoundedUtility.for_tasks(network.tasks),
+        "logarithmic": LogUtility.for_tasks(network.tasks),
+        "power-law γ=0.5": PowerLawUtility.for_tasks(network.tasks, gamma=0.5),
+    }
+
+    linear_scorer = families["linear-bounded (paper Eq. 1)"]
+    print(
+        f"{'planning utility':>28s}   {'own score':>9s}   "
+        f"{'paper score':>11s}   {'tasks touched':>13s}   {'energy Gini':>11s}"
+    )
+    for name, utility in families.items():
+        result = schedule_offline(
+            network, num_colors=1, rng=np.random.default_rng(1), utility=utility
+        )
+        own = execute_schedule(
+            network, result.schedule, rho=RHO, utility=utility
+        ).total_utility
+        ex_linear = execute_schedule(
+            network, result.schedule, rho=RHO, utility=linear_scorer
+        )
+        touched = int(np.count_nonzero(ex_linear.energies > 0))
+        print(
+            f"{name:>28s}   {own:9.4f}   {ex_linear.total_utility:11.4f}   "
+            f"{touched:13d}   {gini(ex_linear.energies):11.3f}"
+        )
+    print()
+    print(
+        "Reading the table: every row plans with a different concave "
+        "utility; 'own score' is the value under the planning utility and "
+        "'paper score' re-scores the same schedule with the paper's "
+        "Eq. (1), making rows comparable.  Alternative concave utilities "
+        "shift which tasks get energy (touched count / Gini) while giving "
+        "up only a little of the paper's metric — and Lemma 4.2's "
+        "submodularity, hence every approximation guarantee, holds for all "
+        "of them."
+    )
+
+
+if __name__ == "__main__":
+    main()

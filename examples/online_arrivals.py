@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Scenario: urgent charging requests arriving at a warehouse tracker fleet.
+
+The paper's second motivating workload: asset trackers raise *unexpected*
+charging tasks (energy depletion, newly commissioned tags), and the static
+charger fleet must react online — each arrival triggers the distributed
+negotiation of Algorithm 3, and the new plan only takes effect after the
+rescheduling delay τ.
+
+This example builds a bursty arrival trace, runs HASTE-DO against the
+τ-delayed baselines, shows the negotiation/communication footprint per
+burst, and sweeps τ to expose the cost of slow reaction.
+
+Run:  python examples/online_arrivals.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Charger,
+    ChargerNetwork,
+    ChargingTask,
+    PowerModel,
+    run_online_baseline,
+    run_online_haste,
+)
+
+RHO = 1.0 / 12.0
+
+
+def build_warehouse(seed: int = 5) -> ChargerNetwork:
+    """A 40 m × 40 m warehouse: 12 ceiling chargers, 3 arrival bursts."""
+    rng = np.random.default_rng(seed)
+    chargers = [
+        Charger(i, 5.0 + (i % 4) * 10.0, 5.0 + (i // 4) * 15.0,
+                charging_angle=np.pi / 3, radius=18.0)
+        for i in range(12)
+    ]
+    tasks = []
+    task_id = 0
+    # Three bursts of tracker check-ins at slots 0, 8, and 16.
+    for burst_slot, count in ((0, 10), (8, 12), (16, 8)):
+        for _ in range(count):
+            x, y = rng.uniform(2, 38, 2)
+            duration = int(rng.integers(10, 25))
+            tasks.append(
+                ChargingTask(
+                    id=task_id,
+                    x=float(x),
+                    y=float(y),
+                    orientation=float(rng.uniform(0, 2 * np.pi)),
+                    release_slot=burst_slot,
+                    end_slot=burst_slot + duration,
+                    required_energy=float(rng.uniform(3_000, 9_000)),
+                    receiving_angle=np.pi / 2,
+                    weight=1.0 / 30.0,
+                )
+            )
+            task_id += 1
+    return ChargerNetwork(chargers, tasks, power_model=PowerModel(), slot_seconds=60.0)
+
+
+def main() -> None:
+    net = build_warehouse()
+    print(net.describe())
+    arrivals = sorted({t.release_slot for t in net.tasks})
+    print(f"arrival bursts at slots {arrivals}")
+    print()
+
+    print("online algorithms (τ = 1 slot reaction, ρ = 1/12 switching):")
+    haste = run_online_haste(
+        net, num_colors=4, tau=1, rho=RHO, rng=np.random.default_rng(1)
+    )
+    print(
+        f"  HASTE-DO (C=4) : utility {haste.total_utility:.4f}  —  "
+        f"{haste.events} renegotiations, {haste.stats.broadcasts} broadcasts, "
+        f"{haste.stats.messages} delivered messages, "
+        f"{haste.stats.rounds} synchronous rounds"
+    )
+    for kind, label in (("utility", "GreedyUtility"), ("cover", "GreedyCover")):
+        run = run_online_baseline(net, kind, tau=1, rho=RHO)
+        print(f"  {label:15s}: utility {run.total_utility:.4f}  —  no coordination")
+    print()
+
+    print("how much does reaction speed matter?  (HASTE-DO, C=1)")
+    print("  τ (slots)   utility   note")
+    for tau in (0, 1, 2, 4, 8):
+        run = run_online_haste(
+            net, num_colors=1, tau=tau, rho=RHO, rng=np.random.default_rng(2)
+        )
+        note = "clairvoyant reaction" if tau == 0 else (
+            "paper default" if tau == 1 else ""
+        )
+        print(f"  {tau:9d}   {run.total_utility:.4f}   {note}")
+    print()
+    print(
+        "Theorem 6.1 context: the τ-slot head of every task window is "
+        "unreachable, which is where the ½ factor of the competitive "
+        "ratio comes from — the sweep above shows the practical loss is "
+        "far milder as long as τ stays small against task durations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Analysis utilities: guarantee calculators, plan diagnostics, complexity."""
+
+from .bounds import (
+    GuaranteeCertificate,
+    certificate,
+    colors_for_ratio,
+    offline_ratio,
+    online_ratio,
+    tabular_greedy_asymptotic,
+    tabular_greedy_ratio,
+)
+from .complexity import WorkCounts, count_offline_work
+from .report import (
+    ChargerDiagnostics,
+    ScheduleDiagnostics,
+    TaskDiagnostics,
+    diagnose_schedule,
+)
+
+__all__ = [
+    "ChargerDiagnostics",
+    "GuaranteeCertificate",
+    "ScheduleDiagnostics",
+    "TaskDiagnostics",
+    "WorkCounts",
+    "certificate",
+    "colors_for_ratio",
+    "count_offline_work",
+    "diagnose_schedule",
+    "offline_ratio",
+    "online_ratio",
+    "tabular_greedy_asymptotic",
+    "tabular_greedy_ratio",
+]

@@ -1,0 +1,146 @@
+"""Schedule diagnostics: what a plan actually does, charger by charger.
+
+Operators deploying a HASTE plan want more than the scalar utility: which
+chargers carry the load, who rotates how often, which tasks starve and why.
+:func:`diagnose_schedule` computes those facts from one execution and
+renders them as a text report (the library is plotting-free by design; the
+arrays are exposed for downstream tooling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.network import IDLE_POLICY, ChargerNetwork
+from ..core.policy import Schedule
+from ..sim.engine import ExecutionResult, execute_schedule
+
+__all__ = ["ChargerDiagnostics", "TaskDiagnostics", "ScheduleDiagnostics",
+           "diagnose_schedule"]
+
+#: Tasks ending below this utility are flagged as starved.
+STARVATION_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class ChargerDiagnostics:
+    """Per-charger activity summary."""
+
+    charger: int
+    active_slots: int
+    rotations: int
+    distinct_policies: int
+    delivered_energy: float
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of its network's horizon this charger was non-idle."""
+        return self._duty
+
+    _duty: float = 0.0
+
+
+@dataclass(frozen=True)
+class TaskDiagnostics:
+    """Per-task outcome summary."""
+
+    task: int
+    required_energy: float
+    harvested_energy: float
+    utility: float
+    covering_chargers: int
+    starved: bool
+    unreachable: bool  # no charger can ever cover it
+
+
+@dataclass
+class ScheduleDiagnostics:
+    """Full plan diagnosis."""
+
+    execution: ExecutionResult
+    chargers: list[ChargerDiagnostics] = field(default_factory=list)
+    tasks: list[TaskDiagnostics] = field(default_factory=list)
+
+    @property
+    def starved_tasks(self) -> list[int]:
+        return [t.task for t in self.tasks if t.starved]
+
+    @property
+    def unreachable_tasks(self) -> list[int]:
+        return [t.task for t in self.tasks if t.unreachable]
+
+    def render(self) -> str:
+        lines = [
+            f"overall charging utility: {self.execution.total_utility:.4f} "
+            f"(relaxed {self.execution.relaxed_utility:.4f}, "
+            f"{self.execution.switch_count} rotations)",
+            "",
+            "chargers (duty = non-idle fraction of horizon):",
+        ]
+        for c in self.chargers:
+            lines.append(
+                f"  #{c.charger:<3d} duty {c.duty_cycle:5.1%}  "
+                f"rotations {c.rotations:3d}  policies {c.distinct_policies:2d}  "
+                f"delivered {c.delivered_energy / 1000.0:8.2f} kJ"
+            )
+        lines.append("")
+        starved = self.starved_tasks
+        unreachable = self.unreachable_tasks
+        lines.append(
+            f"tasks: {len(self.tasks)} total, {len(starved)} starved "
+            f"(< {STARVATION_THRESHOLD:.0%} utility), "
+            f"{len(unreachable)} geometrically unreachable"
+        )
+        for t in self.tasks:
+            if t.starved:
+                why = "unreachable" if t.unreachable else (
+                    f"{t.covering_chargers} chargers in reach but outcompeted"
+                )
+                lines.append(f"  task {t.task}: U={t.utility:.3f} — {why}")
+        return "\n".join(lines)
+
+
+def diagnose_schedule(
+    network: ChargerNetwork,
+    schedule: Schedule,
+    *,
+    rho: float = 0.0,
+    execution: ExecutionResult | None = None,
+) -> ScheduleDiagnostics:
+    """Diagnose a plan (re-using a prior execution when provided)."""
+    ex = execution if execution is not None else execute_schedule(
+        network, schedule, rho=rho
+    )
+    horizon = max(network.num_slots, 1)
+    chargers = []
+    for i in range(network.n):
+        sel = schedule.sel[i]
+        nonidle = sel != IDLE_POLICY
+        diag = ChargerDiagnostics(
+            charger=i,
+            active_slots=int(np.count_nonzero(nonidle)),
+            rotations=int(np.count_nonzero(ex.switches[i])),
+            distinct_policies=len({int(p) for p in sel if p != IDLE_POLICY}),
+            delivered_energy=float(ex.delivered[i].sum()),
+        )
+        object.__setattr__(diag, "_duty", float(np.count_nonzero(nonidle)) / horizon)
+        chargers.append(diag)
+
+    tasks = []
+    for j in range(network.m):
+        covering = int(np.count_nonzero(network.receivable[:, j]))
+        utility = float(ex.task_utilities[j])
+        tasks.append(
+            TaskDiagnostics(
+                task=j,
+                required_energy=float(network.required_energy[j]),
+                harvested_energy=float(ex.energies[j]),
+                utility=utility,
+                covering_chargers=covering,
+                starved=utility < STARVATION_THRESHOLD,
+                unreachable=covering == 0,
+            )
+        )
+    return ScheduleDiagnostics(execution=ex, chargers=chargers, tasks=tasks)

@@ -1,0 +1,155 @@
+"""Command-line interface: run and inspect the paper's experiments.
+
+Usage::
+
+    repro-haste list
+    repro-haste describe fig04
+    repro-haste run fig04 --trials 5 --seed 0 --scale default
+    repro-haste run all --scale quick
+    repro-haste demo
+
+(Equivalently ``python -m repro.cli …``.)  Experiment output is the text
+table the paper's figure plots plus the machine-checked shape claims; exit
+status is non-zero if any shape check fails, so the CLI doubles as a
+reproduction gate in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .experiments import all_experiments, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-haste",
+        description=(
+            "HASTE reproduction: charging task scheduling for directional "
+            "wireless charger networks (ICPP'18 / TMC'21)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all reproducible experiments")
+
+    p_desc = sub.add_parser("describe", help="show one experiment's paper claim")
+    p_desc.add_argument("experiment", help="experiment id, e.g. fig04")
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment", help="experiment id, e.g. fig04, or 'all'")
+    p_run.add_argument("--trials", type=int, default=3, help="topologies per point")
+    p_run.add_argument("--seed", type=int, default=0, help="root random seed")
+    p_run.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="default",
+        help="instance size tier",
+    )
+    p_run.add_argument(
+        "--processes", type=int, default=1, help="worker processes for sweeps"
+    )
+    p_run.add_argument("--out", default=None, help="also append output to this file")
+
+    sub.add_parser("demo", help="run a 30-second end-to-end demonstration")
+
+    p_bounds = sub.add_parser(
+        "bounds", help="print the applicable theoretical guarantees"
+    )
+    p_bounds.add_argument("--rho", type=float, default=1 / 12,
+                          help="switching delay fraction (paper: 1/12)")
+    p_bounds.add_argument("--colors", type=int, default=4,
+                          help="TabularGreedy color count C")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp in all_experiments():
+        print(f"{exp.id:22s} {exp.figure:12s} {exp.title}")
+    return 0
+
+
+def _cmd_describe(experiment_id: str) -> int:
+    exp = get_experiment(experiment_id)
+    print(f"{exp.id} ({exp.figure}): {exp.title}")
+    print(f"paper claim: {exp.paper_claim}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = (
+        all_experiments()
+        if args.experiment == "all"
+        else [get_experiment(args.experiment)]
+    )
+    any_failed = False
+    for exp in targets:
+        start = time.time()
+        output = exp.run(
+            trials=args.trials,
+            seed=args.seed,
+            scale=args.scale,
+            processes=args.processes,
+        )
+        rendered = output.render()
+        rendered += f"\n(elapsed {time.time() - start:.1f}s)\n"
+        print(rendered)
+        if args.out:
+            # Append per experiment so long runs leave a usable record even
+            # if interrupted.
+            with open(args.out, "a", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+        if not output.all_passed:
+            any_failed = True
+    return 1 if any_failed else 0
+
+
+def _cmd_demo() -> int:
+    from .offline import schedule_offline
+    from .online import run_online_haste
+    from .sim import SimulationConfig, execute_schedule, sample_network
+
+    cfg = SimulationConfig.quick()
+    net = sample_network(cfg, np.random.default_rng(7))
+    print(net.describe())
+
+    offline = schedule_offline(net, 4, rng=np.random.default_rng(1))
+    ex = execute_schedule(net, offline.schedule, rho=cfg.rho)
+    print(f"centralized offline  : {ex.summary()}")
+
+    online = run_online_haste(
+        net, num_colors=4, tau=cfg.tau, rho=cfg.rho, rng=np.random.default_rng(2)
+    )
+    print(f"distributed online   : {online.summary()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (console script ``repro-haste``)."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args.experiment)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "bounds":
+        from .analysis import certificate
+
+        print(certificate(args.rho, args.colors).render())
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The directional wireless charger entity.
+
+A charger is a static transmitter at a fixed position that can rotate its
+antenna to any orientation in ``[0, 2π)``.  Its charging area is a sector of
+half-angle ``charging_angle / 2`` and radius ``radius`` (paper Fig. 1).  The
+switching behaviour (a charger that rotates loses the first ``ρ`` fraction of
+the slot) is *not* a property of the charger — it is a property of the
+schedule execution — so it lives in :mod:`repro.sim.engine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .geometry import TWO_PI, sector_contains
+
+__all__ = ["Charger"]
+
+
+@dataclass(frozen=True)
+class Charger:
+    """A rotatable directional wireless charger.
+
+    Parameters
+    ----------
+    id:
+        Index of the charger within its network.  Ties in the distributed
+        negotiation protocol (paper Alg. 3) break on this id, so it must be
+        unique per network.
+    x, y:
+        Position on the 2D field, metres.
+    charging_angle:
+        Full aperture ``A_s`` of the charging sector, radians, in
+        ``(0, 2π]``.  The paper uses a fleet-wide ``A_s`` but the model is
+        per-charger so heterogeneous fleets (journal future work) come free.
+    radius:
+        Charging range ``D`` in metres.
+    """
+
+    id: int
+    x: float
+    y: float
+    charging_angle: float = np.pi / 3
+    radius: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.charging_angle <= TWO_PI + 1e-12):
+            raise ValueError(
+                f"charging_angle must be in (0, 2π], got {self.charging_angle}"
+            )
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+        if self.id < 0:
+            raise ValueError(f"charger id must be non-negative, got {self.id}")
+
+    @property
+    def position(self) -> np.ndarray:
+        """Position as a ``(2,)`` float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    def covers(self, point_xy, orientation: float) -> bool:
+        """Whether ``point`` lies in this charger's sector at ``orientation``.
+
+        This is the charger-side half of the coverage condition only; the
+        device-side receiving sector is checked by the network/power model.
+        """
+        return bool(
+            sector_contains(
+                self.position,
+                orientation,
+                self.charging_angle / 2.0,
+                self.radius,
+                point_xy,
+            )
+        )
+
+    def distance_to(self, point_xy) -> float:
+        """Euclidean distance from the charger to a point."""
+        p = np.asarray(point_xy, dtype=float)
+        return float(np.hypot(p[0] - self.x, p[1] - self.y))

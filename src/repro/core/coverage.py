@@ -1,0 +1,200 @@
+"""Dominant task set extraction — paper Algorithm 1 (§4.1).
+
+A charger can rotate continuously, but only the *set of tasks it covers*
+matters to the objective, and among coverable sets only the maximal ones
+("dominant task sets", Def. 4.1) need be considered: any non-maximal set is
+weakly dominated by a superset with the same or larger marginal gain (the
+objective is monotone).
+
+Geometry: task ``j`` is coverable by charger ``i`` iff it is *receivable*
+(distance ≤ D and the charger sits in the device's receiving sector — both
+orientation-independent), and the charger orientation ``θ`` lies in the arc
+of width ``A_s`` centred on the charger→task azimuth.  A set of tasks is
+simultaneously coverable iff their arcs intersect, so dominant task sets are
+the maximal "arc cliques".
+
+The sweep implementation mirrors the paper's rotate-until-a-task-drops
+procedure: every maximal set is the covered set at the instant just before
+one of its members rotates out of view, i.e. at the end angle of one of the
+arcs.  We therefore evaluate the covered set at each arc end (vectorized
+over arcs) and discard non-maximal duplicates.  A naive reference
+(:func:`dominant_sets_naive`) evaluates covered sets at a dense set of
+candidate orientations and is used by the property tests to certify the
+sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import TWO_PI, ANGLE_EPS, wrap_angle
+
+__all__ = [
+    "DominantSet",
+    "coverage_arcs",
+    "dominant_sets_from_arcs",
+    "dominant_sets_naive",
+]
+
+
+@dataclass(frozen=True)
+class DominantSet:
+    """A maximal coverable task set with a representative orientation.
+
+    ``tasks`` holds *task indices* (network-level ids), frozen for hashing.
+    ``orientation`` is a charger orientation that covers exactly this set —
+    chosen in the interior of the feasible arc intersection so downstream
+    float comparisons are robust.
+    """
+
+    tasks: frozenset[int]
+    orientation: float
+
+    def __contains__(self, task_index: int) -> bool:
+        return task_index in self.tasks
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def coverage_arcs(azimuths: np.ndarray, charging_angle: float) -> tuple[np.ndarray, float]:
+    """Arc starts for each receivable task plus the common arc width.
+
+    The arc of orientations covering the task at azimuth ``a`` is
+    ``[a − A_s/2, a + A_s/2]`` (width ``A_s``).  Returns ``(starts, width)``
+    with ``starts`` wrapped into ``[0, 2π)``.
+    """
+    az = np.asarray(azimuths, dtype=float)
+    width = float(min(charging_angle, TWO_PI))
+    starts = np.mod(az - width / 2.0, TWO_PI)
+    return starts, width
+
+
+def _covered_at(theta: float, starts: np.ndarray, width: float, eps: float) -> np.ndarray:
+    """Boolean mask of arcs containing orientation ``theta`` (closed arcs)."""
+    if width >= TWO_PI - eps:
+        return np.ones_like(starts, dtype=bool)
+    offset = np.mod(theta - starts, TWO_PI)
+    return (offset <= width + eps) | (offset >= TWO_PI - eps)
+
+
+def _representative_orientation(
+    theta0: float, member_starts: np.ndarray, width: float, eps: float
+) -> float:
+    """Interior point of the intersection of member arcs around ``theta0``.
+
+    Every member arc contains ``theta0``; sliding backward is limited by the
+    latest member start, forward by the earliest member end.  Returns the
+    midpoint of the residual interval.
+    """
+    if width >= TWO_PI - eps or member_starts.size == 0:
+        return float(wrap_angle(theta0))
+    back = np.mod(theta0 - member_starts, TWO_PI)
+    # Guard arcs that contain theta0 through the wrap-around closure.
+    back = np.where(back > width + eps, 0.0, back)
+    fwd = width - back
+    lo = float(np.min(back))
+    hi = float(np.min(fwd))
+    return float(wrap_angle(theta0 + (hi - lo) / 2.0))
+
+
+def dominant_sets_from_arcs(
+    task_indices: np.ndarray,
+    azimuths: np.ndarray,
+    charging_angle: float,
+    *,
+    eps: float = ANGLE_EPS,
+) -> list[DominantSet]:
+    """Extract all dominant task sets for one charger.
+
+    Parameters
+    ----------
+    task_indices:
+        Network-level indices of the charger's *receivable* tasks, ``(t,)``.
+    azimuths:
+        Charger→task azimuths for those tasks, ``(t,)``.
+    charging_angle:
+        The charger's aperture ``A_s``.
+
+    Returns the dominant sets sorted by their representative orientation
+    (the order Algorithm 1's counter-clockwise rotation would emit them in).
+    An empty task list yields an empty result — the caller is responsible
+    for adding an idle policy.
+    """
+    idx = np.asarray(task_indices, dtype=int)
+    if idx.size == 0:
+        return []
+    starts, width = coverage_arcs(azimuths, charging_angle)
+    if width >= TWO_PI - eps:
+        # Full-circle aperture: one dominant set containing everything.
+        return [DominantSet(frozenset(int(i) for i in idx), 0.0)]
+
+    candidates: dict[frozenset[int], float] = {}
+    # Every maximal set is the covered set just before one of its members
+    # rotates out of view, i.e. at some arc end; probing the arc starts as
+    # well costs nothing and guards boundary-degenerate configurations
+    # where two arcs touch within the angular tolerance.
+    ends = np.mod(starts + width, TWO_PI)
+    for theta0 in np.concatenate([ends, starts]):
+        mask = _covered_at(float(theta0), starts, width, eps)
+        members = frozenset(int(i) for i in idx[mask])
+        if not members or members in candidates:
+            continue
+        rep = _representative_orientation(float(theta0), starts[mask], width, eps)
+        candidates[members] = rep
+
+    # Keep only maximal sets.  Candidate count is at most t, so the
+    # quadratic filter is cheap relative to the sweep itself.
+    sets = list(candidates.items())
+    maximal: list[DominantSet] = []
+    for members, rep in sets:
+        if any(members < other for other, _ in sets):
+            continue
+        maximal.append(DominantSet(members, rep))
+    maximal.sort(key=lambda d: d.orientation)
+    return maximal
+
+
+def dominant_sets_naive(
+    task_indices: np.ndarray,
+    azimuths: np.ndarray,
+    charging_angle: float,
+    *,
+    eps: float = ANGLE_EPS,
+) -> list[DominantSet]:
+    """Reference implementation: probe a dense set of candidate orientations.
+
+    Probes every arc start, end, and pairwise midpoint; the covered-set
+    function is piecewise constant with breakpoints exactly at arc
+    endpoints, so this enumeration sees every distinct coverable set.  Used
+    to certify :func:`dominant_sets_from_arcs` in tests; quadratic and not
+    for production use.
+    """
+    idx = np.asarray(task_indices, dtype=int)
+    if idx.size == 0:
+        return []
+    starts, width = coverage_arcs(azimuths, charging_angle)
+    if width >= TWO_PI - eps:
+        return [DominantSet(frozenset(int(i) for i in idx), 0.0)]
+    ends = np.mod(starts + width, TWO_PI)
+    probes = list(np.concatenate([starts, ends]))
+    breakpoints = sorted(set(float(b) for b in np.concatenate([starts, ends])))
+    for a, b in zip(breakpoints, breakpoints[1:] + [breakpoints[0] + TWO_PI]):
+        probes.append(wrap_angle((a + b) / 2.0))
+
+    seen: dict[frozenset[int], float] = {}
+    for theta in probes:
+        mask = _covered_at(float(theta), starts, width, eps)
+        members = frozenset(int(i) for i in idx[mask])
+        if members and members not in seen:
+            seen[members] = _representative_orientation(float(theta), starts[mask], width, eps)
+    sets = list(seen.items())
+    maximal = [
+        DominantSet(members, rep)
+        for members, rep in sets
+        if not any(members < other for other, _ in sets)
+    ]
+    maximal.sort(key=lambda d: d.orientation)
+    return maximal

@@ -1,0 +1,246 @@
+"""Planar geometry primitives for directional charging.
+
+Everything in the charging model of the paper reduces to three geometric
+questions, all answered here with vectorized numpy:
+
+* the Euclidean distance between a charger and a device,
+* whether a point lies inside a *sector* (apex, facing direction, half-angle,
+  radius) — used both for the charger's charging area and the device's
+  receiving area,
+* interval arithmetic on *circular arcs* of orientations — the set of charger
+  orientations that cover a given device is an arc of width ``A_s`` centred
+  on the charger→device azimuth, and dominant-task-set extraction
+  (:mod:`repro.core.coverage`) is a sweep over such arcs.
+
+Angles are radians throughout.  Azimuths and orientations live on the circle
+``[0, 2π)``; :func:`wrap_angle` is the canonical projection.  Arc membership
+uses a small absolute tolerance ``ANGLE_EPS`` so that devices sitting exactly
+on a sector boundary (common in hand-built testbed topologies) are treated as
+covered, matching the ``≥ 0`` comparisons in the paper's power model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "TWO_PI",
+    "ANGLE_EPS",
+    "wrap_angle",
+    "angle_diff",
+    "azimuth",
+    "pairwise_distances",
+    "pairwise_azimuths",
+    "in_angular_interval",
+    "sector_contains",
+    "Arc",
+    "arc_intersection_nonempty",
+    "common_orientation",
+]
+
+TWO_PI: float = 2.0 * np.pi
+
+#: Absolute angular tolerance (radians) for boundary membership tests.
+ANGLE_EPS: float = 1e-9
+
+
+def wrap_angle(theta):
+    """Wrap angle(s) into ``[0, 2π)``.
+
+    Accepts scalars or arrays; returns the same shape.  ``wrap_angle(-π/2)``
+    is ``3π/2``; ``wrap_angle(2π)`` is ``0``.
+    """
+    wrapped = np.mod(theta, TWO_PI)
+    # np.mod may return TWO_PI for inputs within one ulp below a multiple of
+    # 2π; fold those back onto 0.
+    return np.where(wrapped >= TWO_PI, 0.0, wrapped) if np.ndim(wrapped) else (
+        0.0 if wrapped >= TWO_PI else float(wrapped)
+    )
+
+
+def angle_diff(a, b):
+    """Signed smallest difference ``a - b`` folded into ``(-π, π]``.
+
+    Vectorized; the result is positive when ``a`` is counter-clockwise of
+    ``b`` by less than π.
+    """
+    d = np.mod(np.asarray(a, dtype=float) - np.asarray(b, dtype=float), TWO_PI)
+    d = np.where(d > np.pi, d - TWO_PI, d)
+    if np.ndim(d) == 0:
+        return float(d)
+    return d
+
+
+def azimuth(src_xy, dst_xy):
+    """Azimuth (angle of the vector ``src→dst``) in ``[0, 2π)``.
+
+    Both arguments are ``(..., 2)`` arrays (or length-2 sequences); the
+    result broadcasts over leading dimensions.
+    """
+    src = np.asarray(src_xy, dtype=float)
+    dst = np.asarray(dst_xy, dtype=float)
+    d = dst - src
+    ang = np.arctan2(d[..., 1], d[..., 0])
+    return wrap_angle(ang)
+
+
+def pairwise_distances(points_a, points_b):
+    """Distance matrix ``(len(a), len(b))`` between two point sets.
+
+    ``points_a`` is ``(n, 2)``, ``points_b`` is ``(m, 2)``.  Uses
+    broadcasting rather than building an intermediate ``(n, m, 2)`` copy of
+    the inputs beyond the unavoidable difference array.
+    """
+    a = np.asarray(points_a, dtype=float).reshape(-1, 2)
+    b = np.asarray(points_b, dtype=float).reshape(-1, 2)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def pairwise_azimuths(points_a, points_b):
+    """Azimuth matrix ``(len(a), len(b))``: angle of ``a_i → b_j``."""
+    a = np.asarray(points_a, dtype=float).reshape(-1, 2)
+    b = np.asarray(points_b, dtype=float).reshape(-1, 2)
+    diff = b[None, :, :] - a[:, None, :]
+    return wrap_angle(np.arctan2(diff[..., 1], diff[..., 0]))
+
+
+def in_angular_interval(theta, centre, half_width, *, eps: float = ANGLE_EPS):
+    """True where ``theta`` lies within ``±half_width`` of ``centre``.
+
+    All arguments broadcast.  A ``half_width ≥ π`` always contains every
+    angle (the sector is the full disc); this is what makes
+    ``A_s = 360°`` degenerate exactly as the paper describes (every charger
+    covers every in-range task regardless of orientation).
+    """
+    hw = np.asarray(half_width, dtype=float)
+    inside = np.abs(angle_diff(theta, centre)) <= hw + eps
+    full = hw >= np.pi - eps
+    return np.logical_or(inside, full)
+
+
+def sector_contains(apex_xy, facing, half_angle, radius, point_xy, *, eps: float = ANGLE_EPS):
+    """Membership of ``point`` in the sector ``(apex, facing, half_angle, radius)``.
+
+    Matches the paper's model: membership requires distance ≤ ``radius`` and
+    the apex→point direction within ``half_angle`` of ``facing``.  The apex
+    itself (zero distance) is inside for any facing.  Broadcasts over
+    arbitrary leading dimensions of ``point_xy``.
+    """
+    apex = np.asarray(apex_xy, dtype=float)
+    pt = np.asarray(point_xy, dtype=float)
+    d = pt - apex
+    dist = np.hypot(d[..., 0], d[..., 1])
+    ang = wrap_angle(np.arctan2(d[..., 1], d[..., 0]))
+    ok_dist = dist <= radius + eps
+    ok_ang = np.logical_or(dist <= eps, in_angular_interval(ang, facing, half_angle, eps=eps))
+    return np.logical_and(ok_dist, ok_ang)
+
+
+class Arc:
+    """A closed arc of orientations ``[start, start + width]`` on the circle.
+
+    ``width`` is in ``[0, 2π]``; a width of (at least) 2π is the full circle.
+    Arcs are the language of dominant-task-set extraction: the orientations
+    of charger ``s_i`` that cover task ``T_j`` form
+    ``Arc(azimuth(s_i→o_j) − A_s/2, A_s)``.
+    """
+
+    __slots__ = ("start", "width")
+
+    def __init__(self, start: float, width: float) -> None:
+        if width < 0:
+            raise ValueError(f"arc width must be non-negative, got {width}")
+        self.width = float(min(width, TWO_PI))
+        self.start = float(wrap_angle(start)) if self.width < TWO_PI else 0.0
+
+    @property
+    def end(self) -> float:
+        """End angle, wrapped into ``[0, 2π)``."""
+        return float(wrap_angle(self.start + self.width))
+
+    @property
+    def is_full_circle(self) -> bool:
+        return self.width >= TWO_PI - ANGLE_EPS
+
+    def contains(self, theta: float, *, eps: float = ANGLE_EPS) -> bool:
+        """Closed-arc membership of a single orientation."""
+        if self.is_full_circle:
+            return True
+        offset = np.mod(theta - self.start, TWO_PI)
+        return bool(offset <= self.width + eps or offset >= TWO_PI - eps)
+
+    def midpoint(self) -> float:
+        """Orientation at the middle of the arc."""
+        return float(wrap_angle(self.start + 0.5 * self.width))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Arc(start={self.start:.6f}, width={self.width:.6f})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Arc):
+            return NotImplemented
+        if self.is_full_circle and other.is_full_circle:
+            return True
+        return (
+            abs(self.start - other.start) <= ANGLE_EPS
+            and abs(self.width - other.width) <= ANGLE_EPS
+        )
+
+    def __hash__(self) -> int:
+        if self.is_full_circle:
+            return hash(("arc", "full"))
+        return hash(("arc", round(self.start, 9), round(self.width, 9)))
+
+
+def arc_intersection_nonempty(arcs: Iterable[Arc], *, eps: float = ANGLE_EPS) -> bool:
+    """Whether a set of arcs shares at least one common orientation.
+
+    Used to decide whether a set of tasks is simultaneously coverable by one
+    charger orientation.  Any finite non-empty intersection of closed arcs,
+    if non-empty, contains the start point of at least one of the arcs (or is
+    the full circle), so testing each arc start against all arcs suffices.
+    """
+    arcs = list(arcs)
+    if not arcs:
+        return True
+    finite = [a for a in arcs if not a.is_full_circle]
+    if not finite:
+        return True
+    for candidate in finite:
+        theta = candidate.start
+        if all(a.contains(theta, eps=eps) for a in finite):
+            return True
+    return False
+
+
+def common_orientation(arcs: Iterable[Arc], *, eps: float = ANGLE_EPS) -> float | None:
+    """An orientation contained in every arc, or ``None`` if none exists.
+
+    Prefers an interior point (the midpoint of the residual intersection as
+    seen from the best start point) over a boundary point so downstream
+    floating-point checks are robust.
+    """
+    arcs = list(arcs)
+    finite = [a for a in arcs if not a.is_full_circle]
+    if not finite:
+        return 0.0
+    best: float | None = None
+    best_slack = -1.0
+    for candidate in finite:
+        theta = candidate.start
+        if not all(a.contains(theta, eps=eps) for a in finite):
+            continue
+        # Remaining width after theta in every arc: how far we can rotate
+        # counter-clockwise while staying inside all of them.
+        slack = min(
+            max(a.width - float(np.mod(theta - a.start, TWO_PI)), 0.0) for a in finite
+        )
+        if slack > best_slack:
+            best_slack = slack
+            best = theta
+    if best is None:
+        return None
+    return float(wrap_angle(best + 0.5 * best_slack))

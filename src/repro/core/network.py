@@ -1,0 +1,257 @@
+"""The charger network: entities plus every precomputed matrix the
+schedulers need.
+
+:class:`ChargerNetwork` is the central, immutable-after-construction object
+shared by every algorithm in the library.  Construction performs all the
+orientation-independent work once, vectorized:
+
+* pairwise charger↔task distances, azimuths, and power magnitudes,
+* the ``receivable`` predicate (distance + device-side sector),
+* dominant task sets per charger (Algorithm 1) and the derived *policy
+  space*: for charger ``i``, policy 0 is the explicit **idle** policy (cover
+  nothing, keep the previous orientation) and policies ``1 … |Γ_i|`` are its
+  dominant task sets,
+* per-charger ``(policies × tasks)`` boolean cover masks and float
+  power-increment matrices — the arrays the greedy hot path multiplies,
+* the neighbor relation (chargers sharing a receivable task, §6.1) used by
+  the distributed algorithm and its message bus.
+
+Everything downstream (objective, schedulers, engine, agents) indexes into
+these arrays instead of recomputing geometry — the vectorization boundary
+recommended by the HPC guides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .charger import Charger
+from .coverage import DominantSet, dominant_sets_from_arcs
+from .geometry import pairwise_azimuths, pairwise_distances
+from .power import PowerModel, receivable_matrix
+from .task import ChargingTask
+from .timeline import SlotGrid
+from .utility import LinearBoundedUtility, UtilityFunction
+
+__all__ = ["ChargerNetwork", "IDLE_POLICY"]
+
+#: Index of the idle policy in every charger's policy list.
+IDLE_POLICY: int = 0
+
+
+@dataclass
+class ChargerNetwork:
+    """A fleet of directional chargers plus the charging tasks they serve.
+
+    Parameters
+    ----------
+    chargers, tasks:
+        The entities.  Charger and task ids must equal their list positions
+        (enforced) because every precomputed matrix is positional.
+    power_model:
+        The ``α/(d+β)²`` law.
+    slot_seconds:
+        Slot duration ``T_s`` in seconds.
+    utility:
+        Per-task utility function; defaults to the paper's linear-bounded
+        form built from each task's required energy.
+    """
+
+    chargers: Sequence[Charger]
+    tasks: Sequence[ChargingTask]
+    power_model: PowerModel = field(default_factory=PowerModel)
+    slot_seconds: float = 60.0
+    utility: UtilityFunction | None = None
+
+    def __post_init__(self) -> None:
+        self.chargers = list(self.chargers)
+        self.tasks = list(self.tasks)
+        for pos, c in enumerate(self.chargers):
+            if c.id != pos:
+                raise ValueError(f"charger at position {pos} has id {c.id}")
+        for pos, t in enumerate(self.tasks):
+            if t.id != pos:
+                raise ValueError(f"task at position {pos} has id {t.id}")
+        if self.utility is None:
+            self.utility = LinearBoundedUtility.for_tasks(self.tasks) if self.tasks else None
+        self._precompute()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _precompute(self) -> None:
+        n, m = len(self.chargers), len(self.tasks)
+        self.n, self.m = n, m
+        self.grid = SlotGrid.for_tasks(self.tasks, self.slot_seconds)
+        self.num_slots = self.grid.num_slots
+
+        self.charger_xy = np.array(
+            [[c.x, c.y] for c in self.chargers], dtype=float
+        ).reshape(n, 2)
+        self.task_xy = np.array([[t.x, t.y] for t in self.tasks], dtype=float).reshape(m, 2)
+        self.weights = np.array([t.weight for t in self.tasks], dtype=float)
+        self.required_energy = np.array(
+            [t.required_energy for t in self.tasks], dtype=float
+        )
+        self.release_slots = np.array([t.release_slot for t in self.tasks], dtype=int)
+        self.end_slots = np.array([t.end_slot for t in self.tasks], dtype=int)
+
+        if n and m:
+            self.dist = pairwise_distances(self.charger_xy, self.task_xy)
+            self.azimuth = pairwise_azimuths(self.charger_xy, self.task_xy)
+            radii = np.array([c.radius for c in self.chargers], dtype=float)
+            self.receivable = receivable_matrix(
+                self.charger_xy,
+                radii,
+                self.task_xy,
+                np.array([t.orientation for t in self.tasks], dtype=float),
+                np.array([t.receiving_angle for t in self.tasks], dtype=float),
+            )
+            raw_power = self.power_model.pair_power(self.dist, np.inf)
+            # Anisotropic-receiver extension: models exposing device_gain
+            # (see AnisotropicPowerModel) scale each pair by the receiver's
+            # boresight gain; the base binary model leaves power unchanged.
+            gain_fn = getattr(self.power_model, "device_gain", None)
+            if gain_fn is not None:
+                offsets = self.power_model.receiver_offsets(
+                    self.azimuth,
+                    np.array([t.orientation for t in self.tasks], dtype=float),
+                )
+                raw_power = raw_power * gain_fn(offsets)
+            in_range = self.dist <= radii[:, None] + 1e-12
+            self.power = np.where(self.receivable & in_range, raw_power, 0.0)
+        else:
+            self.dist = np.zeros((n, m))
+            self.azimuth = np.zeros((n, m))
+            self.receivable = np.zeros((n, m), dtype=bool)
+            self.power = np.zeros((n, m))
+
+        self.active = self.grid.activity_matrix(self.tasks)  # (m, K)
+
+        self._build_policies()
+        self._build_neighbors()
+
+    def _build_policies(self) -> None:
+        """Dominant task sets → per-charger policy arrays."""
+        self.dominant_sets: list[list[DominantSet]] = []
+        self.cover_masks: list[np.ndarray] = []  # (P_i, m) bool, row 0 = idle
+        self.policy_power: list[np.ndarray] = []  # (P_i, m) float, W
+        self.policy_orientations: list[np.ndarray] = []  # (P_i,), nan = idle
+        for i in range(self.n):
+            receivable_idx = np.flatnonzero(self.receivable[i])
+            sets = dominant_sets_from_arcs(
+                receivable_idx,
+                self.azimuth[i, receivable_idx],
+                self.chargers[i].charging_angle,
+            )
+            self.dominant_sets.append(sets)
+            p = len(sets) + 1
+            cover = np.zeros((p, self.m), dtype=bool)
+            orient = np.full(p, np.nan)
+            for row, ds in enumerate(sets, start=1):
+                cover[row, list(ds.tasks)] = True
+                orient[row] = ds.orientation
+            self.cover_masks.append(cover)
+            self.policy_power.append(cover * self.power[i][None, :])
+            self.policy_orientations.append(orient)
+
+    def _build_neighbors(self) -> None:
+        """Chargers sharing a receivable task are neighbors (§6.1)."""
+        self.neighbors: list[frozenset[int]] = []
+        if self.n == 0:
+            return
+        # (n, n) co-coverage counts via one boolean matmul.
+        if self.m:
+            share = self.receivable.astype(np.int64) @ self.receivable.T.astype(np.int64)
+        else:
+            share = np.zeros((self.n, self.n), dtype=np.int64)
+        for i in range(self.n):
+            nb = frozenset(int(j) for j in np.flatnonzero(share[i] > 0) if j != i)
+            self.neighbors.append(nb)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def policy_count(self, charger: int) -> int:
+        """Number of policies of ``charger`` (idle included)."""
+        return self.cover_masks[charger].shape[0]
+
+    def tasks_receivable_by(self, charger: int) -> np.ndarray:
+        """Indices of tasks charger ``charger`` can ever charge (``T_i``)."""
+        return np.flatnonzero(self.receivable[charger])
+
+    def chargers_covering(self, task: int) -> np.ndarray:
+        """Indices of chargers that can charge ``task``."""
+        return np.flatnonzero(self.receivable[:, task])
+
+    def active_tasks_at(self, slot: int) -> np.ndarray:
+        """Indices of tasks active during ``slot``."""
+        return np.flatnonzero(self.active[:, slot])
+
+    def relevant_slots(self, charger: int) -> np.ndarray:
+        """Slots during which some receivable task of ``charger`` is active.
+
+        Policy choices outside these slots cannot change the objective, so
+        schedulers skip them (they stay idle).
+        """
+        mask = self.receivable[charger]
+        if not mask.any() or self.num_slots == 0:
+            return np.zeros(0, dtype=int)
+        return np.flatnonzero(self.active[mask].any(axis=0))
+
+    def policy_orientation(self, charger: int, policy: int) -> float | None:
+        """Orientation assigned by ``policy`` (``None`` for idle)."""
+        val = self.policy_orientations[charger][policy]
+        return None if np.isnan(val) else float(val)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary (used by the CLI)."""
+        pol = sum(self.policy_count(i) - 1 for i in range(self.n))
+        deg = (
+            float(np.mean([len(nb) for nb in self.neighbors])) if self.neighbors else 0.0
+        )
+        return (
+            f"ChargerNetwork(n={self.n} chargers, m={self.m} tasks, "
+            f"K={self.num_slots} slots of {self.slot_seconds:.0f}s, "
+            f"{pol} dominant task sets, mean neighbor degree {deg:.2f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived networks
+    # ------------------------------------------------------------------
+    def restricted_to_tasks(self, task_ids: Sequence[int]) -> "ChargerNetwork":
+        """A sub-network containing only the given tasks (re-indexed).
+
+        Used by the online runtime to build each charger's *known* world
+        before unreleased tasks exist.  Charger set and geometry are
+        preserved; task ids are remapped to positions, with the original id
+        recorded in :attr:`task_origin`.
+        """
+        ids = sorted(int(t) for t in task_ids)
+        remapped = []
+        for new_id, old_id in enumerate(ids):
+            t = self.tasks[old_id]
+            remapped.append(
+                ChargingTask(
+                    id=new_id,
+                    x=t.x,
+                    y=t.y,
+                    orientation=t.orientation,
+                    release_slot=t.release_slot,
+                    end_slot=t.end_slot,
+                    required_energy=t.required_energy,
+                    receiving_angle=t.receiving_angle,
+                    weight=t.weight,
+                )
+            )
+        sub = ChargerNetwork(
+            chargers=self.chargers,
+            tasks=remapped,
+            power_model=self.power_model,
+            slot_seconds=self.slot_seconds,
+        )
+        sub.task_origin = ids  # type: ignore[attr-defined]
+        return sub

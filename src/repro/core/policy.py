@@ -1,0 +1,163 @@
+"""Schedule containers: who points where, when.
+
+A *scheduling policy* for charger ``i`` at slot ``k`` is the choice of one
+dominant task set (or idle).  A :class:`Schedule` is the full decision
+matrix ``sel[i, k] ∈ {0 … |Γ_i|}`` with 0 = idle — exactly the decision
+variable ``x_{i,k}^p`` of problem RP1 in matrix form, with the partition
+matroid constraint (one policy per charger per slot) enforced structurally.
+
+Schedules can be persisted (:meth:`Schedule.to_dict` / JSON) — a deployment
+computes the plan once and ships it to the chargers — with a structural
+fingerprint of the owning network so a plan cannot silently be loaded
+against the wrong topology.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .network import IDLE_POLICY, ChargerNetwork
+
+__all__ = ["Schedule", "network_fingerprint"]
+
+
+def network_fingerprint(network: ChargerNetwork) -> str:
+    """A short structural fingerprint of a network's policy space.
+
+    Covers everything a schedule indexes into: charger/slot counts, the
+    per-charger policy counts, and the per-policy orientations (rounded).
+    Geometry changes that do not alter the policy space deliberately do not
+    change the fingerprint.
+    """
+    parts = [f"n={network.n}", f"K={network.num_slots}"]
+    for i in range(network.n):
+        orients = np.round(
+            np.nan_to_num(network.policy_orientations[i], nan=-1.0), 6
+        )
+        parts.append(f"{i}:{network.policy_count(i)}:{orients.tolist()!r}")
+    import hashlib
+
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+class Schedule:
+    """Per-(charger, slot) policy selection matrix.
+
+    The matrix is dense ``(n, K)`` int; entry 0 selects the idle policy.
+    Schedules are cheap to copy and compare, and validate their entries
+    against the owning network's policy counts.
+    """
+
+    __slots__ = ("sel", "_policy_counts")
+
+    def __init__(self, network: ChargerNetwork) -> None:
+        self.sel = np.zeros((network.n, network.num_slots), dtype=np.int32)
+        self._policy_counts = np.array(
+            [network.policy_count(i) for i in range(network.n)], dtype=np.int32
+        )
+
+    @classmethod
+    def from_matrix(cls, network: ChargerNetwork, matrix) -> "Schedule":
+        """Build from an explicit ``(n, K)`` selection matrix (validated)."""
+        sched = cls(network)
+        mat = np.asarray(matrix, dtype=np.int32)
+        if mat.shape != sched.sel.shape:
+            raise ValueError(
+                f"matrix shape {mat.shape} does not match (n, K) = {sched.sel.shape}"
+            )
+        if np.any(mat < 0) or np.any(mat >= sched._policy_counts[:, None]):
+            raise ValueError("selection matrix contains out-of-range policy indices")
+        sched.sel[:, :] = mat
+        return sched
+
+    @property
+    def n(self) -> int:
+        return self.sel.shape[0]
+
+    @property
+    def num_slots(self) -> int:
+        return self.sel.shape[1]
+
+    def set(self, charger: int, slot: int, policy: int) -> None:
+        """Assign ``policy`` to ``charger`` at ``slot`` (validated)."""
+        if not (0 <= policy < self._policy_counts[charger]):
+            raise ValueError(
+                f"policy {policy} out of range for charger {charger} "
+                f"(has {self._policy_counts[charger]} policies)"
+            )
+        self.sel[charger, slot] = policy
+
+    def get(self, charger: int, slot: int) -> int:
+        """Selected policy index of ``charger`` at ``slot``."""
+        return int(self.sel[charger, slot])
+
+    def is_idle(self, charger: int, slot: int) -> bool:
+        return self.sel[charger, slot] == IDLE_POLICY
+
+    def copy(self) -> "Schedule":
+        dup = object.__new__(Schedule)
+        dup.sel = self.sel.copy()
+        dup._policy_counts = self._policy_counts
+        return dup
+
+    def clear_from(self, slot: int) -> None:
+        """Reset every selection at slots ``≥ slot`` to idle.
+
+        The online runtime uses this when re-planning the future while
+        keeping the already-executed (and currently executing) past intact.
+        """
+        self.sel[:, slot:] = IDLE_POLICY
+
+    def nonidle_fraction(self) -> float:
+        """Fraction of (charger, slot) cells with a non-idle selection."""
+        if self.sel.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.sel) / self.sel.size)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self, network: ChargerNetwork) -> dict:
+        """JSON-serializable form with the network's fingerprint embedded."""
+        return {
+            "format": "repro-haste-schedule-v1",
+            "fingerprint": network_fingerprint(network),
+            "selections": self.sel.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, network: ChargerNetwork, payload: dict) -> "Schedule":
+        """Rebuild a schedule, refusing mismatched networks or formats."""
+        if payload.get("format") != "repro-haste-schedule-v1":
+            raise ValueError(f"unknown schedule format {payload.get('format')!r}")
+        expected = network_fingerprint(network)
+        if payload.get("fingerprint") != expected:
+            raise ValueError(
+                "schedule fingerprint does not match this network "
+                f"({payload.get('fingerprint')!r} != {expected!r})"
+            )
+        return cls.from_matrix(network, np.asarray(payload["selections"]))
+
+    def save_json(self, network: ChargerNetwork, path) -> None:
+        """Write :meth:`to_dict` to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(network), fh)
+
+    @classmethod
+    def load_json(cls, network: ChargerNetwork, path) -> "Schedule":
+        """Read a schedule written by :meth:`save_json` (validated)."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(network, json.load(fh))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.sel.shape == other.sel.shape and bool(np.all(self.sel == other.sel))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Schedule(n={self.n}, K={self.num_slots}, "
+            f"nonidle={self.nonidle_fraction():.2%})"
+        )

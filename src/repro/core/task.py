@@ -1,0 +1,96 @@
+"""Charging tasks and the discrete time model.
+
+A charging task is the paper's five-tuple ``T_j = ⟨o_j, φ_j, t_r, t_e, E_j⟩``
+plus the weight ``w_j`` it carries in the overall utility.  Time is discrete:
+the horizon is divided into slots of uniform duration ``T_s`` (seconds); the
+paper assumes a task's release time sits at the beginning of a slot and its
+end time at the end of a slot, so here release/end are *slot indices*:
+
+* ``release_slot`` — first slot (0-based) during which the task can harvest,
+* ``end_slot`` — first slot *after* the task expires (exclusive bound),
+
+so the task is active in slots ``release_slot ≤ k < end_slot`` and its
+duration is ``end_slot - release_slot`` slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import TWO_PI, wrap_angle
+
+__all__ = ["ChargingTask"]
+
+
+@dataclass(frozen=True)
+class ChargingTask:
+    """One wireless charging task raised by a rechargeable device.
+
+    Parameters
+    ----------
+    id:
+        Index of the task within its network.
+    x, y:
+        Position ``o_j`` of the rechargeable device, metres.
+    orientation:
+        Facing direction ``φ_j`` of the device's receiving antenna, radians.
+    release_slot, end_slot:
+        Active window ``[release_slot, end_slot)`` in slot indices.
+    required_energy:
+        ``E_j`` in joules — the harvested energy at which the task's utility
+        saturates at 1.
+    receiving_angle:
+        Full aperture ``A_o`` of the receiving sector, radians.  Paper-wide
+        constant in the simulations, per-device on the testbed.
+    weight:
+        ``w_j`` — the task's weight in the overall charging utility.
+    """
+
+    id: int
+    x: float
+    y: float
+    orientation: float
+    release_slot: int
+    end_slot: int
+    required_energy: float
+    receiving_angle: float = np.pi / 3
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.end_slot <= self.release_slot:
+            raise ValueError(
+                f"task {self.id}: end_slot ({self.end_slot}) must exceed "
+                f"release_slot ({self.release_slot})"
+            )
+        if self.release_slot < 0:
+            raise ValueError(f"task {self.id}: release_slot must be >= 0")
+        if self.required_energy <= 0:
+            raise ValueError(f"task {self.id}: required_energy must be positive")
+        if not (0.0 < self.receiving_angle <= TWO_PI + 1e-12):
+            raise ValueError(
+                f"task {self.id}: receiving_angle must be in (0, 2π], "
+                f"got {self.receiving_angle}"
+            )
+        if self.weight < 0:
+            raise ValueError(f"task {self.id}: weight must be non-negative")
+        object.__setattr__(self, "orientation", float(wrap_angle(self.orientation)))
+
+    @property
+    def position(self) -> np.ndarray:
+        """Device position as a ``(2,)`` float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    @property
+    def duration_slots(self) -> int:
+        """Number of slots in the active window."""
+        return self.end_slot - self.release_slot
+
+    def active_at(self, slot: int) -> bool:
+        """Whether the task can harvest energy during ``slot``."""
+        return self.release_slot <= slot < self.end_slot
+
+    def active_slots(self) -> range:
+        """The range of slots during which the task is active."""
+        return range(self.release_slot, self.end_slot)

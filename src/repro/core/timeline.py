@@ -1,0 +1,67 @@
+"""Discrete time grid shared by schedulers and the simulation engine.
+
+The paper divides time into slots of uniform duration ``T_s`` (§3.1).  A
+:class:`SlotGrid` ties together the slot duration in seconds and the number
+of slots under consideration (``K`` — derived from the latest task end), and
+provides the conversions used everywhere else so that "slot" vs "seconds"
+confusion cannot arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SlotGrid"]
+
+
+@dataclass(frozen=True)
+class SlotGrid:
+    """A horizon of ``num_slots`` slots, each ``slot_seconds`` long.
+
+    ``num_slots`` is the paper's ``K``: the number of slots spanned by the
+    task set.  Slot ``k`` covers wall-clock ``[k·T_s, (k+1)·T_s)``.
+    """
+
+    slot_seconds: float
+    num_slots: int
+
+    def __post_init__(self) -> None:
+        if self.slot_seconds <= 0:
+            raise ValueError(f"slot_seconds must be positive, got {self.slot_seconds}")
+        if self.num_slots < 0:
+            raise ValueError(f"num_slots must be >= 0, got {self.num_slots}")
+
+    @classmethod
+    def for_tasks(cls, tasks, slot_seconds: float) -> "SlotGrid":
+        """Grid spanning all task windows: ``K = max end_slot`` (0 if none)."""
+        horizon = max((t.end_slot for t in tasks), default=0)
+        return cls(slot_seconds=float(slot_seconds), num_slots=int(horizon))
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock length of the whole horizon."""
+        return self.slot_seconds * self.num_slots
+
+    def slot_of(self, t_seconds: float) -> int:
+        """Slot index containing wall-clock time ``t`` (clipped to horizon)."""
+        if t_seconds < 0:
+            raise ValueError(f"time must be non-negative, got {t_seconds}")
+        k = int(t_seconds // self.slot_seconds)
+        return min(k, max(self.num_slots - 1, 0))
+
+    def start_of(self, slot: int) -> float:
+        """Wall-clock start time of ``slot``."""
+        return slot * self.slot_seconds
+
+    def slots(self) -> range:
+        """Iterate slot indices ``0 … K-1``."""
+        return range(self.num_slots)
+
+    def activity_matrix(self, tasks) -> np.ndarray:
+        """Boolean ``(len(tasks), K)`` matrix: task active during slot."""
+        act = np.zeros((len(tasks), self.num_slots), dtype=bool)
+        for row, t in enumerate(tasks):
+            act[row, t.release_slot : min(t.end_slot, self.num_slots)] = True
+        return act

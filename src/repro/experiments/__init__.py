@@ -1,0 +1,20 @@
+"""Experiment modules: one per paper figure plus design ablations.
+
+Use :func:`repro.experiments.get_experiment` or the CLI
+(``python -m repro.cli run fig04``) to execute them; the pytest benchmarks
+run the same registry at ``quick`` scale and assert each figure's shape
+checks.
+"""
+
+from .common import Experiment, ExperimentOutput, ShapeCheck, config_for_scale
+from .registry import EXPERIMENTS, all_experiments, get_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentOutput",
+    "ShapeCheck",
+    "all_experiments",
+    "config_for_scale",
+    "get_experiment",
+]

@@ -1,0 +1,119 @@
+"""Ablation — the anisotropic-receiver extension (paper future work).
+
+The paper's model treats reception as binary inside the device's sector and
+defers the anisotropic receiving model of Lin et al. [ref 57] to future
+work.  :class:`repro.core.power.AnisotropicPowerModel` implements that
+extension (received power scaled by ``cos^κ`` of the boresight offset);
+this ablation sweeps the directivity exponent κ and checks that
+
+* κ = 0 reproduces the binary model exactly,
+* total utility degrades gracefully as receivers become more directive
+  (the same schedules harvest strictly less energy), and
+* HASTE keeps its edge over GreedyUtility under every κ — the guarantees
+  only need monotone submodularity, which receiver gains cannot break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.network import ChargerNetwork
+from ..core.power import AnisotropicPowerModel, PowerModel
+from ..offline.baselines import greedy_utility_schedule
+from ..offline.centralized import schedule_offline
+from ..sim.engine import execute_schedule
+from ..sim.workload import sample_network
+from .common import (
+    Experiment,
+    ExperimentOutput,
+    ShapeCheck,
+    approx_nonincreasing,
+    config_for_scale,
+)
+
+
+def _with_model(network: ChargerNetwork, model: PowerModel) -> ChargerNetwork:
+    """The same layout under a different power model."""
+    return ChargerNetwork(
+        network.chargers,
+        network.tasks,
+        power_model=model,
+        slot_seconds=network.slot_seconds,
+    )
+
+
+def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
+    base = config_for_scale(scale)
+    kappas = [0.0, 1.0, 2.0, 4.0]
+    haste_means, greedy_means = [], []
+    kappa0_matches = True
+    for trial in range(trials):
+        layout = sample_network(
+            base, np.random.default_rng(np.random.SeedSequence(entropy=(seed, trial)))
+        )
+        iso_power = layout.power.copy()
+        h_row, g_row = [], []
+        for kappa in kappas:
+            model = AnisotropicPowerModel(
+                alpha=base.alpha, beta=base.beta, gain_exponent=kappa
+            )
+            net = _with_model(layout, model)
+            if kappa == 0.0 and not np.allclose(net.power, iso_power):
+                kappa0_matches = False
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(seed, trial, int(kappa * 10)))
+            )
+            res = schedule_offline(net, 1, rng=rng)
+            h_row.append(
+                execute_schedule(net, res.schedule, rho=base.rho).total_utility
+            )
+            g_row.append(
+                execute_schedule(
+                    net, greedy_utility_schedule(net), rho=base.rho
+                ).total_utility
+            )
+        haste_means.append(h_row)
+        greedy_means.append(g_row)
+
+    haste = np.mean(haste_means, axis=0)
+    greedy = np.mean(greedy_means, axis=0)
+    rows = ["     κ    HASTE(C=1)   GreedyUtility"]
+    for kappa, h, g in zip(kappas, haste, greedy):
+        rows.append(f"  {kappa:4.1f}    {h:9.4f}    {g:12.4f}")
+
+    checks = [
+        ShapeCheck(
+            "κ = 0 reproduces the paper's binary receiver exactly",
+            kappa0_matches,
+            "",
+        ),
+        ShapeCheck(
+            "utility degrades gracefully as receiver directivity grows",
+            approx_nonincreasing(haste, slack=0.01),
+            f"κ=0 → {haste[0]:.4f}, κ={kappas[-1]} → {haste[-1]:.4f}",
+        ),
+        ShapeCheck(
+            "HASTE keeps its edge over GreedyUtility at every κ",
+            bool(np.all(haste >= greedy - 0.01)),
+            "",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="ablation-anisotropic",
+        title="Ablation: anisotropic receiver gains (future-work extension)",
+        table="\n".join(rows),
+        checks=checks,
+        data={"kappas": kappas, "haste": haste, "greedy": greedy},
+    )
+
+
+EXPERIMENT = Experiment(
+    id="ablation-anisotropic",
+    figure="(none — future-work extension, ref [57])",
+    title="Ablation: anisotropic receiver gains (future-work extension)",
+    paper_claim=(
+        "The framework accommodates anisotropic receivers: κ=0 is the "
+        "paper's model, larger κ degrades utility smoothly, orderings hold."
+    ),
+    runner=run,
+)

@@ -1,0 +1,210 @@
+"""Experiment framework: figures as first-class, checkable objects.
+
+Every reproduced paper figure is an :class:`Experiment`: a runner that
+produces an :class:`ExperimentOutput` holding (a) the text table with the
+same rows/series the paper plots, (b) the raw data, and (c) a list of
+:class:`ShapeCheck` results — machine-verifiable statements of the figure's
+qualitative claims ("HASTE dominates GreedyUtility", "utility is monotone
+in A_s", "messages grow superlinearly"…).  The pytest benchmarks execute
+the same runners at reduced scale and assert the checks, so "the shape
+holds" is CI-enforced, not eyeballed.
+
+Scales
+------
+``quick``    tiny instances — unit tests and pytest-benchmark runs;
+``default``  the scaled-down §7.1 configuration recorded in EXPERIMENTS.md;
+``paper``    the full §7.1 parameters (slow; spot checks only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..offline.baselines import greedy_cover_schedule, greedy_utility_schedule
+from ..offline.centralized import schedule_offline
+from ..offline.smoothing import smooth_switches
+from ..online.runtime import run_online_baseline, run_online_haste
+from ..sim.config import SimulationConfig
+from ..sim.engine import execute_schedule
+
+__all__ = [
+    "ShapeCheck",
+    "ExperimentOutput",
+    "Experiment",
+    "config_for_scale",
+    "haste_offline_c1",
+    "haste_offline_c4",
+    "offline_greedy_utility",
+    "offline_greedy_cover",
+    "haste_online_c1",
+    "haste_online_c4",
+    "online_greedy_utility",
+    "online_greedy_cover",
+    "approx_nondecreasing",
+    "approx_nonincreasing",
+]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One machine-checked qualitative claim of a figure."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"[{mark}] {self.description}{tail}"
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one experiment run produced."""
+
+    experiment_id: str
+    title: str
+    table: str
+    checks: list[ShapeCheck] = field(default_factory=list)
+    data: dict = field(default_factory=dict, repr=False)
+    notes: str = ""
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.table]
+        if self.notes:
+            parts.append(self.notes)
+        parts.extend(c.render() for c in self.checks)
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A reproducible paper figure."""
+
+    id: str
+    figure: str
+    title: str
+    paper_claim: str
+    runner: Callable[..., ExperimentOutput]
+
+    def run(
+        self,
+        *,
+        trials: int = 3,
+        seed: int = 0,
+        scale: str = "default",
+        processes: int = 1,
+    ) -> ExperimentOutput:
+        return self.runner(trials=trials, seed=seed, scale=scale, processes=processes)
+
+
+def config_for_scale(scale: str) -> SimulationConfig:
+    """Base configuration per scale tier (see module docstring)."""
+    if scale == "quick":
+        return SimulationConfig.quick()
+    if scale == "default":
+        return SimulationConfig()
+    if scale == "paper":
+        return SimulationConfig.paper()
+    raise ValueError(f"unknown scale {scale!r} (quick/default/paper)")
+
+
+# ----------------------------------------------------------------------
+# Algorithm adapters: fn(network, rng, config) -> overall charging utility.
+# Module-level so sweeps can ship them across worker processes.
+# ----------------------------------------------------------------------
+def haste_offline_c1(network, rng, config) -> float:
+    """Centralized Algorithm 2 with C = 1 (exact locally greedy).
+
+    The delay-aware switch-smoothing post-pass is applied, as in every
+    HASTE adapter (it is a pure Pareto improvement — see
+    :mod:`repro.offline.smoothing`).
+    """
+    res = schedule_offline(network, 1, rng=rng)
+    sched = smooth_switches(network, res.schedule, rho=config.rho)
+    return execute_schedule(network, sched, rho=config.rho).total_utility
+
+
+def haste_offline_c4(network, rng, config) -> float:
+    """Centralized Algorithm 2 with C = 4 (the paper's headline setting)."""
+    res = schedule_offline(
+        network, config.num_colors, num_samples=config.num_samples, rng=rng
+    )
+    sched = smooth_switches(network, res.schedule, rho=config.rho)
+    return execute_schedule(network, sched, rho=config.rho).total_utility
+
+
+def offline_greedy_utility(network, rng, config) -> float:
+    """GreedyUtility baseline, offline setting."""
+    sched = greedy_utility_schedule(network)
+    return execute_schedule(network, sched, rho=config.rho).total_utility
+
+
+def offline_greedy_cover(network, rng, config) -> float:
+    """GreedyCover baseline, offline setting."""
+    sched = greedy_cover_schedule(network)
+    return execute_schedule(network, sched, rho=config.rho).total_utility
+
+
+def haste_online_c1(network, rng, config) -> float:
+    """Distributed online Algorithm 3 with C = 1."""
+    run = run_online_haste(
+        network, num_colors=1, tau=config.tau, rho=config.rho, rng=rng
+    )
+    return run.total_utility
+
+
+def haste_online_c4(network, rng, config) -> float:
+    """Distributed online Algorithm 3 with C = 4."""
+    run = run_online_haste(
+        network,
+        num_colors=config.num_colors,
+        num_samples=config.num_samples,
+        tau=config.tau,
+        rho=config.rho,
+        rng=rng,
+    )
+    return run.total_utility
+
+
+def online_greedy_utility(network, rng, config) -> float:
+    """GreedyUtility with τ-delayed knowledge (online setting)."""
+    return run_online_baseline(
+        network, "utility", tau=config.tau, rho=config.rho
+    ).total_utility
+
+
+def online_greedy_cover(network, rng, config) -> float:
+    """GreedyCover with τ-delayed knowledge (online setting)."""
+    return run_online_baseline(
+        network, "cover", tau=config.tau, rho=config.rho
+    ).total_utility
+
+
+# ----------------------------------------------------------------------
+# Trend predicates for shape checks
+# ----------------------------------------------------------------------
+def approx_nondecreasing(series, *, slack: float = 0.02) -> bool:
+    """True when the series never drops by more than ``slack`` (absolute).
+
+    Sweep curves are sample means over a handful of topologies; a strict
+    monotonicity test would flag ordinary noise, so each step may dip by at
+    most ``slack`` while the overall claim still fails if the trend is
+    genuinely reversed.
+    """
+    arr = np.asarray(list(series), dtype=float)
+    return bool(np.all(np.diff(arr) >= -slack))
+
+
+def approx_nonincreasing(series, *, slack: float = 0.02) -> bool:
+    """Mirror of :func:`approx_nondecreasing`."""
+    arr = np.asarray(list(series), dtype=float)
+    return bool(np.all(np.diff(arr) <= slack))

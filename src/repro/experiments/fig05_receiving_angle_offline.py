@@ -1,0 +1,30 @@
+"""Fig. 5 — receiving angle ``A_o`` vs overall utility, centralized offline.
+
+Paper claims (§7.3.2): utilities increase monotonically with ``A_o``
+(wider receiving sectors admit more potential chargers), fast at first and
+then saturating; HASTE outperforms GreedyUtility/GreedyCover by
+5.63 %/8.81 % on average (at most 7.36 %/11.27 %); C = 4 beats C = 1 by
+1.04 % on average.  Unlike ``A_s``, the curves need not coincide at 360°
+(charger orientation still matters), so that check is not applied here.
+"""
+
+from __future__ import annotations
+
+from .common import Experiment
+from .sweeps import angle_sweep_runner
+
+EXPERIMENT = Experiment(
+    id="fig05",
+    figure="Fig. 5",
+    title="Receiving angle A_o vs charging utility (centralized offline)",
+    paper_claim=(
+        "Utility rises monotonically with A_o, fast then slow; HASTE > "
+        "GreedyUtility > GreedyCover (≈5.6 %/8.8 % avg); C=4 ≥ C=1."
+    ),
+    runner=angle_sweep_runner(
+        "receiving_angle",
+        "offline",
+        "fig05",
+        "Receiving angle A_o vs charging utility (centralized offline)",
+    ),
+)

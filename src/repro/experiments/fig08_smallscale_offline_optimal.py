@@ -1,0 +1,104 @@
+"""Fig. 8 — small-scale ``A_s`` sweep against the exact optimum (offline).
+
+Paper claims (§7.3.1): on 5-charger / 10-task / 10 m × 10 m instances, the
+centralized algorithm — even with C = 1 — achieves at least 92.97 % of the
+brute-force optimal charging utility, far above the proved
+``(1 − ρ)(1 − 1/e) ≈ 0.579`` bound of Theorem 5.1.
+
+Here the optimum comes from the HiGHS MILP (certified against literal
+brute force in the tests), solved on the *relaxed* problem HASTE-R — an
+upper bound on the true HASTE optimum, so every reported ratio is
+conservative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..offline.centralized import schedule_offline
+from ..offline.optimal import optimal_schedule
+from ..sim.config import SimulationConfig
+from ..sim.engine import execute_schedule
+from ..sim.workload import sample_network
+from .common import Experiment, ExperimentOutput, ShapeCheck
+
+RATIO_BOUND = (1 - 1 / 12) * (1 - 1 / np.e)  # (1-ρ)(1-1/e) with the paper's ρ
+
+
+def _angles(scale: str) -> list[float]:
+    degrees = [60, 180, 360] if scale == "quick" else [30, 60, 90, 120, 180, 240, 360]
+    return [float(np.deg2rad(d)) for d in degrees]
+
+
+def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
+    base = SimulationConfig.small_scale()
+    angles = _angles(scale)
+    rows = ["    A_s    OPT(R)  HASTE(C=1)  HASTE(C=4)  worst-ratio"]
+    worst_ratio = np.inf
+    data = {"angles": angles, "ratios": []}
+    for vi, ang in enumerate(angles):
+        cfg = base.replace(charging_angle=ang)
+        opt_vals, c1_vals, c4_vals, ratios = [], [], [], []
+        for trial in range(trials):
+            net_rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(seed, trial))
+            )
+            net = sample_network(cfg, net_rng)
+            opt = optimal_schedule(net).objective_value
+            alg_rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(seed, vi, trial, 1))
+            )
+            c1 = schedule_offline(net, 1, rng=alg_rng)
+            c4 = schedule_offline(net, 4, num_samples=cfg.num_samples, rng=alg_rng)
+            u1 = execute_schedule(net, c1.schedule, rho=cfg.rho).total_utility
+            u4 = execute_schedule(net, c4.schedule, rho=cfg.rho).total_utility
+            opt_vals.append(opt)
+            c1_vals.append(u1)
+            c4_vals.append(u4)
+            if opt > 1e-9:
+                ratios.append(max(u1, u4) / opt)
+        ratio = min(ratios) if ratios else 1.0
+        worst_ratio = min(worst_ratio, ratio)
+        data["ratios"].extend(ratios)
+        rows.append(
+            f"  {ang:5.3f}  {np.mean(opt_vals):.4f}      {np.mean(c1_vals):.4f}"
+            f"      {np.mean(c4_vals):.4f}       {ratio:.4f}"
+        )
+    checks = [
+        ShapeCheck(
+            f"HASTE ≥ (1−ρ)(1−1/e) ≈ {RATIO_BOUND:.3f} of the optimum "
+            "(Theorem 5.1)",
+            bool(worst_ratio >= RATIO_BOUND),
+            f"worst observed ratio {worst_ratio:.4f}",
+        ),
+        ShapeCheck(
+            "HASTE achieves ≳90 % of the optimum in practice (paper: "
+            "≥92.97 %)",
+            bool(worst_ratio >= 0.85),
+            f"worst observed ratio {worst_ratio:.4f}",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig08",
+        title="Small-scale A_s sweep vs exact optimum (centralized offline)",
+        table="\n".join(rows),
+        checks=checks,
+        data=data,
+        notes=(
+            "OPT(R) is the exact HASTE-R optimum (MILP upper bound on the "
+            "HASTE optimum); ratios are delay-aware HASTE utility / OPT(R), "
+            "hence conservative."
+        ),
+    )
+
+
+EXPERIMENT = Experiment(
+    id="fig08",
+    figure="Fig. 8",
+    title="Small-scale A_s sweep vs exact optimum (centralized offline)",
+    paper_claim=(
+        "Even with C = 1 the centralized algorithm attains ≥ 92.97 % of the "
+        "brute-force optimum, far above the 0.579 bound of Thm 5.1."
+    ),
+    runner=run,
+)

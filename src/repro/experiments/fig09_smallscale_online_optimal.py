@@ -1,0 +1,109 @@
+"""Fig. 9 — small-scale ``A_o`` sweep against the exact optimum (online).
+
+Paper claims (§7.3.2, validating Theorem 6.1): on the same 5-charger /
+10-task instances as Fig. 8, the *distributed online* algorithm achieves at
+least 88.63 % of the optimal utility — far above the proved
+``½(1 − ρ)(1 − 1/e) ≈ 0.290`` competitive-ratio bound.
+
+The reference optimum is the offline clairvoyant HASTE-R MILP optimum (it
+knows all tasks in advance and ignores switching delay), which upper-bounds
+anything the online algorithm could achieve — the conservative direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..offline.optimal import optimal_schedule
+from ..online.runtime import run_online_haste
+from ..sim.config import SimulationConfig
+from ..sim.workload import sample_network
+from .common import Experiment, ExperimentOutput, ShapeCheck
+
+COMPETITIVE_BOUND = 0.5 * (1 - 1 / 12) * (1 - 1 / np.e)
+
+
+def _angles(scale: str) -> list[float]:
+    degrees = [60, 180, 360] if scale == "quick" else [30, 60, 90, 120, 180, 240, 360]
+    return [float(np.deg2rad(d)) for d in degrees]
+
+
+def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
+    base = SimulationConfig.small_scale()
+    angles = _angles(scale)
+    rows = ["    A_o    OPT(R)  HASTE-DO(C=1)  HASTE-DO(C=4)  worst-ratio"]
+    worst_ratio = np.inf
+    data = {"angles": angles, "ratios": []}
+    for vi, ang in enumerate(angles):
+        cfg = base.replace(receiving_angle=ang)
+        opt_vals, c1_vals, c4_vals, ratios = [], [], [], []
+        for trial in range(trials):
+            net = sample_network(
+                cfg,
+                np.random.default_rng(np.random.SeedSequence(entropy=(seed, trial))),
+            )
+            opt = optimal_schedule(net).objective_value
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=(seed, vi, trial, 1))
+            )
+            u1 = run_online_haste(
+                net, num_colors=1, tau=cfg.tau, rho=cfg.rho, rng=rng
+            ).total_utility
+            u4 = run_online_haste(
+                net,
+                num_colors=4,
+                num_samples=cfg.num_samples,
+                tau=cfg.tau,
+                rho=cfg.rho,
+                rng=rng,
+            ).total_utility
+            opt_vals.append(opt)
+            c1_vals.append(u1)
+            c4_vals.append(u4)
+            if opt > 1e-9:
+                ratios.append(max(u1, u4) / opt)
+        ratio = min(ratios) if ratios else 1.0
+        worst_ratio = min(worst_ratio, ratio)
+        data["ratios"].extend(ratios)
+        rows.append(
+            f"  {ang:5.3f}  {np.mean(opt_vals):.4f}       {np.mean(c1_vals):.4f}"
+            f"         {np.mean(c4_vals):.4f}        {ratio:.4f}"
+        )
+    checks = [
+        ShapeCheck(
+            f"HASTE-DO ≥ ½(1−ρ)(1−1/e) ≈ {COMPETITIVE_BOUND:.3f} of the "
+            "optimum (Theorem 6.1)",
+            bool(worst_ratio >= COMPETITIVE_BOUND),
+            f"worst observed ratio {worst_ratio:.4f}",
+        ),
+        ShapeCheck(
+            "HASTE-DO achieves a large fraction of the clairvoyant optimum "
+            "(paper: ≥88.63 %)",
+            bool(worst_ratio >= (0.60 if scale == "quick" else 0.70)),
+            f"worst observed ratio {worst_ratio:.4f}",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig09",
+        title="Small-scale A_o sweep vs exact optimum (distributed online)",
+        table="\n".join(rows),
+        checks=checks,
+        data=data,
+        notes=(
+            "OPT(R) is the clairvoyant offline HASTE-R optimum; the online "
+            "algorithm additionally pays the τ reaction and ρ switching "
+            "losses, so ratios are doubly conservative."
+        ),
+    )
+
+
+EXPERIMENT = Experiment(
+    id="fig09",
+    figure="Fig. 9",
+    title="Small-scale A_o sweep vs exact optimum (distributed online)",
+    paper_claim=(
+        "The distributed online algorithm attains ≥ 88.63 % of the optimum, "
+        "far above the 0.290 competitive bound of Thm 6.1."
+    ),
+    runner=run,
+)

@@ -1,0 +1,132 @@
+"""Fig. 10 — required energy × task duration surface, centralized offline.
+
+Paper claims (§7.3.5): required energies are drawn from
+``[0.5·Ē, 1.5·Ē]`` and durations from ``[0.5·Δt̄, 1.5·Δt̄]``; utility rises
+as ``Ē`` shrinks or ``Δt̄`` grows — +44.28 % from the worst corner
+(Ē = 50 kJ, Δt̄ = 30 min) to the best (Ē = 10 kJ, Δt̄ = 70 min) — with a
+diminishing-gain flattening toward the easy corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.runner import run_sweep
+from .common import Experiment, ExperimentOutput, ShapeCheck, config_for_scale
+from .sweeps import online_config_for_scale
+
+__all__ = ["EXPERIMENT", "energy_duration_grid", "grid_values"]
+
+
+def grid_values(scale: str) -> tuple[list[float], list[int]]:
+    """(mean energies in J, mean durations in slots) for the grid."""
+    if scale == "quick":
+        return [10_000.0, 50_000.0], [4, 8]
+    if scale == "paper":
+        return [1e4, 2e4, 3e4, 4e4, 5e4], [30, 40, 50, 60, 70]
+    return [1e4, 3e4, 5e4], [15, 25, 35]
+
+
+def _grid_config_builder(base, value):
+    """Sweep value = (mean_energy, mean_duration_slots)."""
+    e_bar, d_bar = value
+    d_lo = max(int(round(0.5 * d_bar)), 1)
+    d_hi = max(int(round(1.5 * d_bar)), d_lo)
+    return base.replace(
+        energy_min=0.5 * e_bar,
+        energy_max=1.5 * e_bar,
+        duration_slots_min=d_lo,
+        duration_slots_max=d_hi,
+        horizon_slots=max(base.horizon_slots, d_hi),
+    )
+
+
+def energy_duration_grid(
+    setting_algorithms: dict,
+    experiment_id: str,
+    title: str,
+    *,
+    online: bool,
+):
+    """Shared runner for Figs. 10 and 11 (offline/online flavours)."""
+
+    def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
+        base = online_config_for_scale(scale) if online else config_for_scale(scale)
+        energies, durations = grid_values(scale)
+        values = [(e, d) for e in energies for d in durations]
+        result = run_sweep(
+            base,
+            "energy_duration",
+            values,
+            setting_algorithms,
+            trials=trials,
+            seed=seed,
+            config_builder=_grid_config_builder,
+            processes=processes,
+        )
+        alg = next(iter(setting_algorithms))
+        means = result.mean_series(alg).reshape(len(energies), len(durations))
+
+        header = "Ē \\ Δt̄ " + "".join(f"{d:>9d}" for d in durations)
+        rows = [header]
+        for ei, e in enumerate(energies):
+            rows.append(
+                f"{e/1000:6.0f}kJ"
+                + "".join(f"{means[ei, di]:9.4f}" for di in range(len(durations)))
+            )
+
+        worst = means[-1, 0]  # largest Ē, shortest Δt̄
+        best = means[0, -1]  # smallest Ē, longest Δt̄
+        gain = 100.0 * (best - worst) / max(worst, 1e-12)
+        checks = [
+            ShapeCheck(
+                "utility falls as required energy Ē grows (every duration "
+                "column non-increasing)",
+                bool(np.all(np.diff(means, axis=0) <= 0.02)),
+                "",
+            ),
+            ShapeCheck(
+                "utility rises as duration Δt̄ grows (every energy row "
+                "non-decreasing)",
+                bool(np.all(np.diff(means, axis=1) >= -0.02)),
+                "",
+            ),
+            ShapeCheck(
+                "large corner-to-corner gain (paper: ≈ +44 %)",
+                bool(gain >= 15.0),
+                f"worst corner {worst:.4f} → best corner {best:.4f} "
+                f"(+{gain:.1f} %)",
+            ),
+        ]
+        return ExperimentOutput(
+            experiment_id=experiment_id,
+            title=title,
+            table="\n".join(rows),
+            checks=checks,
+            data={"energies": energies, "durations": durations, "means": means},
+        )
+
+    return run
+
+
+def _offline_algorithms():
+    from .common import haste_offline_c4
+
+    return {"HASTE(C=4)": haste_offline_c4}
+
+
+EXPERIMENT = Experiment(
+    id="fig10",
+    figure="Fig. 10",
+    title="Required energy × task duration vs utility (centralized offline)",
+    paper_claim=(
+        "Utility increases with decreasing Ē and increasing Δt̄ (+44.28 % "
+        "corner to corner) with diminishing gains."
+    ),
+    runner=energy_duration_grid(
+        _offline_algorithms(),
+        "fig10",
+        "Required energy × task duration vs utility (centralized offline)",
+        online=False,
+    ),
+)

@@ -1,0 +1,106 @@
+"""Fig. 16 — communication cost of the distributed algorithm vs fleet size.
+
+Paper claims (§7.4.6): with C = 1 and growing charger count ``n``, the
+number of negotiation *rounds* per time slot grows linearly (the neighbor
+count grows linearly with density) while the number of *messages* grows
+quadratically (each round's broadcasts also fan out to linearly many
+neighbors) — +952 % rounds and +224 %·(sic) messages from n = 10 to 100 in
+their run; the load-bearing claim is the linear-vs-quadratic split, which
+is what the checks assert.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..online.runtime import run_online_haste
+from ..sim.workload import sample_network
+from .common import Experiment, ExperimentOutput, ShapeCheck
+from .sweeps import online_config_for_scale
+
+
+def _fleet_sizes(scale: str) -> list[int]:
+    if scale == "quick":
+        return [8, 24]
+    if scale == "paper":
+        return [10, 20, 40, 60, 80, 100]
+    return [10, 20, 30, 40]
+
+
+def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
+    base = online_config_for_scale(scale)
+    if scale == "quick":
+        # The quadratic/linear split needs real neighbor density; the quick
+        # field is shrunk so even small fleets overlap.
+        base = base.replace(field_size=25.0)
+    sizes = _fleet_sizes(scale)
+    rows = ["     n   msgs/event   rounds/event   mean-degree"]
+    msgs, rounds, degrees = [], [], []
+    for vi, n in enumerate(sizes):
+        cfg = base.replace(num_chargers=n)
+        m_vals, r_vals, d_vals = [], [], []
+        for trial in range(trials):
+            net = sample_network(
+                cfg,
+                np.random.default_rng(np.random.SeedSequence(entropy=(seed, vi, trial))),
+            )
+            result = run_online_haste(
+                net,
+                num_colors=1,
+                tau=cfg.tau,
+                rho=cfg.rho,
+                rng=np.random.default_rng(
+                    np.random.SeedSequence(entropy=(seed, vi, trial, 1))
+                ),
+            )
+            events = max(result.events, 1)
+            m_vals.append(result.stats.messages / events)
+            r_vals.append(result.stats.rounds / events)
+            d_vals.append(float(np.mean([len(nb) for nb in net.neighbors])))
+        msgs.append(float(np.mean(m_vals)))
+        rounds.append(float(np.mean(r_vals)))
+        degrees.append(float(np.mean(d_vals)))
+        rows.append(
+            f"{n:6d}   {msgs[-1]:10.1f}   {rounds[-1]:12.1f}   {degrees[-1]:11.2f}"
+        )
+
+    size_ratio = sizes[-1] / sizes[0]
+    msg_ratio = msgs[-1] / max(msgs[0], 1e-9)
+    round_ratio = rounds[-1] / max(rounds[0], 1e-9)
+    checks = [
+        ShapeCheck(
+            "messages grow superlinearly with n (quadratic in the paper)",
+            bool(msg_ratio > 1.3 * size_ratio),
+            f"n×{size_ratio:.1f} → messages ×{msg_ratio:.1f}",
+        ),
+        ShapeCheck(
+            "rounds grow with n but much slower than messages (linear in "
+            "the paper)",
+            bool(round_ratio > 1.0 and round_ratio < msg_ratio),
+            f"rounds ×{round_ratio:.1f} vs messages ×{msg_ratio:.1f}",
+        ),
+        ShapeCheck(
+            "mean neighbor degree grows linearly with n (fixed field)",
+            bool(degrees[-1] > degrees[0]),
+            f"degree {degrees[0]:.1f} → {degrees[-1]:.1f}",
+        ),
+    ]
+    return ExperimentOutput(
+        experiment_id="fig16",
+        title="Communication cost vs number of chargers (C = 1)",
+        table="\n".join(rows),
+        checks=checks,
+        data={"sizes": sizes, "messages": msgs, "rounds": rounds},
+    )
+
+
+EXPERIMENT = Experiment(
+    id="fig16",
+    figure="Fig. 16",
+    title="Communication cost vs number of chargers (C = 1)",
+    paper_claim=(
+        "Messages per slot grow quadratically and rounds linearly with the "
+        "number of chargers."
+    ),
+    runner=run,
+)

@@ -1,0 +1,83 @@
+"""The experiment registry: every paper figure, addressable by id.
+
+``python -m repro.cli run fig04`` and the pytest benchmarks resolve
+experiments through this table.  Each entry is one reproduced figure (plus
+the ablations that back DESIGN.md's design-choice discussion).
+"""
+
+from __future__ import annotations
+
+from .common import Experiment
+from .fig04_charging_angle_offline import EXPERIMENT as FIG04
+from .fig05_receiving_angle_offline import EXPERIMENT as FIG05
+from .fig06_switching_delay_offline import EXPERIMENT as FIG06
+from .fig07_colors_offline import EXPERIMENT as FIG07
+from .fig08_smallscale_offline_optimal import EXPERIMENT as FIG08
+from .fig09_smallscale_online_optimal import EXPERIMENT as FIG09
+from .fig10_energy_duration_offline import EXPERIMENT as FIG10
+from .fig11_energy_duration_online import EXPERIMENT as FIG11
+from .fig12_charging_angle_online import EXPERIMENT as FIG12
+from .fig13_receiving_angle_online import EXPERIMENT as FIG13
+from .fig14_switching_delay_online import EXPERIMENT as FIG14
+from .fig15_colors_online import EXPERIMENT as FIG15
+from .fig16_communication_cost import EXPERIMENT as FIG16
+from .fig17_gaussian_tasks import EXPERIMENT as FIG17
+from .fig18_individual_utility import EXPERIMENT as FIG18
+from .ablation_anisotropic import EXPERIMENT as ABLATION_ANISOTROPIC
+from .ablation_baselines import EXPERIMENT as ABLATION_BASELINES
+from .ablation_complexity import EXPERIMENT as ABLATION_COMPLEXITY
+from .ablation_online_gap import EXPERIMENT as ABLATION_ONLINE_GAP
+from .ablation_utilities import EXPERIMENT as ABLATION_UTILITIES
+from .testbed_experiments import (
+    EXPERIMENT_TB1_OFFLINE,
+    EXPERIMENT_TB1_ONLINE,
+    EXPERIMENT_TB2_OFFLINE,
+    EXPERIMENT_TB2_ONLINE,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment", "all_experiments"]
+
+_ALL: list[Experiment] = [
+    FIG04,
+    FIG05,
+    FIG06,
+    FIG07,
+    FIG08,
+    FIG09,
+    FIG10,
+    FIG11,
+    FIG12,
+    FIG13,
+    FIG14,
+    FIG15,
+    FIG16,
+    FIG17,
+    FIG18,
+    EXPERIMENT_TB1_OFFLINE,
+    EXPERIMENT_TB1_ONLINE,
+    EXPERIMENT_TB2_OFFLINE,
+    EXPERIMENT_TB2_ONLINE,
+    ABLATION_BASELINES,
+    ABLATION_ONLINE_GAP,
+    ABLATION_UTILITIES,
+    ABLATION_ANISOTROPIC,
+    ABLATION_COMPLEXITY,
+]
+
+EXPERIMENTS: dict[str, Experiment] = {exp.id: exp for exp in _ALL}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look an experiment up by id (e.g. ``"fig04"``)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiments() -> list[Experiment]:
+    """Every registered experiment in registry order."""
+    return list(_ALL)

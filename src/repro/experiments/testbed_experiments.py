@@ -1,0 +1,117 @@
+"""Figs. 21/22/24/25 — the emulated field experiments (§8).
+
+Four experiments, one per figure: per-task utilities of HASTE (C = 4),
+GreedyUtility, and GreedyCover on testbed topology 1 (8 TX / 8 tasks) and
+topology 2 (16 TX / 20 tasks), each in the centralized offline and the
+distributed online settings.
+
+Paper claims: HASTE has the best utility for essentially all tasks; on
+topology 1 it beats GreedyUtility/GreedyCover by 4.67 %/12.74 % on average
+offline and 5.62 %/12.38 % online; on topology 2 by 4.38 %/10.12 % offline
+and 6.04 %/15.28 % online (up to 29.63 % at most); on topology 1, tasks 1
+and 6 earn the two largest utilities because they have the two longest
+windows.  Absolute values differ from the physical testbed (see DESIGN.md,
+hardware substitution); the checks assert the orderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..testbed.experiment import run_testbed
+from ..testbed.topologies import topology_one, topology_two
+from .common import Experiment, ExperimentOutput, ShapeCheck
+
+
+def _runner(topology: int, setting: str, experiment_id: str, figure: str):
+    def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
+        net = topology_one() if topology == 1 else topology_two()
+        report = run_testbed(net, setting, seed=seed)
+        tot = report.total_utility
+        checks = [
+            ShapeCheck(
+                "HASTE achieves the best overall utility",
+                bool(
+                    tot["HASTE"] >= tot["GreedyUtility"] - 1e-9
+                    and tot["HASTE"] >= tot["GreedyCover"] - 1e-9
+                ),
+                f"totals: HASTE {tot['HASTE']:.4f}, GU {tot['GreedyUtility']:.4f}, "
+                f"GC {tot['GreedyCover']:.4f}",
+            ),
+            ShapeCheck(
+                "HASTE strictly beats GreedyCover overall",
+                bool(report.total_improvement_over("GreedyCover") > 0.5),
+                f"+{report.total_improvement_over('GreedyCover'):.2f} % total",
+            ),
+        ]
+        if topology == 1:
+            h = report.task_utilities["HASTE"]
+            second_best = np.sort(h)[-2]
+            checks.append(
+                ShapeCheck(
+                    "tasks 1 and 6 (longest windows) earn the top utilities",
+                    bool(h[0] >= second_best - 1e-9 and h[5] >= second_best - 1e-9),
+                    f"task utilities: {np.round(h, 3)}",
+                )
+            )
+        notes = (
+            f"HASTE vs GreedyUtility: +{report.total_improvement_over('GreedyUtility'):.2f} % "
+            f"total ({report.improvement_over('GreedyUtility')[0]:.2f} % per-task avg); "
+            f"vs GreedyCover: +{report.total_improvement_over('GreedyCover'):.2f} % total "
+            f"({report.improvement_over('GreedyCover')[0]:.2f} % per-task avg)."
+        )
+        return ExperimentOutput(
+            experiment_id=experiment_id,
+            title=f"Testbed topology {topology}, {setting} setting ({figure})",
+            table=report.render(),
+            checks=checks,
+            data={"report": report},
+            notes=notes,
+        )
+
+    return run
+
+
+EXPERIMENT_TB1_OFFLINE = Experiment(
+    id="fig21",
+    figure="Fig. 21",
+    title="Testbed topology 1, per-task utilities (centralized offline)",
+    paper_claim=(
+        "HASTE best for all tasks; +4.67 %/+12.74 % over GreedyUtility/"
+        "GreedyCover on average; tasks 1 and 6 top."
+    ),
+    runner=_runner(1, "offline", "fig21", "Fig. 21"),
+)
+
+EXPERIMENT_TB1_ONLINE = Experiment(
+    id="fig22",
+    figure="Fig. 22",
+    title="Testbed topology 1, per-task utilities (distributed online)",
+    paper_claim=(
+        "HASTE best for all tasks; +5.62 %/+12.38 % over GreedyUtility/"
+        "GreedyCover on average; tasks 1 and 6 top."
+    ),
+    runner=_runner(1, "online", "fig22", "Fig. 22"),
+)
+
+EXPERIMENT_TB2_OFFLINE = Experiment(
+    id="fig24",
+    figure="Fig. 24",
+    title="Testbed topology 2, per-task utilities (centralized offline)",
+    paper_claim=(
+        "HASTE best overall; +4.38 %/+10.12 % over GreedyUtility/GreedyCover "
+        "on average (+13.27 %/+23.60 % at most)."
+    ),
+    runner=_runner(2, "offline", "fig24", "Fig. 24"),
+)
+
+EXPERIMENT_TB2_ONLINE = Experiment(
+    id="fig25",
+    figure="Fig. 25",
+    title="Testbed topology 2, per-task utilities (distributed online)",
+    paper_claim=(
+        "HASTE best overall; +6.04 %/+15.28 % over GreedyUtility/GreedyCover "
+        "on average (+22.58 %/+29.63 % at most)."
+    ),
+    runner=_runner(2, "online", "fig25", "Fig. 25"),
+)

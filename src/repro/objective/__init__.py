@@ -1,0 +1,14 @@
+"""Objective functions for HASTE.
+
+The vectorized incremental HASTE-R objective and its generic set-function
+adapter.  The distributed algorithm needs no separate "local" objective
+class: a charger's local utility function ``f_i`` (paper §6.1) is exact on
+the tasks it covers as long as it tracks the committed policies of itself
+and its neighbors — every charger able to touch one of its tasks *is* a
+neighbor by definition — so agents simply maintain an energy state through
+:class:`HasteObjective` (see :mod:`repro.online.agents`).
+"""
+
+from .haste import HasteObjective, HasteSetFunction
+
+__all__ = ["HasteObjective", "HasteSetFunction"]

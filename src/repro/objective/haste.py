@@ -1,0 +1,217 @@
+"""The HASTE-R objective ``f(X)`` — vectorized, incremental.
+
+Problem RP2 of the paper: items of the ground set are scheduling policies
+``(charger i, slot k, policy p)`` (``p ≥ 1``; idle is the absence of an
+item), and
+
+```
+f(X) = Σ_j w_j · U_j( Σ_{(i,k,p) ∈ X, task j active at k, j ∈ Γ_i^p}
+                       P_r(s_i, o_j) · T_s )
+```
+
+The scheduler's hot path asks, for one *partition* ``(i, k)``, the marginal
+gain of every policy at once; :meth:`HasteObjective.partition_gains`
+answers that with a single ``(policies × tasks)`` numpy expression against
+a running per-task energy vector — this is the vectorization boundary
+recommended by the performance guides (one numpy call per partition, not
+per candidate).
+
+Energy *state* is just an ``(…, m)`` float array, so the TabularGreedy
+Monte Carlo path keeps an ``(S, m)`` matrix — one energy row per color
+sample — and evaluates gains for all matching samples in the same call.
+
+:class:`HasteSetFunction` adapts the objective to the generic
+:class:`~repro.submodular.functions.SetFunction` interface for the property
+tests and reference algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.network import ChargerNetwork
+from ..core.policy import Schedule
+from ..core.utility import UtilityFunction
+from ..submodular.functions import SetFunction
+
+__all__ = ["HasteObjective", "HasteSetFunction"]
+
+
+class HasteObjective:
+    """Incremental evaluator of the HASTE-R objective on a network.
+
+    Parameters
+    ----------
+    network:
+        The precomputed :class:`~repro.core.network.ChargerNetwork`.
+    utility:
+        Override the network's utility function (e.g. for the concave
+        extension experiments).
+    """
+
+    def __init__(
+        self,
+        network: ChargerNetwork,
+        utility: UtilityFunction | None = None,
+        *,
+        task_mask: np.ndarray | None = None,
+    ) -> None:
+        self.network = network
+        self.utility = utility if utility is not None else network.utility
+        if self.utility is None:
+            raise ValueError("network has no tasks / utility function")
+        self.weights = network.weights
+        # Energy added per slot by each policy: (P_i, m) joules.
+        self.policy_energy = [
+            pw * network.slot_seconds for pw in network.policy_power
+        ]
+        self.active = network.active  # (m, K) bool
+        if task_mask is not None:
+            mask = np.asarray(task_mask, dtype=bool)
+            if mask.shape != (network.m,):
+                raise ValueError(
+                    f"task_mask must have shape ({network.m},), got {mask.shape}"
+                )
+            # A masked objective "does not know" the masked-out tasks: they
+            # contribute no activity and no utility.  The online runtime
+            # uses this to plan against only the already-released tasks.
+            self.active = self.active & mask[:, None]
+            self.weights = np.where(mask, self.weights, 0.0)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def zero_energy(self, leading_shape: tuple[int, ...] = ()) -> np.ndarray:
+        """Fresh per-task energy state, optionally with leading sample dims."""
+        return np.zeros(leading_shape + (self.network.m,), dtype=float)
+
+    def value(self, energies: np.ndarray) -> float | np.ndarray:
+        """Weighted utility of an energy state ``(…, m)``.
+
+        Returns a scalar for a 1-D state, else one value per leading row.
+        """
+        util = self.utility(energies)
+        out = util @ self.weights
+        if np.ndim(out) == 0:
+            return float(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation
+    # ------------------------------------------------------------------
+    def added_energy(
+        self, charger: int, slot: int, active_override: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Energy each policy of ``charger`` adds during ``slot``: ``(P_i, m)``.
+
+        Zero for tasks inactive at ``slot`` — the inner sum of RP1 runs only
+        over slots inside each task's window.  ``active_override`` replaces
+        the slot's activity column (the online baselines use it to model
+        their τ-delayed knowledge of arrivals).
+        """
+        col = self.active[:, slot] if active_override is None else active_override
+        return self.policy_energy[charger] * col[None, :]
+
+    def relevant_slots(self, charger: int) -> np.ndarray:
+        """Slots where some (unmasked) receivable task of ``charger`` is active.
+
+        Mirrors :meth:`ChargerNetwork.relevant_slots` but honours this
+        objective's task mask.
+        """
+        mask = self.network.receivable[charger]
+        if not mask.any() or self.network.num_slots == 0:
+            return np.zeros(0, dtype=int)
+        return np.flatnonzero(self.active[mask].any(axis=0))
+
+    def partition_gains(self, energies: np.ndarray, charger: int, slot: int) -> np.ndarray:
+        """Weighted marginal gain of every policy of one partition.
+
+        ``energies`` may be ``(m,)`` (plain greedy) or ``(S, m)`` (one row
+        per Monte Carlo color sample); the result is ``(P_i,)`` or
+        ``(S, P_i)`` respectively.  Row 0 (idle) is always 0.
+        """
+        add = self.added_energy(charger, slot)  # (P, m)
+        cur = np.asarray(energies, dtype=float)
+        if cur.ndim == 1:
+            gains = self.utility.gain(cur[None, :], add)  # (P, m)
+            return gains @ self.weights
+        gains = self.utility.gain(cur[:, None, :], add[None, :, :])  # (S, P, m)
+        return gains @ self.weights
+
+    def apply(self, energies: np.ndarray, charger: int, slot: int, policy: int) -> None:
+        """Add the chosen policy's slot energy to the state, in place.
+
+        For an ``(S, m)`` state pass ``energies[rows]``-style views... —
+        numpy fancy indexing copies, so instead use :meth:`apply_rows`.
+        """
+        energies += self.added_energy(charger, slot)[policy]
+
+    def apply_rows(
+        self, energies: np.ndarray, rows: np.ndarray, charger: int, slot: int, policy: int
+    ) -> None:
+        """Add a policy's slot energy to selected sample rows of ``(S, m)``."""
+        energies[rows] += self.added_energy(charger, slot)[policy][None, :]
+
+    # ------------------------------------------------------------------
+    # Whole-schedule evaluation (no switching delay — HASTE-R)
+    # ------------------------------------------------------------------
+    def energies_of_schedule(
+        self, schedule: Schedule, *, start: int = 0, stop: int | None = None
+    ) -> np.ndarray:
+        """Per-task harvested energy of a schedule, ``(m,)`` joules.
+
+        ``start``/``stop`` restrict accounting to slots ``[start, stop)`` —
+        the online runtime banks the energy of the already-fixed past this
+        way before planning the future.
+        """
+        net = self.network
+        stop = net.num_slots if stop is None else min(stop, net.num_slots)
+        energies = self.zero_energy()
+        for i in range(net.n):
+            sel = schedule.sel[i]
+            nonidle = np.flatnonzero(sel[start:stop]) + start
+            for k in nonidle:
+                energies += self.added_energy(i, int(k))[sel[k]]
+        return energies
+
+    def value_of_schedule(self, schedule: Schedule) -> float:
+        """HASTE-R objective value of a schedule (switching delay ignored)."""
+        return float(self.value(self.energies_of_schedule(schedule)))
+
+    def items_to_schedule(self, items: Iterable[tuple[int, int, int]]) -> Schedule:
+        """Materialize a set of ``(charger, slot, policy)`` items."""
+        sched = Schedule(self.network)
+        for i, k, p in items:
+            sched.set(i, k, p)
+        return sched
+
+
+class HasteSetFunction(SetFunction):
+    """Generic set-function view of :class:`HasteObjective`.
+
+    Items are ``(charger, slot, policy)`` triples with ``policy ≥ 1``,
+    restricted to relevant slots.  Used by property tests (Lemma 4.2) and
+    by the reference greedy/TabularGreedy implementations.
+    """
+
+    def __init__(self, objective: HasteObjective) -> None:
+        self.objective = objective
+        net = objective.network
+        items = []
+        for i in range(net.n):
+            for k in net.relevant_slots(i):
+                for p in range(1, net.policy_count(i)):
+                    items.append((i, int(k), p))
+        self._ground = frozenset(items)
+
+    @property
+    def ground_set(self) -> frozenset:
+        return self._ground
+
+    def value(self, items: Iterable[tuple[int, int, int]]) -> float:
+        energies = self.objective.zero_energy()
+        for i, k, p in set(items):
+            self.objective.apply(energies, i, k, p)
+        return float(self.objective.value(energies))

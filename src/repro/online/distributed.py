@@ -1,0 +1,293 @@
+"""Distributed negotiation — paper Algorithm 3's core protocol.
+
+Every charger runs the same local loop: for each future slot ``k`` (outer)
+and color ``c`` (inner) it computes the best marginal gain ``ΔF*_i`` of its
+own policies against its *local* view of task energies, broadcasts it to
+its neighbors, and commits its policy when its advertised gain beats every
+undecided neighbor's (ties break to the lower charger ID, as in the paper).
+Committed policies are announced with an ``UPD`` message; receiving agents
+fold the announced energy into their local views and recompute.
+
+Why the local view is exact (paper §6.2, first part of the proof): the
+marginal gain of charger ``i`` only involves tasks ``i`` can cover, and any
+other charger able to touch those tasks is by definition a neighbor of
+``i`` — so tracking self + neighbor commitments reproduces the global
+marginal exactly, and the asynchronous commits linearize into the same
+greedy order the centralized Algorithm 2 uses (the DAG/topological-sort
+argument).  The tests pin distributed C=1 output against centralized C=1.
+
+One interpretation note: Algorithm 3's pseudocode describes ``e_i^{k*}`` as
+"a set of K_i scheduling policies"; we implement the per-(slot, color)
+negotiation of single-slot policies, which matches the outer ``k`` / inner
+``c`` loop structure, the per-slot partition matroid, and the equivalence
+argument to Algorithm 2 (whose guarantee is order-invariant).
+
+The Monte Carlo color draws (``C > 1``) are *public pseudorandomness*: all
+agents derive the same ``(S, partitions)`` color table from a shared seed,
+which needs no communication — only the seed — so locality is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.network import IDLE_POLICY, ChargerNetwork
+from ..objective.haste import HasteObjective
+from ..submodular.estimation import ColorSampler
+from .messaging import CMD_NULL, CMD_UPDATE, Message, MessageBus, MessageStats
+from .ordering import CommitEvent
+
+__all__ = ["ChargerAgent", "NegotiationResult", "negotiate_window"]
+
+MIN_GAIN: float = 1e-12
+
+
+class ChargerAgent:
+    """One charger's local negotiation state.
+
+    ``energies`` is the agent's ``(S, m)`` view of per-task harvested
+    energy under each Monte Carlo color sample, fed by its own commitments
+    and the ``UPD`` messages of neighbors.  Entries for tasks outside the
+    agent's coverage may be stale — they are never read (see module
+    docstring).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        objective: HasteObjective,
+        num_samples: int,
+        initial_energies: np.ndarray | None = None,
+    ) -> None:
+        self.index = index
+        self.objective = objective
+        if initial_energies is not None:
+            if initial_energies.shape != (num_samples, objective.network.m):
+                raise ValueError("initial_energies has the wrong shape")
+            self.energies = initial_energies.copy()
+        else:
+            self.energies = objective.zero_energy((num_samples,))
+        #: latest advertised gain per neighbor for the active negotiation;
+        #: ``None`` marks a neighbor known to be decided.
+        self.neighbor_gains: dict[int, float | None] = {}
+
+    def best_candidate(
+        self, slot: int, match_rows: np.ndarray, total_samples: int
+    ) -> tuple[float, int]:
+        """Best ``(ΔF, policy)`` for this agent's partition at ``slot``.
+
+        ``match_rows`` are the color-sample indices whose draw for the
+        partition equals the color under negotiation; the expectation is
+        normalized by the full sample count.
+        """
+        if match_rows.size == 0:
+            return 0.0, IDLE_POLICY
+        gains = self.objective.partition_gains(
+            self.energies[match_rows], self.index, slot
+        )
+        total = gains.sum(axis=0) / total_samples
+        best_p = int(np.argmax(total))
+        if best_p == IDLE_POLICY or total[best_p] <= MIN_GAIN:
+            return 0.0, IDLE_POLICY
+        return float(total[best_p]), best_p
+
+    def observe_commit(
+        self, sender: int, slot: int, policy: int, match_rows: np.ndarray
+    ) -> None:
+        """Fold a neighbor's (or our own) committed policy into the view."""
+        self.objective.apply_rows(self.energies, match_rows, sender, slot, policy)
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of negotiating one window of slots.
+
+    ``table`` maps ``(charger, slot, color) → policy``; ``stats`` is the
+    communication accounting for Fig. 16; ``commit_trace`` records every
+    commit with its synchronous round, feeding the Thm 6.1 linearization
+    (:mod:`repro.online.ordering`).
+    """
+
+    table: dict[tuple[int, int, int], int]
+    stats: MessageStats
+    sampler: ColorSampler = field(repr=False, default=None)
+    commit_trace: list[CommitEvent] = field(repr=False, default_factory=list)
+
+
+def negotiate_window(
+    network: ChargerNetwork,
+    objective: HasteObjective,
+    slots: list[int],
+    num_colors: int,
+    *,
+    rng: np.random.Generator,
+    num_samples: int = 24,
+    initial_energies: np.ndarray | None = None,
+    bus: MessageBus | None = None,
+    async_dropout: float = 0.0,
+    async_rng: np.random.Generator | None = None,
+) -> NegotiationResult:
+    """Run the distributed negotiation for every slot in ``slots``.
+
+    ``initial_energies`` (shape ``(S, m)`` or ``(m,)`` broadcast to all
+    samples) carries energy already banked by the executed past — the
+    online runtime passes the pre-window harvest so marginal gains account
+    for tasks' existing progress.
+
+    ``async_dropout`` models the paper's "totally asynchronous" chargers:
+    with probability ``async_dropout`` an undecided agent misses a round
+    (does not recompute/broadcast; its last advertisement stays standing
+    and it cannot commit that round).  The protocol's outcome quality is
+    insensitive to this — commits still linearize into a greedy order
+    (Thm 6.1's argument never assumes lock-step rounds) — and the tests
+    assert it; rounds simply stretch.  ``0.0`` (default) is the synchronous
+    model used for the Fig. 16 accounting.
+
+    Returns the committed S-C table; drawing the final colors and building
+    the schedule is the caller's job (the runtime shares draws between
+    events to keep unchanged partitions stable).
+    """
+    if not (0.0 <= async_dropout < 1.0):
+        raise ValueError(f"async_dropout must be in [0, 1), got {async_dropout}")
+    if async_dropout > 0.0 and async_rng is None:
+        raise ValueError("async_dropout > 0 requires async_rng")
+    participants = [
+        i
+        for i in range(network.n)
+        if network.policy_count(i) > 1 and objective.relevant_slots(i).size > 0
+    ]
+    relevant = {
+        i: set(int(k) for k in objective.relevant_slots(i)) for i in participants
+    }
+    part_keys = [
+        (i, int(k)) for k in slots for i in participants if int(k) in relevant[i]
+    ]
+    sampler = ColorSampler(part_keys, num_colors, num_samples, rng)
+    S = sampler.num_samples
+
+    if initial_energies is not None and initial_energies.ndim == 1:
+        initial_energies = np.broadcast_to(
+            initial_energies, (S, network.m)
+        ).copy()
+    agents = {
+        i: ChargerAgent(i, objective, S, initial_energies) for i in participants
+    }
+    bus = bus if bus is not None else MessageBus(list(network.neighbors))
+    bus.reset_inboxes()
+
+    table: dict[tuple[int, int, int], int] = {}
+    commit_trace: list[CommitEvent] = []
+
+    for k in slots:
+        k = int(k)
+        active_agents = [i for i in participants if k in relevant[i]]
+        if not active_agents:
+            continue
+        for c in range(num_colors):
+            bus.stats.negotiations += 1
+            match = {i: sampler.matching_samples((i, k), c) for i in active_agents}
+            undecided = set(active_agents)
+            for i in active_agents:
+                agents[i].neighbor_gains = {}
+
+            negotiation_round = 0
+            while undecided:
+                negotiation_round += 1
+                # Asynchrony model: a sleeping agent skips the round; its
+                # previous advertisement stays standing with its neighbors.
+                if async_dropout > 0.0:
+                    awake = {
+                        i
+                        for i in undecided
+                        if async_rng.random() >= async_dropout
+                    }
+                    if not awake:
+                        continue  # a fully silent round; retry
+                else:
+                    awake = set(undecided)
+
+                # Advertisement phase: every awake undecided agent
+                # broadcasts its current best marginal (possibly 0 =
+                # withdrawal).
+                proposals: dict[int, tuple[float, int]] = {}
+                for i in sorted(awake):
+                    gain, policy = agents[i].best_candidate(k, match[i], S)
+                    proposals[i] = (gain, policy)
+                    bus.broadcast(
+                        Message(i, k, c, CMD_NULL, gain, policy)
+                    )
+                bus.advance_round()
+                for i in sorted(undecided):
+                    for msg in bus.inbox(i):
+                        if msg.command == CMD_NULL and msg.slot == k and msg.color == c:
+                            agents[i].neighbor_gains[msg.sender] = (
+                                msg.gain if msg.gain > MIN_GAIN else None
+                            )
+
+                # Withdrawal: awake agents with no positive gain are done.
+                withdrawn = {i for i in awake if proposals[i][0] <= MIN_GAIN}
+                undecided -= withdrawn
+                awake -= withdrawn
+                if not undecided:
+                    break
+
+                # Commit phase: local maxima (ties to lower ID) commit in
+                # parallel — each agent decides from its own inbox only: a
+                # neighbor is out of the race once it announced a commit
+                # (UPD) or a zero gain, both of which set its entry to None.
+                winners = []
+                for i in sorted(awake):
+                    gain_i = proposals[i][0]
+                    beat_all = True
+                    for j in network.neighbors[i]:
+                        gain_j = agents[i].neighbor_gains.get(j)
+                        if gain_j is None:
+                            continue
+                        if (gain_j, -j) >= (gain_i, -i):
+                            beat_all = False
+                            break
+                    if beat_all:
+                        winners.append(i)
+
+                if not winners:
+                    if async_dropout > 0.0:
+                        # The current maximum may be asleep, or a stale
+                        # higher advertisement blocks everyone awake; both
+                        # resolve once the blocker wakes up.
+                        continue
+                    # Synchronous model: cannot happen with consistent
+                    # views (the global max always wins locally); guard
+                    # against livelock.
+                    raise RuntimeError(
+                        "negotiation livelock: no winner among undecided agents"
+                    )
+
+                for i in winners:
+                    gain, policy = proposals[i]
+                    table[(i, k, c)] = policy
+                    commit_trace.append(
+                        CommitEvent(
+                            charger=i,
+                            slot=k,
+                            color=c,
+                            round_index=negotiation_round,
+                            policy=policy,
+                        )
+                    )
+                    agents[i].observe_commit(i, k, policy, match[i])
+                    bus.broadcast(Message(i, k, c, CMD_UPDATE, gain, policy))
+                bus.advance_round()
+                undecided -= set(winners)
+                for i in sorted(undecided):
+                    for msg in bus.inbox(i):
+                        if msg.command == CMD_UPDATE and msg.slot == k and msg.color == c:
+                            agents[i].observe_commit(
+                                msg.sender, k, msg.policy, match[msg.sender]
+                            )
+                            agents[i].neighbor_gains[msg.sender] = None
+
+    return NegotiationResult(
+        table=table, stats=bus.stats, sampler=sampler, commit_trace=commit_trace
+    )

@@ -1,0 +1,109 @@
+"""Message-passing substrate for the distributed algorithm.
+
+The paper's chargers negotiate by broadcasting control messages
+``msg(ID, TIM, COL, CMD, ΔF*, e*)`` to their neighbors (§6.1).  We model
+the radio with a synchronous-round broadcast bus: within a round every
+agent reads the messages delivered at the end of the previous round, then
+broadcasts at most once; a broadcast is accounted as one *transmission* and
+``|N(s_i)|`` *deliveries* (the unicast count that grows quadratically with
+the fleet in Fig. 16).
+
+The bus is deliberately dumb — no losses, no reordering within a round —
+because the paper's analysis assumes reliable neighbor communication; the
+accounting, not the fault model, is what Fig. 16 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "MessageStats", "MessageBus", "CMD_NULL", "CMD_UPDATE"]
+
+CMD_NULL = "NULL"
+CMD_UPDATE = "UPD"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One control message, mirroring the paper's six fields."""
+
+    sender: int  # ID
+    slot: int  # TIM
+    color: int  # COL
+    command: str  # CMD: NULL (gain advertisement) or UPD (commit)
+    gain: float  # ΔF*_i(Q_i)
+    policy: int  # e*_i — the policy index being advertised/committed
+
+    def __post_init__(self) -> None:
+        if self.command not in (CMD_NULL, CMD_UPDATE):
+            raise ValueError(f"unknown command {self.command!r}")
+
+
+@dataclass
+class MessageStats:
+    """Communication accounting for one negotiation (or a whole run).
+
+    ``messages`` counts unicast deliveries (one per neighbor per
+    broadcast — the quantity plotted in Fig. 16); ``broadcasts`` the number
+    of transmissions; ``rounds`` the synchronous rounds consumed;
+    ``negotiations`` how many (slot, color) negotiations ran.
+    """
+
+    messages: int = 0
+    broadcasts: int = 0
+    rounds: int = 0
+    negotiations: int = 0
+
+    def merge(self, other: "MessageStats") -> None:
+        """Accumulate another stats block into this one."""
+        self.messages += other.messages
+        self.broadcasts += other.broadcasts
+        self.rounds += other.rounds
+        self.negotiations += other.negotiations
+
+    def summary(self) -> str:
+        return (
+            f"MessageStats(messages={self.messages}, rounds={self.rounds}, "
+            f"broadcasts={self.broadcasts}, negotiations={self.negotiations})"
+        )
+
+
+class MessageBus:
+    """Synchronous-round neighbor broadcast with delivery accounting.
+
+    ``neighbors`` is the per-charger neighbor sets of the network.  Agents
+    call :meth:`broadcast` during a round; :meth:`advance_round` delivers
+    everything queued and increments the round counter.  Messages are only
+    delivered to the sender's neighbors — no global state leaks through the
+    bus.
+    """
+
+    def __init__(self, neighbors: list[frozenset[int]]) -> None:
+        self.neighbors = neighbors
+        self._pending: list[list[Message]] = [[] for _ in neighbors]
+        self._inboxes: list[list[Message]] = [[] for _ in neighbors]
+        self.stats = MessageStats()
+
+    def broadcast(self, msg: Message) -> None:
+        """Queue ``msg`` for delivery to every neighbor of its sender."""
+        nbrs = self.neighbors[msg.sender]
+        self.stats.broadcasts += 1
+        self.stats.messages += len(nbrs)
+        for j in nbrs:
+            self._pending[j].append(msg)
+
+    def advance_round(self) -> None:
+        """Deliver queued messages and start a new synchronous round."""
+        self.stats.rounds += 1
+        for j, queue in enumerate(self._pending):
+            self._inboxes[j] = queue
+        self._pending = [[] for _ in self.neighbors]
+
+    def inbox(self, agent: int) -> list[Message]:
+        """Messages delivered to ``agent`` at the last round boundary."""
+        return self._inboxes[agent]
+
+    def reset_inboxes(self) -> None:
+        """Drop all delivered and queued messages (between negotiations)."""
+        self._pending = [[] for _ in self.neighbors]
+        self._inboxes = [[] for _ in self.neighbors]

@@ -1,0 +1,100 @@
+"""Linearizing the asynchronous negotiation — the Thm 6.1 DAG construction.
+
+The first step of the paper's Theorem 6.1 proof (illustrated by its Fig. 3)
+argues that the *asynchronous* per-charger commits of Algorithm 3 can be
+organized into a global sequential order: locally, each charger observes
+the commit order of itself and its neighbors as a directed chain; merging
+the chains yields a directed graph that **must be acyclic** (a cycle would
+mean some charger committed before itself), and any topological sort of it
+is a sequential execution of the centralized locally-greedy algorithm that
+produces the same selection.
+
+This module materializes that construction from a real negotiation trace:
+
+* :func:`commit_order_graph` builds the merged digraph (networkx) from the
+  per-(slot, color) commit rounds recorded by
+  :func:`repro.online.distributed.negotiate_window`;
+* :func:`linearize_commits` topologically sorts it — raising if a cycle
+  exists, which would falsify the proof's premise (and is asserted never
+  to happen in the test suite).
+
+Beyond testing the theory, the linearization is useful diagnostics: it
+tells an operator in which *effective* order the fleet made its decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = ["CommitEvent", "commit_order_graph", "linearize_commits"]
+
+
+@dataclass(frozen=True)
+class CommitEvent:
+    """One committed S-C tuple, with the synchronous round it happened in."""
+
+    charger: int
+    slot: int
+    color: int
+    round_index: int
+    policy: int
+
+
+def commit_order_graph(
+    events: list[CommitEvent], neighbors: list[frozenset[int]]
+) -> "nx.DiGraph":
+    """The merged local-order digraph of one negotiation.
+
+    Nodes are commit events (as ``(charger, slot, color)`` triples); for
+    every pair of *neighboring* chargers whose commits belong to the same
+    (slot, color) negotiation, an edge points from the earlier round to the
+    later one — exactly the "determined just behind" relation of the proof.
+    Commits of non-neighbors in the same round are concurrent and get no
+    edge (they are the parallel local maxima).
+    """
+    g = nx.DiGraph()
+    for ev in events:
+        g.add_node((ev.charger, ev.slot, ev.color), round_index=ev.round_index,
+                   policy=ev.policy)
+    by_negotiation: dict[tuple[int, int], list[CommitEvent]] = {}
+    for ev in events:
+        by_negotiation.setdefault((ev.slot, ev.color), []).append(ev)
+    for (_k, _c), evs in by_negotiation.items():
+        for a in evs:
+            for b in evs:
+                if a.round_index >= b.round_index:
+                    continue
+                if b.charger == a.charger or b.charger in neighbors[a.charger]:
+                    g.add_edge(
+                        (a.charger, a.slot, a.color), (b.charger, b.slot, b.color)
+                    )
+    return g
+
+
+def linearize_commits(
+    events: list[CommitEvent], neighbors: list[frozenset[int]]
+) -> list[CommitEvent]:
+    """A sequential order equivalent to the asynchronous execution.
+
+    Topologically sorts :func:`commit_order_graph`; ties (concurrent
+    commits of mutually non-neighboring chargers) break deterministically
+    by (round, charger id).  Raises :class:`RuntimeError` if the graph has
+    a cycle — impossible for traces produced by a correct negotiation, per
+    the Thm 6.1 argument.
+    """
+    graph = commit_order_graph(events, neighbors)
+    index = {(ev.charger, ev.slot, ev.color): ev for ev in events}
+    try:
+        order = list(
+            nx.lexicographical_topological_sort(
+                graph, key=lambda node: (graph.nodes[node]["round_index"], node)
+            )
+        )
+    except nx.NetworkXUnfeasible as exc:  # pragma: no cover - proof violation
+        raise RuntimeError(
+            "commit-order graph contains a cycle; the negotiation trace is "
+            "not linearizable (this contradicts Theorem 6.1's construction)"
+        ) from exc
+    return [index[node] for node in order]

@@ -1,0 +1,48 @@
+"""Simulation layer: configuration, generators, engine, sweep machinery."""
+
+from .config import SimulationConfig
+from .engine import ExecutionResult, execute_schedule, orientation_trace
+from .metrics import (
+    BoxStats,
+    SeriesStats,
+    box_stats,
+    improvement_report,
+    percent_improvement,
+    summarize,
+)
+from .parallel import default_processes, parallel_starmap, spawn_seeds
+from .runner import AlgorithmFn, SweepResult, run_sweep, run_trials
+from .topology import (
+    boundary_positions,
+    gaussian_positions,
+    grid_positions,
+    uniform_positions,
+)
+from .workload import make_chargers, make_tasks, sample_network
+
+__all__ = [
+    "AlgorithmFn",
+    "BoxStats",
+    "ExecutionResult",
+    "SeriesStats",
+    "SimulationConfig",
+    "SweepResult",
+    "boundary_positions",
+    "box_stats",
+    "default_processes",
+    "execute_schedule",
+    "gaussian_positions",
+    "grid_positions",
+    "improvement_report",
+    "make_chargers",
+    "make_tasks",
+    "orientation_trace",
+    "parallel_starmap",
+    "percent_improvement",
+    "run_sweep",
+    "run_trials",
+    "sample_network",
+    "spawn_seeds",
+    "summarize",
+    "uniform_positions",
+]

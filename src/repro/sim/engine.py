@@ -1,0 +1,158 @@
+"""Schedule execution with switching delay — the ground-truth simulator.
+
+The schedulers optimize the *relaxed* objective (HASTE-R, no switching
+delay); this engine evaluates what a schedule actually delivers under the
+paper's physical model (§3.1):
+
+* a charger that changes orientation at the start of slot ``k`` emits
+  nothing during the first ``ρ`` fraction of the slot (switching delay) and
+  charges for the remaining ``(1 − ρ)·T_s``;
+* a charger whose selected policy is unchanged keeps charging the full
+  slot; an *idle* charger keeps its previous physical orientation (it has
+  no reason to rotate), so re-selecting the same dominant set after an idle
+  gap does **not** incur a switch;
+* the initial orientation is Φ (undefined), so a charger's first non-idle
+  slot always pays the switching delay;
+* received powers from all covering chargers add; per-task utility is
+  ``U_j`` of the accumulated energy, and the overall utility is the
+  ``w_j``-weighted sum.
+
+The engine is the single source of truth for "charging utility" in every
+experiment: offline results, online traces, and baselines all funnel
+through :func:`execute_schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.network import IDLE_POLICY, ChargerNetwork
+from ..core.policy import Schedule
+from ..core.utility import UtilityFunction
+
+__all__ = ["ExecutionResult", "orientation_trace", "execute_schedule"]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything a schedule execution produced.
+
+    Attributes
+    ----------
+    energies:
+        Per-task harvested energy, ``(m,)`` joules, switching delay applied.
+    task_utilities:
+        ``U_j(energy_j)`` per task, ``(m,)``.
+    total_utility:
+        ``Σ_j w_j · U_j`` — the paper's overall charging utility.
+    relaxed_utility:
+        The same schedule's HASTE-R value (``ρ = 0``), for measuring the
+        switching-delay loss.
+    switches:
+        Boolean ``(n, K)``: charger ``i`` rotated at the start of slot ``k``.
+    delivered:
+        Per-charger per-task delivered energy ``(n, m)`` — the engine's
+        energy ledger, used by the insight experiments.
+    """
+
+    energies: np.ndarray
+    task_utilities: np.ndarray
+    total_utility: float
+    relaxed_utility: float
+    switches: np.ndarray
+    delivered: np.ndarray
+
+    @property
+    def switch_count(self) -> int:
+        """Total number of rotations across all chargers and slots."""
+        return int(np.count_nonzero(self.switches))
+
+    def summary(self) -> str:
+        return (
+            f"ExecutionResult(utility={self.total_utility:.6g}, "
+            f"relaxed={self.relaxed_utility:.6g}, switches={self.switch_count})"
+        )
+
+
+def orientation_trace(network: ChargerNetwork, schedule: Schedule) -> np.ndarray:
+    """Physical orientation of every charger at every slot, ``(n, K)``.
+
+    ``nan`` marks Φ (no orientation assigned yet).  Idle slots inherit the
+    previous orientation.
+    """
+    n, K = network.n, network.num_slots
+    trace = np.full((n, K), np.nan)
+    for i in range(n):
+        current = np.nan
+        orients = network.policy_orientations[i]
+        for k in range(K):
+            p = schedule.sel[i, k]
+            if p != IDLE_POLICY:
+                current = orients[p]
+            trace[i, k] = current
+    return trace
+
+
+def execute_schedule(
+    network: ChargerNetwork,
+    schedule: Schedule,
+    *,
+    rho: float = 0.0,
+    utility: UtilityFunction | None = None,
+) -> ExecutionResult:
+    """Run a schedule through the physical model and account the utility.
+
+    ``rho`` is the switching delay as a fraction of a slot (paper: ρ ∈
+    (0, 1); ρ = 1 means a rotating charger loses the entire slot, the upper
+    end of the paper's Fig. 6/14 sweeps).
+    """
+    if not (0.0 <= rho <= 1.0):
+        raise ValueError(f"rho must be in [0, 1], got {rho}")
+    util = utility if utility is not None else network.utility
+    n, m, K = network.n, network.m, network.num_slots
+    delivered = np.zeros((n, m))
+    switches = np.zeros((n, K), dtype=bool)
+    ts = network.slot_seconds
+
+    for i in range(n):
+        orients = network.policy_orientations[i]
+        cover = network.cover_masks[i]
+        power = network.power[i]
+        current = np.nan
+        sel = schedule.sel[i]
+        for k in range(K):
+            p = sel[k]
+            if p == IDLE_POLICY:
+                continue
+            target = orients[p]
+            switched = np.isnan(current) or abs(target - current) > 1e-12
+            switches[i, k] = switched
+            current = target
+            frac = (1.0 - rho) if switched else 1.0
+            if frac <= 0.0:
+                continue
+            mask = cover[p] & network.active[:, k]
+            if mask.any():
+                delivered[i, mask] += power[mask] * ts * frac
+
+    energies = delivered.sum(axis=0)
+    task_utilities = np.asarray(util(energies), dtype=float)
+    total = float(task_utilities @ network.weights)
+
+    if rho == 0.0:
+        relaxed = total
+    else:
+        relaxed = execute_schedule(
+            network, schedule, rho=0.0, utility=utility
+        ).total_utility
+
+    return ExecutionResult(
+        energies=energies,
+        task_utilities=task_utilities,
+        total_utility=total,
+        relaxed_utility=relaxed,
+        switches=switches,
+        delivered=delivered,
+    )

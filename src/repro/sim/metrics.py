@@ -1,0 +1,109 @@
+"""Metric aggregation for experiment sweeps.
+
+Small, dependency-free statistics used by the experiment modules: means
+with confidence intervals, box-plot five-number summaries (Figs. 7/15 are
+box plots), and relative-improvement helpers matching how the paper
+reports comparisons ("outperforms … by x percent on average and y percent
+at most").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SeriesStats",
+    "BoxStats",
+    "summarize",
+    "box_stats",
+    "percent_improvement",
+    "improvement_report",
+]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean / spread of one metric across trials."""
+
+    mean: float
+    std: float
+    sem: float
+    n: int
+    lo95: float
+    hi95: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {1.96 * self.sem:.4f} (n={self.n})"
+
+
+def summarize(values) -> SeriesStats:
+    """Mean, standard deviation, and a normal-approximation 95 % CI."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    sem = std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SeriesStats(
+        mean=mean,
+        std=std,
+        sem=sem,
+        n=int(arr.size),
+        lo95=mean - 1.96 * sem,
+        hi95=mean + 1.96 * sem,
+    )
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean and variance (for the box plots)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    variance: float
+
+    def __str__(self) -> str:
+        return (
+            f"min={self.minimum:.4f} q1={self.q1:.4f} med={self.median:.4f} "
+            f"q3={self.q3:.4f} max={self.maximum:.4f} mean={self.mean:.4f}"
+        )
+
+
+def box_stats(values) -> BoxStats:
+    """Five-number summary of a sample (paper Figs. 7 and 15)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot box-summarize an empty series")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        variance=float(arr.var(ddof=1)) if arr.size > 1 else 0.0,
+    )
+
+
+def percent_improvement(ours, baseline) -> np.ndarray:
+    """Pairwise percent improvement ``100 · (ours − baseline) / baseline``."""
+    a = np.asarray(list(ours), dtype=float)
+    b = np.asarray(list(baseline), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = 100.0 * (a - b) / b
+    return np.where(b > 0, out, 0.0)
+
+
+def improvement_report(ours, baseline) -> str:
+    """"x % on average (y % at most)" — the paper's comparison phrasing."""
+    imp = percent_improvement(ours, baseline)
+    return f"{imp.mean():.2f}% on average ({imp.max():.2f}% at most)"

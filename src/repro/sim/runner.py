@@ -1,0 +1,190 @@
+"""Sweep runner: the machinery behind every simulation figure.
+
+A paper figure is a *sweep*: vary one knob (charging angle, switching
+delay, color count, …), and for each knob value average a metric over many
+random topologies, one curve per algorithm.  :func:`run_sweep` factors that
+shape out of the experiment modules:
+
+* the same sampled network is given to every algorithm at a given (value,
+  trial) — paired comparison, like the paper's "each data point averages
+  100 random topologies";
+* seeding is hierarchical (root seed → per-(value, trial) children) so any
+  single cell can be reproduced in isolation;
+* trials fan out over processes via :mod:`repro.sim.parallel` when the
+  algorithm table is picklable (module-level functions).
+
+An *algorithm* is any callable ``fn(network, rng, config) -> float``
+returning the achieved overall charging utility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.network import ChargerNetwork
+from .config import SimulationConfig
+from .metrics import SeriesStats, summarize
+from .parallel import parallel_starmap, spawn_seeds
+from .workload import sample_network
+
+__all__ = ["AlgorithmFn", "SweepResult", "run_sweep", "run_trials"]
+
+AlgorithmFn = Callable[[ChargerNetwork, np.random.Generator, SimulationConfig], float]
+
+
+@dataclass
+class SweepResult:
+    """All raw and aggregated data of one sweep."""
+
+    param_name: str
+    values: list
+    algorithms: list[str]
+    #: raw[alg] has shape (len(values), trials)
+    raw: dict[str, np.ndarray] = field(repr=False)
+    stats: dict[str, list[SeriesStats]] = field(repr=False)
+
+    def mean_series(self, algorithm: str) -> np.ndarray:
+        """Per-value mean utility of one algorithm."""
+        return np.array([s.mean for s in self.stats[algorithm]])
+
+    def to_csv(self, path) -> None:
+        """Write the raw sweep data as CSV (one row per value × trial).
+
+        Columns: the sweep parameter, the trial index, then one column per
+        algorithm — the format downstream plotting/stats tooling expects.
+        """
+        import csv
+
+        trials = next(iter(self.raw.values())).shape[1] if self.raw else 0
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([self.param_name, "trial"] + self.algorithms)
+            for vi, v in enumerate(self.values):
+                for t in range(trials):
+                    writer.writerow(
+                        [v, t] + [self.raw[alg][vi, t] for alg in self.algorithms]
+                    )
+
+    def render(self, *, value_format: str = "{:g}") -> str:
+        """Text table: one row per sweep value, one column per algorithm."""
+        header = [self.param_name] + self.algorithms
+        rows = [header]
+        for vi, v in enumerate(self.values):
+            row = [value_format.format(v)]
+            for alg in self.algorithms:
+                row.append(f"{self.stats[alg][vi].mean:.4f}")
+            rows.append(row)
+        widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+        lines = [
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in rows
+        ]
+        lines.insert(1, "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+def _run_point(
+    config: SimulationConfig,
+    algorithms: Mapping[str, AlgorithmFn],
+    seed: int,
+    value_index: int,
+    trial: int,
+) -> dict[str, float]:
+    """One (sweep value, trial) cell: sample a network, run every algorithm.
+
+    Module-level so the runner can ship it across processes.  The network
+    seed depends on the *trial only* — every sweep value reuses the same
+    trial topologies, pairing points along the curve exactly as the
+    algorithms are paired within a point; with few trials this is what
+    makes the paper's monotone trends visible above the sampling noise.
+    Each algorithm's rng additionally mixes in the value index and its own
+    position so adding an algorithm never perturbs the others.
+    """
+    net_seed = np.random.SeedSequence(entropy=(seed, trial))
+    network = sample_network(config, np.random.default_rng(net_seed))
+    out: dict[str, float] = {}
+    for pos, (name, fn) in enumerate(algorithms.items()):
+        alg_seed = np.random.SeedSequence(entropy=(seed, value_index, trial, pos + 1))
+        out[name] = float(fn(network, np.random.default_rng(alg_seed), config))
+    return out
+
+
+def run_sweep(
+    base_config: SimulationConfig,
+    param_name: str,
+    values: Sequence,
+    algorithms: Mapping[str, AlgorithmFn],
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    config_builder: Callable[[SimulationConfig, object], SimulationConfig] | None = None,
+    processes: int = 1,
+) -> SweepResult:
+    """Run a full sweep and aggregate.
+
+    ``param_name`` must be a :class:`SimulationConfig` field unless a
+    custom ``config_builder(base, value) -> config`` is supplied (used by
+    sweeps that touch several fields at once, e.g. the Fig. 10 E×Δt grid).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    values = list(values)
+    names = list(algorithms)
+
+    args_list = []
+    for vi, v in enumerate(values):
+        if config_builder is not None:
+            cfg = config_builder(base_config, v)
+        else:
+            cfg = base_config.replace(**{param_name: v})
+        for trial in range(trials):
+            args_list.append((cfg, dict(algorithms), seed, vi, trial))
+
+    cells = parallel_starmap(_run_point, args_list, processes=processes)
+
+    raw = {name: np.zeros((len(values), trials)) for name in names}
+    idx = 0
+    for vi in range(len(values)):
+        for trial in range(trials):
+            cell = cells[idx]
+            idx += 1
+            for name in names:
+                raw[name][vi, trial] = cell[name]
+    stats = {
+        name: [summarize(raw[name][vi]) for vi in range(len(values))]
+        for name in names
+    }
+    return SweepResult(
+        param_name=param_name,
+        values=values,
+        algorithms=names,
+        raw=raw,
+        stats=stats,
+    )
+
+
+def run_trials(
+    config: SimulationConfig,
+    algorithms: Mapping[str, AlgorithmFn],
+    *,
+    trials: int = 5,
+    seed: int = 0,
+    processes: int = 1,
+) -> dict[str, np.ndarray]:
+    """Repeated trials at a single configuration (no sweep).
+
+    Returns ``{algorithm: (trials,) utilities}``; used by the box-plot and
+    insight experiments.
+    """
+    sweep = run_sweep(
+        config,
+        param_name="num_chargers",  # unused: single value below
+        values=[config.num_chargers],
+        algorithms=algorithms,
+        trials=trials,
+        seed=seed,
+        processes=processes,
+    )
+    return {name: sweep.raw[name][0] for name in sweep.algorithms}

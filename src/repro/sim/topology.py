@@ -1,0 +1,126 @@
+"""Position generators for chargers and tasks.
+
+The paper distributes both chargers and tasks uniformly over the field for
+the main sweeps (§7.1) and uses a 2D Gaussian for the task-distribution
+insight experiment (§7.5, Fig. 17).  All generators take an explicit
+:class:`numpy.random.Generator` — reproducibility is seed-in, positions-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_positions",
+    "gaussian_positions",
+    "grid_positions",
+    "boundary_positions",
+]
+
+
+def uniform_positions(
+    rng: np.random.Generator, count: int, field_size: float
+) -> np.ndarray:
+    """``(count, 2)`` points uniform over ``[0, field_size]²``."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return rng.uniform(0.0, field_size, size=(count, 2))
+
+
+def gaussian_positions(
+    rng: np.random.Generator,
+    count: int,
+    field_size: float,
+    sigma_x: float,
+    sigma_y: float,
+    *,
+    mu_x: float | None = None,
+    mu_y: float | None = None,
+) -> np.ndarray:
+    """2D Gaussian positions clipped to the field (paper §7.5).
+
+    The paper centres the Gaussian at ``μ = 25`` on a 50 m field; defaults
+    put ``μ`` at the field centre.  Out-of-field samples are re-drawn
+    (rejection sampling) so that large σ genuinely approaches the uniform
+    distribution — the "uniformness" Fig. 17 studies.  Clipping instead
+    would pile mass onto the boundary, which is the opposite of uniform.
+    A clip fallback guards against pathological (σ ≫ field) non-convergence.
+    """
+    if sigma_x < 0 or sigma_y < 0:
+        raise ValueError("sigma must be non-negative")
+    cx = field_size / 2.0 if mu_x is None else mu_x
+    cy = field_size / 2.0 if mu_y is None else mu_y
+    sx, sy = max(sigma_x, 1e-12), max(sigma_y, 1e-12)
+    pts = np.empty((count, 2))
+    filled = 0
+    for _ in range(200):
+        if filled >= count:
+            break
+        need = count - filled
+        cand = np.column_stack(
+            [rng.normal(cx, sx, size=need), rng.normal(cy, sy, size=need)]
+        )
+        ok = (
+            (cand[:, 0] >= 0.0)
+            & (cand[:, 0] <= field_size)
+            & (cand[:, 1] >= 0.0)
+            & (cand[:, 1] <= field_size)
+        )
+        kept = cand[ok]
+        pts[filled : filled + len(kept)] = kept
+        filled += len(kept)
+    if filled < count:
+        extra = np.column_stack(
+            [
+                rng.normal(cx, sx, size=count - filled),
+                rng.normal(cy, sy, size=count - filled),
+            ]
+        )
+        pts[filled:] = np.clip(extra, 0.0, field_size)
+    return pts
+
+
+def grid_positions(count: int, field_size: float, *, jitter: float = 0.0,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """Near-square grid of ``count`` points, optionally jittered.
+
+    A deterministic layout for repeatable examples and documentation plots.
+    """
+    if count <= 0:
+        return np.zeros((0, 2))
+    cols = int(np.ceil(np.sqrt(count)))
+    rows = int(np.ceil(count / cols))
+    xs = (np.arange(cols) + 0.5) * field_size / cols
+    ys = (np.arange(rows) + 0.5) * field_size / rows
+    pts = np.array([(x, y) for y in ys for x in xs])[:count]
+    if jitter > 0:
+        if rng is None:
+            raise ValueError("jitter requires an rng")
+        pts = np.clip(pts + rng.uniform(-jitter, jitter, pts.shape), 0.0, field_size)
+    return pts
+
+
+def boundary_positions(count: int, field_size: float, *, inset: float = 0.0) -> np.ndarray:
+    """``count`` points evenly spaced along the square's boundary.
+
+    Mirrors the paper's testbed topology 1, where the 8 transmitters sit on
+    the boundary of the 2.4 m square.  Points start at the bottom-left
+    corner and proceed counter-clockwise; ``inset`` pulls them inward.
+    """
+    if count <= 0:
+        return np.zeros((0, 2))
+    lo, hi = inset, field_size - inset
+    perimeter = 4.0 * (hi - lo)
+    dists = np.arange(count) * perimeter / count
+    pts = np.zeros((count, 2))
+    side = hi - lo
+    for idx, d in enumerate(dists):
+        if d < side:
+            pts[idx] = (lo + d, lo)
+        elif d < 2 * side:
+            pts[idx] = (hi, lo + (d - side))
+        elif d < 3 * side:
+            pts[idx] = (hi - (d - 2 * side), hi)
+        else:
+            pts[idx] = (lo, hi - (d - 3 * side))
+    return pts

@@ -1,0 +1,120 @@
+"""Workload generation: turn a configuration into a concrete network.
+
+Samples charger and task placements, task windows, and required energies
+according to a :class:`~repro.sim.config.SimulationConfig`, and assembles
+the :class:`~repro.core.network.ChargerNetwork`.  Every randomized quantity
+comes from the caller's :class:`numpy.random.Generator`, so a single seed
+pins an entire scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.charger import Charger
+from ..core.network import ChargerNetwork
+from ..core.power import PowerModel
+from ..core.task import ChargingTask
+from .config import SimulationConfig
+from .topology import uniform_positions
+
+__all__ = ["make_chargers", "make_tasks", "sample_network"]
+
+
+def make_chargers(
+    config: SimulationConfig, positions: np.ndarray
+) -> list[Charger]:
+    """Chargers at the given ``(n, 2)`` positions with config geometry."""
+    return [
+        Charger(
+            id=i,
+            x=float(xy[0]),
+            y=float(xy[1]),
+            charging_angle=config.charging_angle,
+            radius=config.radius,
+        )
+        for i, xy in enumerate(np.asarray(positions, dtype=float))
+    ]
+
+
+def make_tasks(
+    config: SimulationConfig,
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    energy_range: tuple[float, float] | None = None,
+    duration_range: tuple[int, int] | None = None,
+) -> list[ChargingTask]:
+    """Tasks at the given positions with sampled windows and energies.
+
+    Orientations are uniform on the circle; durations are uniform integer
+    slot counts in the configured range; release slots are uniform so the
+    window fits inside the horizon (a release-time policy the paper leaves
+    unspecified — see DESIGN.md); energies are uniform in joules.  The
+    ``energy_range`` / ``duration_range`` overrides serve the Fig. 10/11
+    sweeps, which vary exactly these two knobs.
+    """
+    positions = np.asarray(positions, dtype=float)
+    e_lo, e_hi = energy_range if energy_range is not None else (
+        config.energy_min,
+        config.energy_max,
+    )
+    d_lo, d_hi = duration_range if duration_range is not None else (
+        config.duration_slots_min,
+        config.duration_slots_max,
+    )
+    d_hi = min(d_hi, config.horizon_slots)
+    d_lo = min(d_lo, d_hi)
+    tasks = []
+    for j, xy in enumerate(positions):
+        duration = int(rng.integers(d_lo, d_hi + 1))
+        latest_release = config.horizon_slots - duration
+        release = int(rng.integers(0, latest_release + 1)) if latest_release > 0 else 0
+        tasks.append(
+            ChargingTask(
+                id=j,
+                x=float(xy[0]),
+                y=float(xy[1]),
+                orientation=float(rng.uniform(0.0, 2.0 * np.pi)),
+                release_slot=release,
+                end_slot=release + duration,
+                required_energy=float(rng.uniform(e_lo, e_hi)),
+                receiving_angle=config.receiving_angle,
+                weight=config.weight,
+            )
+        )
+    return tasks
+
+
+def sample_network(
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    *,
+    charger_positions: np.ndarray | None = None,
+    task_positions: np.ndarray | None = None,
+    energy_range: tuple[float, float] | None = None,
+    duration_range: tuple[int, int] | None = None,
+) -> ChargerNetwork:
+    """Sample a full random scenario under ``config``.
+
+    Positions default to uniform over the field; explicit position arrays
+    (e.g. Gaussian task placements for Fig. 17) override sampling.
+    """
+    if charger_positions is None:
+        charger_positions = uniform_positions(rng, config.num_chargers, config.field_size)
+    if task_positions is None:
+        task_positions = uniform_positions(rng, config.num_tasks, config.field_size)
+    chargers = make_chargers(config, charger_positions)
+    tasks = make_tasks(
+        config,
+        task_positions,
+        rng,
+        energy_range=energy_range,
+        duration_range=duration_range,
+    )
+    return ChargerNetwork(
+        chargers=chargers,
+        tasks=tasks,
+        power_model=PowerModel(alpha=config.alpha, beta=config.beta),
+        slot_seconds=config.slot_seconds,
+    )

@@ -1,0 +1,50 @@
+"""Submodular maximization substrate.
+
+Generic set functions, matroids, greedy / lazy-greedy / TabularGreedy
+maximizers, color-sampling estimation, and exact brute-force baselines.
+The HASTE schedulers are vectorized specializations of these algorithms and
+are pinned against them in the test suite.
+"""
+
+from .estimation import ColorSampler, exact_color_average
+from .exact import brute_force_matroid, brute_force_partition
+from .functions import (
+    ModularFunction,
+    SetFunction,
+    WeightedCoverageFunction,
+    check_monotone,
+    check_normalized,
+    check_submodular,
+)
+from .greedy import GreedyResult, lazy_greedy_uniform, locally_greedy_partition
+from .matroid import (
+    Matroid,
+    PartitionMatroid,
+    UniformMatroid,
+    haste_policy_matroid,
+    verify_matroid_axioms,
+)
+from .tabular import TabularGreedyResult, tabular_greedy
+
+__all__ = [
+    "ColorSampler",
+    "GreedyResult",
+    "Matroid",
+    "ModularFunction",
+    "PartitionMatroid",
+    "SetFunction",
+    "TabularGreedyResult",
+    "UniformMatroid",
+    "WeightedCoverageFunction",
+    "brute_force_matroid",
+    "brute_force_partition",
+    "check_monotone",
+    "check_normalized",
+    "check_submodular",
+    "exact_color_average",
+    "haste_policy_matroid",
+    "lazy_greedy_uniform",
+    "locally_greedy_partition",
+    "tabular_greedy",
+    "verify_matroid_axioms",
+]

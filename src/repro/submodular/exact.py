@@ -1,0 +1,84 @@
+"""Exact (exponential) maximization over matroid constraints — for tests
+and small-instance optimality baselines.
+
+The paper validates its approximation ratios on small networks against a
+brute-force optimum (Figs. 8–9).  For arbitrary set functions the only
+general exact method is enumeration; for partition matroids that means the
+product of per-group choices (each group contributes one item or nothing).
+The MILP solver in :mod:`repro.offline.optimal` is much faster for the
+HASTE objective specifically; this module certifies *it* on tiny instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable
+
+from .functions import SetFunction
+from .matroid import Matroid, PartitionMatroid
+
+__all__ = ["brute_force_partition", "brute_force_matroid"]
+
+
+def brute_force_partition(
+    f: SetFunction,
+    matroid: PartitionMatroid,
+    *,
+    max_combinations: int = 2_000_000,
+) -> tuple[frozenset, float]:
+    """Exact maximum of ``f`` over a unit-capacity partition matroid.
+
+    Enumerates, for every group, "skip" plus each item — the full decision
+    tree of problem RP1.  Raises if the product exceeds
+    ``max_combinations`` (guards against accidentally exponential test
+    configurations).
+    """
+    groups = sorted(matroid.groups, key=repr)
+    sizes = [len(matroid.groups[g]) + 1 for g in groups]
+    total = 1
+    for s in sizes:
+        total *= s
+        if total > max_combinations:
+            raise ValueError(
+                f"brute force would enumerate > {max_combinations} combinations"
+            )
+    choices: list[list[Hashable | None]] = [
+        [None] + sorted(matroid.groups[g], key=repr) for g in groups
+    ]
+    best_set: frozenset = frozenset()
+    best_val = f.value(())
+    for combo in itertools.product(*choices):
+        selected = frozenset(item for item in combo if item is not None)
+        val = f.value(selected)
+        if val > best_val + 1e-12:
+            best_val = val
+            best_set = selected
+    return best_set, float(best_val)
+
+
+def brute_force_matroid(
+    f: SetFunction,
+    matroid: Matroid,
+    *,
+    max_ground: int = 20,
+) -> tuple[frozenset, float]:
+    """Exact maximum of ``f`` over any matroid by subset enumeration.
+
+    ``2^|S|`` — strictly a test utility.
+    """
+    ground = sorted(matroid.ground_set, key=repr)
+    if len(ground) > max_ground:
+        raise ValueError(
+            f"ground set of size {len(ground)} too large (max {max_ground})"
+        )
+    best_set: frozenset = frozenset()
+    best_val = f.value(())
+    for r in range(len(ground) + 1):
+        for combo in itertools.combinations(ground, r):
+            if not matroid.is_independent(combo):
+                continue
+            val = f.value(combo)
+            if val > best_val + 1e-12:
+                best_val = val
+                best_set = frozenset(combo)
+    return best_set, float(best_val)

@@ -1,0 +1,168 @@
+"""Set functions: the abstract interface plus brute-force property checkers.
+
+The HASTE-R objective (paper Lemma 4.2) is a normalized monotone submodular
+set function over the ground set of scheduling policies.  This module gives
+the library a *generic* set-function layer so that
+
+* the generic greedy/TabularGreedy implementations
+  (:mod:`repro.submodular.greedy`, :mod:`repro.submodular.tabular`) can be
+  written once and certified on small synthetic functions, and
+* the property-based tests can check Definition 4.2 (normalization,
+  monotonicity, submodularity) directly against the HASTE objective.
+
+Items of the ground set are arbitrary hashables.  ``value`` takes any
+iterable of items; implementations should treat it as a set (duplicates
+ignored).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "SetFunction",
+    "ModularFunction",
+    "WeightedCoverageFunction",
+    "check_normalized",
+    "check_monotone",
+    "check_submodular",
+]
+
+Item = Hashable
+
+
+class SetFunction(ABC):
+    """A real-valued function of finite sets ``f : 2^S → R``."""
+
+    @property
+    @abstractmethod
+    def ground_set(self) -> frozenset:
+        """The finite ground set ``S``."""
+
+    @abstractmethod
+    def value(self, items: Iterable[Item]) -> float:
+        """Evaluate ``f`` on the given set of items."""
+
+    def marginal(self, items: Iterable[Item], extra: Item) -> float:
+        """``f(A ∪ {e}) − f(A)``.  Override when an incremental form exists."""
+        base = set(items)
+        return self.value(base | {extra}) - self.value(base)
+
+
+class ModularFunction(SetFunction):
+    """``f(A) = Σ_{e∈A} w_e`` — the trivial (modular) case.
+
+    Modular functions are both submodular and supermodular; useful as a test
+    fixture where the greedy algorithm is exactly optimal.
+    """
+
+    def __init__(self, weights: Mapping[Item, float]) -> None:
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("modular test fixture expects non-negative weights")
+        self._weights = dict(weights)
+
+    @property
+    def ground_set(self) -> frozenset:
+        return frozenset(self._weights)
+
+    def value(self, items: Iterable[Item]) -> float:
+        seen = set()
+        total = 0.0
+        for it in items:
+            if it in seen:
+                continue
+            seen.add(it)
+            total += self._weights[it]
+        return total
+
+
+class WeightedCoverageFunction(SetFunction):
+    """``f(A) = Σ_{u ∈ ∪_{e∈A} cover(e)} w_u`` — weighted set cover.
+
+    The canonical non-trivial monotone submodular function; it is also the
+    ``E_j → 0`` limit of the HASTE objective (a task counts fully as soon as
+    any selected policy covers it), which is exactly the regime of the
+    paper's NP-hardness reduction (Thm 3.1).
+    """
+
+    def __init__(
+        self,
+        covers: Mapping[Item, frozenset],
+        element_weights: Mapping[Hashable, float] | None = None,
+    ) -> None:
+        self._covers = {k: frozenset(v) for k, v in covers.items()}
+        universe = set().union(*self._covers.values()) if self._covers else set()
+        if element_weights is None:
+            element_weights = {u: 1.0 for u in universe}
+        if any(w < 0 for w in element_weights.values()):
+            raise ValueError("coverage weights must be non-negative")
+        self._element_weights = dict(element_weights)
+
+    @property
+    def ground_set(self) -> frozenset:
+        return frozenset(self._covers)
+
+    def value(self, items: Iterable[Item]) -> float:
+        covered: set = set()
+        for it in set(items):
+            covered |= self._covers[it]
+        return sum(self._element_weights.get(u, 0.0) for u in covered)
+
+
+# ----------------------------------------------------------------------
+# Brute-force property checkers (Definition 4.2), for tests
+# ----------------------------------------------------------------------
+def check_normalized(f: SetFunction, *, tol: float = 1e-9) -> bool:
+    """Condition (1): ``f(∅) = 0``."""
+    return abs(f.value(())) <= tol
+
+
+def _subsets(items: Sequence[Item], max_size: int | None = None):
+    n = len(items)
+    hi = n if max_size is None else min(max_size, n)
+    for r in range(hi + 1):
+        yield from itertools.combinations(items, r)
+
+
+def check_monotone(
+    f: SetFunction, *, max_subset_size: int | None = None, tol: float = 1e-9
+) -> bool:
+    """Condition (2): ``f(A ∪ {e}) ≥ f(A)`` for all (A, e) enumerated.
+
+    Exponential — only for the small ground sets used in tests.
+    """
+    items = sorted(f.ground_set, key=repr)
+    for a in _subsets(items, max_subset_size):
+        base = f.value(a)
+        rest = [e for e in items if e not in a]
+        for e in rest:
+            if f.value(set(a) | {e}) < base - tol:
+                return False
+    return True
+
+
+def check_submodular(
+    f: SetFunction, *, max_subset_size: int | None = None, tol: float = 1e-9
+) -> bool:
+    """Condition (3): diminishing returns ``Δ(e|A) ≥ Δ(e|B)`` for ``A ⊆ B``.
+
+    Enumerates nested pairs ``A ⊆ B`` and all ``e ∉ B``; exponential, for
+    tests only.
+    """
+    items = sorted(f.ground_set, key=repr)
+    for b in _subsets(items, max_subset_size):
+        bset = set(b)
+        fb = f.value(bset)
+        for a in _subsets(list(b), None):
+            aset = set(a)
+            fa = f.value(aset)
+            for e in items:
+                if e in bset:
+                    continue
+                gain_a = f.value(aset | {e}) - fa
+                gain_b = f.value(bset | {e}) - fb
+                if gain_a < gain_b - tol:
+                    return False
+    return True

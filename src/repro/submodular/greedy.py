@@ -1,0 +1,132 @@
+"""Greedy maximization of set functions under matroid constraints.
+
+Two generic algorithms:
+
+* :func:`locally_greedy_partition` — the classical locally greedy algorithm
+  of Nemhauser–Wolsey–Fisher [52]: visit the groups of a partition matroid
+  in a fixed order and pick the best item of each group given everything
+  chosen so far.  Guarantees ``½``-approximation for monotone submodular
+  objectives; it is also TabularGreedy with one color, which is how the
+  paper's C = 1 configuration degenerates.
+* :func:`lazy_greedy_uniform` — CELF-style lazy greedy for a cardinality
+  constraint, exploiting submodularity to avoid re-evaluating stale
+  marginals.  Not used by HASTE itself but part of the substrate (and an
+  ablation comparator: what if chargers were budget- rather than
+  slot-constrained?).
+
+Both work on any :class:`~repro.submodular.functions.SetFunction`; the
+production HASTE scheduler in :mod:`repro.offline.centralized` implements a
+numerically identical but vectorized specialization, and the tests pin the
+two against each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterable, Sequence
+
+from .functions import SetFunction
+from .matroid import PartitionMatroid
+
+__all__ = ["GreedyResult", "locally_greedy_partition", "lazy_greedy_uniform"]
+
+
+class GreedyResult:
+    """Outcome of a greedy run: the chosen set, its value, and the trace."""
+
+    __slots__ = ("selected", "value", "trace")
+
+    def __init__(self, selected: frozenset, value: float, trace: list) -> None:
+        self.selected = selected
+        self.value = value
+        self.trace = trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GreedyResult(|X|={len(self.selected)}, f={self.value:.6g})"
+
+
+def locally_greedy_partition(
+    f: SetFunction,
+    matroid: PartitionMatroid,
+    *,
+    group_order: Sequence[Hashable] | None = None,
+    min_gain: float = 1e-12,
+) -> GreedyResult:
+    """Locally greedy over the groups of a partition matroid.
+
+    For each group (in ``group_order``, default sorted by repr for
+    determinism) select the item with the largest marginal gain, skipping
+    the group entirely if no item improves the objective by more than
+    ``min_gain`` (the idle choice).  Unit group capacities are assumed —
+    that is the HASTE constraint; larger capacities repeat the group pick.
+    """
+    order = list(group_order) if group_order is not None else sorted(
+        matroid.groups, key=repr
+    )
+    unknown = [g for g in order if g not in matroid.groups]
+    if unknown:
+        raise ValueError(f"group_order contains unknown groups: {unknown!r}")
+
+    selected: set = set()
+    current_value = f.value(())
+    trace: list = []
+    for g in order:
+        capacity = matroid.capacities[g]
+        chosen_in_group = 0
+        while chosen_in_group < capacity:
+            best_item, best_gain = None, min_gain
+            for item in sorted(matroid.groups[g], key=repr):
+                if item in selected:
+                    continue
+                gain = f.value(selected | {item}) - current_value
+                if gain > best_gain:
+                    best_item, best_gain = item, gain
+            if best_item is None:
+                break
+            selected.add(best_item)
+            current_value += best_gain
+            trace.append((g, best_item, best_gain))
+            chosen_in_group += 1
+    return GreedyResult(frozenset(selected), current_value, trace)
+
+
+def lazy_greedy_uniform(
+    f: SetFunction,
+    ground: Iterable[Hashable],
+    k: int,
+    *,
+    min_gain: float = 1e-12,
+) -> GreedyResult:
+    """CELF lazy greedy under a cardinality-``k`` constraint.
+
+    Maintains a max-heap of stale upper bounds on marginals; submodularity
+    guarantees a popped, freshly re-evaluated top element is the true best.
+    Identical output to plain greedy, far fewer evaluations.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    items = sorted(set(ground), key=repr)
+    selected: set = set()
+    current_value = f.value(())
+    trace: list = []
+
+    # Heap of (-gain, tiebreak, item, round_evaluated).
+    heap: list[tuple[float, int, Hashable, int]] = []
+    for pos, item in enumerate(items):
+        gain = f.value({item}) - current_value
+        heapq.heappush(heap, (-gain, pos, item, 0))
+
+    rounds = 0
+    while heap and len(selected) < k:
+        neg_gain, pos, item, evaluated_at = heapq.heappop(heap)
+        if evaluated_at == rounds:
+            if -neg_gain <= min_gain:
+                break
+            selected.add(item)
+            current_value += -neg_gain
+            trace.append((None, item, -neg_gain))
+            rounds += 1
+        else:
+            gain = f.value(selected | {item}) - current_value
+            heapq.heappush(heap, (-gain, pos, item, rounds))
+    return GreedyResult(frozenset(selected), current_value, trace)

@@ -1,0 +1,178 @@
+"""Matroids — in particular the partition matroid of scheduling policies.
+
+Definitions 4.3 / 4.4 of the paper.  The HASTE-R constraint "each charger
+selects exactly one dominant task set per slot" is the independence system
+``|X ∩ Θ_{i,k}| ≤ 1`` over disjoint groups ``Θ_{i,k}`` (Lemma 4.1), i.e. a
+partition matroid with unit capacities; :func:`haste_policy_matroid` builds
+exactly that from a :class:`~repro.core.network.ChargerNetwork`.
+
+:func:`verify_matroid_axioms` brute-forces the three axioms on small ground
+sets and is used by the tests to certify both the implementations here and
+(on toy networks) Lemma 4.1 itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, Mapping
+
+__all__ = [
+    "Matroid",
+    "UniformMatroid",
+    "PartitionMatroid",
+    "verify_matroid_axioms",
+    "haste_policy_matroid",
+]
+
+Item = Hashable
+
+
+class Matroid(ABC):
+    """An independence system ``(S, I)`` satisfying the matroid axioms."""
+
+    @property
+    @abstractmethod
+    def ground_set(self) -> frozenset:
+        """The finite ground set ``S``."""
+
+    @abstractmethod
+    def is_independent(self, items: Iterable[Item]) -> bool:
+        """Whether the given set belongs to ``I``."""
+
+    def rank(self) -> int:
+        """Size of a maximal independent set (greedy; matroid ⇒ exact)."""
+        current: set = set()
+        for it in self.ground_set:
+            if self.is_independent(current | {it}):
+                current.add(it)
+        return len(current)
+
+    def can_extend(self, items: Iterable[Item], extra: Item) -> bool:
+        """Whether ``items ∪ {extra}`` stays independent."""
+        return self.is_independent(set(items) | {extra})
+
+
+class UniformMatroid(Matroid):
+    """``I = {X : |X| ≤ k}`` — the cardinality constraint."""
+
+    def __init__(self, ground: Iterable[Item], k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self._ground = frozenset(ground)
+        self.k = int(k)
+
+    @property
+    def ground_set(self) -> frozenset:
+        return self._ground
+
+    def is_independent(self, items: Iterable[Item]) -> bool:
+        s = set(items)
+        if not s <= self._ground:
+            return False
+        return len(s) <= self.k
+
+
+class PartitionMatroid(Matroid):
+    """``I = {X : |X ∩ S_g| ≤ l_g}`` over disjoint groups ``S_g``.
+
+    ``groups`` maps a group key to the items of that group; ``capacities``
+    maps group keys to their budgets ``l_g`` (default 1 everywhere, which is
+    the HASTE case).
+    """
+
+    def __init__(
+        self,
+        groups: Mapping[Hashable, Iterable[Item]],
+        capacities: Mapping[Hashable, int] | None = None,
+    ) -> None:
+        self.groups: dict[Hashable, frozenset] = {
+            g: frozenset(items) for g, items in groups.items()
+        }
+        seen: set = set()
+        for g, items in self.groups.items():
+            if items & seen:
+                raise ValueError(f"group {g!r} overlaps a previous group")
+            seen |= items
+        if capacities is None:
+            capacities = {g: 1 for g in self.groups}
+        self.capacities = {g: int(capacities.get(g, 1)) for g in self.groups}
+        if any(c < 0 for c in self.capacities.values()):
+            raise ValueError("capacities must be non-negative")
+        self._ground = frozenset(seen)
+        self._group_of: dict[Item, Hashable] = {
+            item: g for g, items in self.groups.items() for item in items
+        }
+
+    @property
+    def ground_set(self) -> frozenset:
+        return self._ground
+
+    def group_of(self, item: Item) -> Hashable:
+        """The (unique) group containing ``item``."""
+        return self._group_of[item]
+
+    def is_independent(self, items: Iterable[Item]) -> bool:
+        counts: dict[Hashable, int] = {}
+        for it in set(items):
+            g = self._group_of.get(it)
+            if g is None:
+                return False
+            counts[g] = counts.get(g, 0) + 1
+            if counts[g] > self.capacities[g]:
+                return False
+        return True
+
+
+def verify_matroid_axioms(matroid: Matroid, *, max_ground: int = 12) -> bool:
+    """Brute-force check of Definition 4.3 on a small ground set.
+
+    (1) ∅ ∈ I; (2) downward closure; (3) the exchange property.  Raises if
+    the ground set is too large to enumerate.
+    """
+    ground = sorted(matroid.ground_set, key=repr)
+    if len(ground) > max_ground:
+        raise ValueError(
+            f"ground set of size {len(ground)} too large for brute force "
+            f"(max {max_ground})"
+        )
+    if not matroid.is_independent(()):
+        return False
+    subsets = []
+    for r in range(len(ground) + 1):
+        subsets.extend(itertools.combinations(ground, r))
+    independents = [frozenset(s) for s in subsets if matroid.is_independent(s)]
+    ind_set = set(independents)
+    # Downward closure.
+    for x in independents:
+        for e in x:
+            if frozenset(x - {e}) not in ind_set:
+                return False
+    # Exchange property.
+    for x in independents:
+        for y in independents:
+            if len(x) < len(y):
+                if not any(matroid.is_independent(x | {e}) for e in y - x):
+                    return False
+    return True
+
+
+def haste_policy_matroid(network) -> PartitionMatroid:
+    """Lemma 4.1: the partition matroid over scheduling-policy items.
+
+    Items are triples ``(charger, slot, policy)`` with ``policy ≥ 1``
+    (idle is the absence of a selection, not an item), grouped by
+    ``(charger, slot)`` with unit capacity.  Only the charger's *relevant*
+    slots (some receivable task active) get a group — selections elsewhere
+    cannot affect the objective.
+    """
+    groups: dict[tuple, list] = {}
+    for i in range(network.n):
+        n_policies = network.policy_count(i)
+        if n_policies <= 1:
+            continue
+        for k in network.relevant_slots(i):
+            groups[(i, int(k))] = [
+                (i, int(k), p) for p in range(1, n_policies)
+            ]
+    return PartitionMatroid(groups)

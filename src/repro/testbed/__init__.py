@@ -1,0 +1,16 @@
+"""Testbed emulation: Powercast hardware constants and the two topologies."""
+
+from .experiment import TestbedReport, run_testbed
+from .powercast import SENSOR_NODE, TX91501, TestbedHardware
+from .topologies import build_testbed_network, topology_one, topology_two
+
+__all__ = [
+    "SENSOR_NODE",
+    "TX91501",
+    "TestbedHardware",
+    "TestbedReport",
+    "build_testbed_network",
+    "run_testbed",
+    "topology_one",
+    "topology_two",
+]

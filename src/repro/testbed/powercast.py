@@ -1,0 +1,76 @@
+"""Powercast TX91501 testbed parameters (paper §8).
+
+The paper's field experiments use off-the-shelf TX91501 915 MHz power
+transmitters and P2110-based rechargeable sensor nodes.  The authors fit
+the directional power model to their hardware and report the constants we
+embed here:
+
+* ``α = 41.93``, ``β = 0.6428`` (empirical power-law fit),
+* charger range ``D = 4 m``, charging angle ``A_s = 60°``,
+* sensor receiving angle ``A_o = 120°``,
+* ``T_s = 1 min``, ``ρ = 1/12``, ``τ = 1``,
+* required charging energy per task in ``[3 J, 5 J]`` (RF harvesting at
+  these distances delivers milliwatts, hence joule-scale tasks).
+
+Because we have no physical transmitters, the *hardware* is replaced by the
+model the authors themselves validated against it — see DESIGN.md
+("Hardware substitution") for the argument that this preserves who-wins
+comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.power import PowerModel
+
+__all__ = ["TX91501", "SENSOR_NODE", "TestbedHardware"]
+
+
+@dataclass(frozen=True)
+class TestbedHardware:
+    """Fitted hardware constants for one transmitter/receiver family."""
+
+    alpha: float
+    beta: float
+    radius: float
+    charging_angle: float
+    receiving_angle: float
+    slot_seconds: float
+    rho: float
+    tau: int
+    energy_min: float
+    energy_max: float
+
+    def power_model(self) -> PowerModel:
+        """The α/(d+β)² law with this hardware's constants."""
+        return PowerModel(alpha=self.alpha, beta=self.beta)
+
+    def peak_power(self) -> float:
+        """Received power at zero distance (sanity ceiling), watts."""
+        return self.alpha / self.beta**2
+
+
+#: The paper's transmitter-side parameters.  The fitted ``α = 41.93`` is in
+#: *milliwatts* (RF harvesting at metre range delivers mW — 3 W EIRP
+#: transmitter, P2110 harvester); the engine accounts energy in joules =
+#: watts × seconds, so the constant is converted to watts here.  The
+#: joule-scale required energies ([3, 5] J) only make sense against
+#: mW-scale harvest, which is the internal consistency check.
+TX91501 = TestbedHardware(
+    alpha=41.93e-3,
+    beta=0.6428,
+    radius=4.0,
+    charging_angle=np.pi / 3,
+    receiving_angle=2 * np.pi / 3,
+    slot_seconds=60.0,
+    rho=1.0 / 12.0,
+    tau=1,
+    energy_min=3.0,
+    energy_max=5.0,
+)
+
+#: Alias emphasizing the receiver-side constants live on the same record.
+SENSOR_NODE = TX91501

@@ -1,0 +1,84 @@
+"""Shared fixtures for the HASTE reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Charger, ChargerNetwork, ChargingTask, PowerModel
+from repro.sim import SimulationConfig, sample_network
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+def build_network(
+    seed: int = 0,
+    *,
+    n: int = 4,
+    m: int = 10,
+    field: float = 30.0,
+    horizon: int = 6,
+    charging_angle: float = np.pi / 2,
+    receiving_angle: float = np.pi,
+    energy: tuple[float, float] = (500.0, 2_000.0),
+    slot_seconds: float = 60.0,
+) -> ChargerNetwork:
+    """A small random network for unit tests (denser than the quick preset
+    so coverage and neighbor structure are non-trivial)."""
+    gen = np.random.default_rng(seed)
+    chargers = [
+        Charger(
+            i,
+            float(gen.uniform(0, field)),
+            float(gen.uniform(0, field)),
+            charging_angle=charging_angle,
+            radius=field / 1.5,
+        )
+        for i in range(n)
+    ]
+    tasks = []
+    for j in range(m):
+        duration = int(gen.integers(2, max(horizon - 1, 3)))
+        release = int(gen.integers(0, max(horizon - duration, 0) + 1))
+        tasks.append(
+            ChargingTask(
+                j,
+                float(gen.uniform(0, field)),
+                float(gen.uniform(0, field)),
+                orientation=float(gen.uniform(0, 2 * np.pi)),
+                release_slot=release,
+                end_slot=release + duration,
+                required_energy=float(gen.uniform(*energy)),
+                receiving_angle=receiving_angle,
+                weight=1.0 / m,
+            )
+        )
+    return ChargerNetwork(
+        chargers, tasks, power_model=PowerModel(), slot_seconds=slot_seconds
+    )
+
+
+@pytest.fixture
+def small_network() -> ChargerNetwork:
+    """The canonical small test network (4 chargers, 10 tasks)."""
+    return build_network(0)
+
+
+@pytest.fixture
+def tiny_network() -> ChargerNetwork:
+    """A really small network (2 chargers, 4 tasks) for exponential checks."""
+    return build_network(1, n=2, m=4, horizon=3)
+
+
+@pytest.fixture
+def quick_config() -> SimulationConfig:
+    return SimulationConfig.quick()
+
+
+@pytest.fixture
+def quick_network(quick_config) -> ChargerNetwork:
+    return sample_network(quick_config, np.random.default_rng(42))

@@ -1,0 +1,140 @@
+"""Tests for the analysis package (bounds, diagnostics, complexity)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    WorkCounts,
+    certificate,
+    colors_for_ratio,
+    count_offline_work,
+    diagnose_schedule,
+    offline_ratio,
+    online_ratio,
+    tabular_greedy_asymptotic,
+    tabular_greedy_ratio,
+)
+from repro.offline import schedule_offline
+from repro.sim.engine import execute_schedule
+
+from conftest import build_network
+
+E = math.e
+
+
+class TestBounds:
+    def test_asymptotic_c1_is_one(self):
+        assert tabular_greedy_asymptotic(1) == pytest.approx(1.0)
+
+    def test_asymptotic_limit(self):
+        assert tabular_greedy_asymptotic(10_000) == pytest.approx(
+            1 - 1 / E, abs=1e-4
+        )
+
+    def test_asymptotic_decreasing_in_c(self):
+        vals = [tabular_greedy_asymptotic(c) for c in range(1, 30)]
+        assert all(a >= b - 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_full_ratio_penalty(self):
+        full = tabular_greedy_ratio(100, 10)
+        assert full == pytest.approx(tabular_greedy_asymptotic(100) - 45 / 100)
+
+    def test_full_ratio_can_be_vacuous(self):
+        assert tabular_greedy_ratio(2, 50) < 0
+
+    def test_offline_ratio_paper_number(self):
+        # (1 − 1/12)(1 − 1/e) ≈ 0.5793 — quoted in §7.3.1.
+        assert offline_ratio(1 / 12) == pytest.approx(0.579, abs=1e-3)
+
+    def test_online_is_half_offline(self):
+        assert online_ratio(0.2) == pytest.approx(0.5 * offline_ratio(0.2))
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            offline_ratio(1.5)
+
+    def test_colors_validation(self):
+        with pytest.raises(ValueError):
+            tabular_greedy_asymptotic(0)
+        with pytest.raises(ValueError):
+            tabular_greedy_ratio(1, -1)
+
+    def test_colors_for_ratio_always_one(self):
+        # The finite-C factor starts ABOVE 1 − 1/e; documented quirk.
+        assert colors_for_ratio(1.0) == 1
+        with pytest.raises(ValueError):
+            colors_for_ratio(0.0)
+
+    def test_certificate_render(self):
+        cert = certificate(1 / 12, 4)
+        text = cert.render()
+        assert "Thm 5.1" in text and "Thm 6.1" in text
+        assert cert.online_bound == pytest.approx(0.5 * cert.offline_bound)
+
+
+class TestDiagnostics:
+    def _diag(self, rho=0.25):
+        net = build_network(0)
+        res = schedule_offline(net, 2, rng=np.random.default_rng(0))
+        return net, res.schedule, diagnose_schedule(net, res.schedule, rho=rho)
+
+    def test_charger_rows_complete(self):
+        net, _sched, diag = self._diag()
+        assert len(diag.chargers) == net.n
+        assert len(diag.tasks) == net.m
+
+    def test_delivered_energy_consistent(self):
+        net, sched, diag = self._diag()
+        total_delivered = sum(c.delivered_energy for c in diag.chargers)
+        assert total_delivered == pytest.approx(diag.execution.energies.sum())
+
+    def test_duty_cycle_bounds(self):
+        _net, _sched, diag = self._diag()
+        for c in diag.chargers:
+            assert 0.0 <= c.duty_cycle <= 1.0
+
+    def test_unreachable_implies_starved(self):
+        _net, _sched, diag = self._diag()
+        for t in diag.tasks:
+            if t.unreachable:
+                assert t.starved
+                assert t.harvested_energy == 0.0
+
+    def test_reuses_given_execution(self):
+        net = build_network(1)
+        res = schedule_offline(net, 1, rng=np.random.default_rng(0))
+        ex = execute_schedule(net, res.schedule, rho=0.3)
+        diag = diagnose_schedule(net, res.schedule, execution=ex)
+        assert diag.execution is ex
+
+    def test_render_mentions_utility(self):
+        _net, _sched, diag = self._diag()
+        text = diag.render()
+        assert "overall charging utility" in text
+        assert "chargers" in text
+
+
+class TestComplexityCounting:
+    def test_counts_positive(self):
+        net = build_network(0)
+        w = count_offline_work(net, 2)
+        assert isinstance(w, WorkCounts)
+        assert w.partitions > 0
+        assert w.scans > 0
+        assert w.candidates >= w.scans  # every scan covers ≥ 1 candidate
+
+    def test_scans_linear_in_colors_for_c1_baseline(self):
+        net = build_network(2)
+        w1 = count_offline_work(net, 1)
+        # C = 1: exactly one scan per partition.
+        assert w1.scans == w1.partitions
+        assert w1.scans_per_color == pytest.approx(w1.partitions)
+
+    def test_scans_bounded_by_c_times_partitions(self):
+        net = build_network(3)
+        w = count_offline_work(net, 3)
+        assert w.scans <= 3 * w.partitions

@@ -1,0 +1,116 @@
+"""Tests for the anisotropic-receiver extension (paper future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnisotropicPowerModel,
+    Charger,
+    ChargerNetwork,
+    ChargingTask,
+    PowerModel,
+)
+from repro.objective import HasteObjective, HasteSetFunction
+from repro.submodular import check_monotone, check_normalized, check_submodular
+
+
+class TestDeviceGain:
+    def test_boresight_full_gain(self):
+        m = AnisotropicPowerModel(gain_exponent=2.0)
+        assert m.device_gain(0.0) == pytest.approx(1.0)
+
+    def test_perpendicular_zero(self):
+        m = AnisotropicPowerModel(gain_exponent=1.0)
+        assert m.device_gain(np.pi / 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_behind_clipped_to_zero(self):
+        m = AnisotropicPowerModel(gain_exponent=1.0)
+        assert m.device_gain(np.pi) == pytest.approx(0.0)
+
+    def test_exponent_zero_is_binaryish(self):
+        m = AnisotropicPowerModel(gain_exponent=0.0)
+        # 0^0 convention aside, any offset < π/2 gives gain 1.
+        assert m.device_gain(0.3) == pytest.approx(1.0)
+        assert m.device_gain(1.5) == pytest.approx(1.0)
+
+    def test_gain_monotone_in_offset(self):
+        m = AnisotropicPowerModel(gain_exponent=2.0)
+        offs = np.linspace(0, np.pi / 2, 20)
+        gains = m.device_gain(offs)
+        assert np.all(np.diff(gains) <= 1e-12)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            AnisotropicPowerModel(gain_exponent=-1.0)
+
+
+class TestReceiverOffsets:
+    def test_facing_charger_zero_offset(self):
+        m = AnisotropicPowerModel()
+        # Charger west of device; device faces west (π). Charger→task
+        # azimuth is 0 (east), incoming direction at the task is π.
+        az = np.array([[0.0]])
+        offsets = m.receiver_offsets(az, np.array([np.pi]))
+        assert offsets[0, 0] == pytest.approx(0.0)
+
+    def test_facing_away_pi_offset(self):
+        m = AnisotropicPowerModel()
+        az = np.array([[0.0]])
+        offsets = m.receiver_offsets(az, np.array([0.0]))
+        assert offsets[0, 0] == pytest.approx(np.pi)
+
+
+class TestNetworkIntegration:
+    def _pair(self, model):
+        chargers = [Charger(0, 0.0, 0.0, charging_angle=np.pi, radius=10.0)]
+        tasks = [
+            ChargingTask(
+                0, 5.0, 0.0, np.pi, 0, 2, 100.0, receiving_angle=np.pi
+            ),  # faces the charger
+            ChargingTask(
+                1, 0.0, 5.0, np.pi / 2, 0, 2, 100.0, receiving_angle=2 * np.pi
+            ),  # faces due north; the wave arrives from the south → π off
+        ]
+        return ChargerNetwork(chargers, tasks, power_model=model)
+
+    def test_kappa_zero_equals_base_model(self):
+        base = self._pair(PowerModel())
+        ani0 = self._pair(AnisotropicPowerModel(gain_exponent=0.0))
+        assert np.allclose(base.power, ani0.power)
+
+    def test_gain_scales_power(self):
+        base = self._pair(PowerModel())
+        ani = self._pair(AnisotropicPowerModel(gain_exponent=1.0))
+        # Task 0 faces the charger → full power preserved.
+        assert ani.power[0, 0] == pytest.approx(base.power[0, 0])
+        # Task 1 is 3π/4 off boresight → gain clipped to zero.
+        assert ani.power[0, 1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_power_never_exceeds_isotropic(self, small_network):
+        ani = ChargerNetwork(
+            small_network.chargers,
+            small_network.tasks,
+            power_model=AnisotropicPowerModel(gain_exponent=2.0),
+            slot_seconds=small_network.slot_seconds,
+        )
+        assert np.all(ani.power <= small_network.power + 1e-12)
+
+    def test_objective_still_submodular(self):
+        """The extension must not break Lemma 4.2."""
+        from conftest import build_network
+
+        layout = build_network(3, n=2, m=4, horizon=3)
+        net = ChargerNetwork(
+            layout.chargers,
+            layout.tasks,
+            power_model=AnisotropicPowerModel(gain_exponent=2.0),
+            slot_seconds=layout.slot_seconds,
+        )
+        f = HasteSetFunction(HasteObjective(net))
+        if len(f.ground_set) > 9:
+            pytest.skip("ground set too large for exhaustive check")
+        assert check_normalized(f)
+        assert check_monotone(f, max_subset_size=4)
+        assert check_submodular(f, max_subset_size=4)

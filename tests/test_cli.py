@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig04"])
+        assert args.experiment == "fig04"
+        assert args.scale == "default"
+        assert args.trials == 3
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "all", "--trials", "7", "--scale", "quick", "--seed", "9"]
+        )
+        assert args.experiment == "all"
+        assert args.trials == 7
+        assert args.seed == 9
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig04", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "fig25" in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "paper claim" in out
+
+    def test_describe_unknown(self):
+        with pytest.raises(KeyError):
+            main(["describe", "figXX"])
+
+    def test_run_quick_experiment(self, capsys):
+        code = main(["run", "fig21", "--scale", "quick", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert "fig21" in out
+        assert code == 0
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        target = tmp_path / "out.txt"
+        main(
+            [
+                "run",
+                "fig21",
+                "--scale",
+                "quick",
+                "--trials",
+                "2",
+                "--out",
+                str(target),
+            ]
+        )
+        capsys.readouterr()
+        assert "fig21" in target.read_text()
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "centralized offline" in out
+        assert "distributed online" in out
+
+
+class TestBoundsCommand:
+    def test_default_bounds(self, capsys):
+        from repro.cli import main
+
+        assert main(["bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 5.1" in out and "Thm 6.1" in out
+
+    def test_custom_bounds(self, capsys):
+        from repro.cli import main
+
+        assert main(["bounds", "--rho", "0.5", "--colors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0.5" in out

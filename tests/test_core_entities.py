@@ -1,0 +1,236 @@
+"""Unit tests for chargers, tasks, the power model, and the slot grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Charger, ChargingTask, PowerModel, SlotGrid
+from repro.core.power import receivable_matrix
+
+
+class TestCharger:
+    def test_position(self):
+        c = Charger(0, 1.0, 2.0)
+        assert c.position == pytest.approx([1.0, 2.0])
+
+    def test_covers_in_sector(self):
+        c = Charger(0, 0.0, 0.0, charging_angle=np.pi / 2, radius=10.0)
+        assert c.covers([5.0, 0.0], orientation=0.0)
+        assert c.covers([0.0, 5.0], orientation=np.pi / 2)
+
+    def test_does_not_cover_behind(self):
+        c = Charger(0, 0.0, 0.0, charging_angle=np.pi / 2, radius=10.0)
+        assert not c.covers([-5.0, 0.0], orientation=0.0)
+
+    def test_does_not_cover_out_of_range(self):
+        c = Charger(0, 0.0, 0.0, charging_angle=np.pi / 2, radius=10.0)
+        assert not c.covers([11.0, 0.0], orientation=0.0)
+
+    def test_distance_to(self):
+        c = Charger(0, 0.0, 0.0)
+        assert c.distance_to([3.0, 4.0]) == pytest.approx(5.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"charging_angle": 0.0},
+            {"charging_angle": 7.0},
+            {"radius": 0.0},
+            {"radius": -1.0},
+            {"id": -1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        base = dict(id=0, x=0.0, y=0.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            Charger(**base)
+
+
+class TestChargingTask:
+    def _task(self, **overrides):
+        base = dict(
+            id=0,
+            x=1.0,
+            y=1.0,
+            orientation=0.5,
+            release_slot=2,
+            end_slot=5,
+            required_energy=100.0,
+        )
+        base.update(overrides)
+        return ChargingTask(**base)
+
+    def test_duration(self):
+        assert self._task().duration_slots == 3
+
+    def test_active_window(self):
+        t = self._task()
+        assert not t.active_at(1)
+        assert t.active_at(2)
+        assert t.active_at(4)
+        assert not t.active_at(5)
+
+    def test_active_slots_range(self):
+        assert list(self._task().active_slots()) == [2, 3, 4]
+
+    def test_orientation_wrapped(self):
+        t = self._task(orientation=-np.pi / 2)
+        assert t.orientation == pytest.approx(3 * np.pi / 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"end_slot": 2},
+            {"end_slot": 1},
+            {"release_slot": -1},
+            {"required_energy": 0.0},
+            {"required_energy": -5.0},
+            {"receiving_angle": 0.0},
+            {"weight": -0.1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            self._task(**kwargs)
+
+    def test_position_array(self):
+        assert self._task().position == pytest.approx([1.0, 1.0])
+
+
+class TestPowerModel:
+    def test_paper_defaults(self):
+        pm = PowerModel()
+        assert pm.alpha == 10000.0
+        assert pm.beta == 40.0
+
+    def test_power_at_zero_distance(self):
+        pm = PowerModel(alpha=100.0, beta=10.0)
+        assert pm.pair_power(0.0, radius=5.0) == pytest.approx(1.0)
+
+    def test_power_decreases_with_distance(self):
+        pm = PowerModel()
+        p = [pm.pair_power(d, radius=100.0) for d in (0.0, 10.0, 20.0)]
+        assert p[0] > p[1] > p[2]
+
+    def test_zero_beyond_radius(self):
+        pm = PowerModel()
+        assert pm.pair_power(21.0, radius=20.0) == 0.0
+
+    def test_boundary_counts_as_in_range(self):
+        pm = PowerModel()
+        assert pm.pair_power(20.0, radius=20.0) > 0.0
+
+    def test_vectorized(self):
+        pm = PowerModel(alpha=100.0, beta=0.0)
+        out = pm.pair_power(np.array([1.0, 2.0, 50.0]), radius=10.0)
+        assert out == pytest.approx([100.0, 25.0, 0.0])
+
+    def test_paper_power_range_on_field(self):
+        # §7.1 constants: power between 2.78 W (d=20) and 6.25 W (d=0).
+        pm = PowerModel()
+        assert pm.pair_power(0.0, 20.0) == pytest.approx(6.25)
+        assert pm.pair_power(20.0, 20.0) == pytest.approx(10000 / 3600)
+
+    @pytest.mark.parametrize("kwargs", [{"alpha": 0.0}, {"alpha": -1.0}, {"beta": -1.0}])
+    def test_invalid_constants(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerModel(**kwargs)
+
+
+class TestReceivableMatrix:
+    def test_device_orientation_gates_reception(self):
+        charger_xy = np.array([[0.0, 0.0]])
+        task_xy = np.array([[5.0, 0.0]])
+        radius = np.array([10.0])
+        # Device facing the charger (west) receives …
+        recv = receivable_matrix(
+            charger_xy, radius, task_xy, np.array([np.pi]), np.array([np.pi / 3])
+        )
+        assert recv[0, 0]
+        # … facing away (east) does not.
+        recv = receivable_matrix(
+            charger_xy, radius, task_xy, np.array([0.0]), np.array([np.pi / 3])
+        )
+        assert not recv[0, 0]
+
+    def test_distance_gates_reception(self):
+        charger_xy = np.array([[0.0, 0.0]])
+        task_xy = np.array([[50.0, 0.0]])
+        recv = receivable_matrix(
+            charger_xy,
+            np.array([10.0]),
+            task_xy,
+            np.array([np.pi]),
+            np.array([np.pi]),
+        )
+        assert not recv[0, 0]
+
+    def test_coincident_positions_receivable(self):
+        xy = np.array([[1.0, 1.0]])
+        recv = receivable_matrix(
+            xy, np.array([5.0]), xy, np.array([0.0]), np.array([0.1])
+        )
+        assert recv[0, 0]
+
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        c = rng.uniform(0, 10, (3, 2))
+        t = rng.uniform(0, 10, (5, 2))
+        recv = receivable_matrix(
+            c,
+            np.full(3, 8.0),
+            t,
+            rng.uniform(0, 2 * np.pi, 5),
+            np.full(5, np.pi),
+        )
+        assert recv.shape == (3, 5)
+        assert recv.dtype == bool
+
+
+class TestSlotGrid:
+    def test_for_tasks_horizon(self):
+        tasks = [
+            ChargingTask(0, 0, 0, 0.0, release_slot=0, end_slot=3, required_energy=1.0),
+            ChargingTask(1, 1, 1, 0.0, release_slot=2, end_slot=7, required_energy=1.0),
+        ]
+        grid = SlotGrid.for_tasks(tasks, 60.0)
+        assert grid.num_slots == 7
+        assert grid.total_seconds == pytest.approx(420.0)
+
+    def test_for_no_tasks(self):
+        grid = SlotGrid.for_tasks([], 60.0)
+        assert grid.num_slots == 0
+
+    def test_slot_of(self):
+        grid = SlotGrid(60.0, 10)
+        assert grid.slot_of(0.0) == 0
+        assert grid.slot_of(59.9) == 0
+        assert grid.slot_of(60.0) == 1
+        assert grid.slot_of(10_000.0) == 9  # clipped
+
+    def test_slot_of_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SlotGrid(60.0, 10).slot_of(-1.0)
+
+    def test_start_of(self):
+        assert SlotGrid(30.0, 10).start_of(4) == pytest.approx(120.0)
+
+    def test_activity_matrix(self):
+        tasks = [
+            ChargingTask(0, 0, 0, 0.0, release_slot=1, end_slot=3, required_energy=1.0),
+        ]
+        grid = SlotGrid.for_tasks(tasks, 60.0)
+        act = grid.activity_matrix(tasks)
+        assert act.shape == (1, 3)
+        assert list(act[0]) == [False, True, True]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"slot_seconds": 0.0, "num_slots": 5},
+        {"slot_seconds": -1.0, "num_slots": 5},
+        {"slot_seconds": 60.0, "num_slots": -1},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SlotGrid(**kwargs)

@@ -1,0 +1,232 @@
+"""Unit tests for :mod:`repro.core.geometry`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import (
+    ANGLE_EPS,
+    TWO_PI,
+    Arc,
+    angle_diff,
+    arc_intersection_nonempty,
+    azimuth,
+    common_orientation,
+    in_angular_interval,
+    pairwise_azimuths,
+    pairwise_distances,
+    sector_contains,
+    wrap_angle,
+)
+
+
+class TestWrapAngle:
+    def test_identity_in_range(self):
+        assert wrap_angle(1.0) == pytest.approx(1.0)
+
+    def test_negative(self):
+        assert wrap_angle(-np.pi / 2) == pytest.approx(3 * np.pi / 2)
+
+    def test_two_pi_maps_to_zero(self):
+        assert wrap_angle(TWO_PI) == pytest.approx(0.0)
+
+    def test_multiple_wraps(self):
+        assert wrap_angle(5 * TWO_PI + 0.25) == pytest.approx(0.25)
+
+    def test_array_input(self):
+        out = wrap_angle(np.array([-0.1, 0.0, TWO_PI + 0.1]))
+        assert out.shape == (3,)
+        assert np.all((out >= 0) & (out < TWO_PI))
+
+    def test_result_never_equals_two_pi(self):
+        # Values one ulp below a 2π multiple must fold onto 0, not 2π.
+        val = wrap_angle(np.nextafter(TWO_PI, 0.0) + TWO_PI)
+        assert 0.0 <= val < TWO_PI
+
+
+class TestAngleDiff:
+    def test_zero(self):
+        assert angle_diff(1.0, 1.0) == pytest.approx(0.0)
+
+    def test_positive_small(self):
+        assert angle_diff(1.2, 1.0) == pytest.approx(0.2)
+
+    def test_wraps_to_negative(self):
+        assert angle_diff(0.1, TWO_PI - 0.1) == pytest.approx(0.2)
+
+    def test_antipodal_is_pi(self):
+        assert abs(angle_diff(0.0, np.pi)) == pytest.approx(np.pi)
+
+    def test_vectorized(self):
+        d = angle_diff(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+        assert d == pytest.approx([-0.5, 0.5])
+
+
+class TestAzimuth:
+    def test_east(self):
+        assert azimuth([0, 0], [1, 0]) == pytest.approx(0.0)
+
+    def test_north(self):
+        assert azimuth([0, 0], [0, 1]) == pytest.approx(np.pi / 2)
+
+    def test_west(self):
+        assert azimuth([0, 0], [-1, 0]) == pytest.approx(np.pi)
+
+    def test_south(self):
+        assert azimuth([0, 0], [0, -1]) == pytest.approx(3 * np.pi / 2)
+
+    def test_translation_invariance(self):
+        a = azimuth([5, 5], [6, 6])
+        b = azimuth([0, 0], [1, 1])
+        assert a == pytest.approx(b)
+
+
+class TestPairwise:
+    def test_distances_shape_and_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        b = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0]])
+        d = pairwise_distances(a, b)
+        assert d.shape == (2, 3)
+        assert d[0] == pytest.approx([0.0, 3.0, 4.0])
+        assert d[1, 0] == pytest.approx(5.0)
+
+    def test_azimuths_match_scalar(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, 1.0], [-1.0, 0.0]])
+        az = pairwise_azimuths(a, b)
+        assert az[0, 0] == pytest.approx(np.pi / 4)
+        assert az[0, 1] == pytest.approx(np.pi)
+
+    def test_symmetry_of_distances(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0, 10, (5, 2))
+        b = rng.uniform(0, 10, (7, 2))
+        assert pairwise_distances(a, b) == pytest.approx(pairwise_distances(b, a).T)
+
+
+class TestInAngularInterval:
+    def test_inside(self):
+        assert in_angular_interval(0.1, 0.0, 0.2)
+
+    def test_outside(self):
+        assert not in_angular_interval(0.5, 0.0, 0.2)
+
+    def test_boundary_inclusive(self):
+        assert in_angular_interval(0.2, 0.0, 0.2)
+
+    def test_wraparound(self):
+        assert in_angular_interval(TWO_PI - 0.05, 0.0, 0.1)
+
+    def test_full_circle_half_width(self):
+        # half width ≥ π covers everything.
+        for theta in np.linspace(0, TWO_PI, 17):
+            assert in_angular_interval(theta, 1.0, np.pi)
+
+
+class TestSectorContains:
+    def test_apex_always_inside(self):
+        assert sector_contains([0, 0], 0.0, 0.1, 1.0, [0, 0])
+
+    def test_in_range_in_angle(self):
+        assert sector_contains([0, 0], 0.0, np.pi / 6, 2.0, [1.0, 0.1])
+
+    def test_out_of_range(self):
+        assert not sector_contains([0, 0], 0.0, np.pi / 6, 2.0, [3.0, 0.0])
+
+    def test_out_of_angle(self):
+        assert not sector_contains([0, 0], 0.0, np.pi / 6, 2.0, [0.0, 1.0])
+
+    def test_vectorized_points(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0], [1.5, 0.0]])
+        out = sector_contains([0, 0], 0.0, np.pi / 6, 1.2, pts)
+        assert list(out) == [True, False, False]
+
+
+class TestArc:
+    def test_contains_interior(self):
+        arc = Arc(0.0, 1.0)
+        assert arc.contains(0.5)
+
+    def test_contains_endpoints(self):
+        arc = Arc(0.2, 1.0)
+        assert arc.contains(0.2)
+        assert arc.contains(1.2)
+
+    def test_excludes_outside(self):
+        arc = Arc(0.0, 1.0)
+        assert not arc.contains(1.5)
+
+    def test_wraparound_arc(self):
+        arc = Arc(TWO_PI - 0.5, 1.0)  # spans the 0 crossing
+        assert arc.contains(0.2)
+        assert arc.contains(TWO_PI - 0.2)
+        assert not arc.contains(np.pi)
+
+    def test_full_circle(self):
+        arc = Arc(1.0, TWO_PI)
+        assert arc.is_full_circle
+        for theta in np.linspace(0, TWO_PI, 11):
+            assert arc.contains(theta)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Arc(0.0, -0.1)
+
+    def test_midpoint(self):
+        assert Arc(0.0, 1.0).midpoint() == pytest.approx(0.5)
+        assert Arc(TWO_PI - 0.5, 1.0).midpoint() == pytest.approx(0.0)
+
+    def test_equality_and_hash(self):
+        assert Arc(0.0, 1.0) == Arc(0.0, 1.0)
+        assert Arc(0.0, TWO_PI) == Arc(3.0, TWO_PI)
+        assert hash(Arc(0.0, TWO_PI)) == hash(Arc(1.0, TWO_PI))
+
+
+class TestArcIntersection:
+    def test_overlapping_pair(self):
+        assert arc_intersection_nonempty([Arc(0.0, 1.0), Arc(0.5, 1.0)])
+
+    def test_disjoint_pair(self):
+        assert not arc_intersection_nonempty([Arc(0.0, 0.5), Arc(1.0, 0.5)])
+
+    def test_empty_collection(self):
+        assert arc_intersection_nonempty([])
+
+    def test_full_circle_neutral(self):
+        assert arc_intersection_nonempty([Arc(0.0, TWO_PI), Arc(1.0, 0.2)])
+
+    def test_three_way_intersection(self):
+        arcs = [Arc(0.0, 1.0), Arc(0.4, 1.0), Arc(0.8, 1.0)]
+        assert arc_intersection_nonempty(arcs)
+
+    def test_pairwise_but_not_global(self):
+        # a∩b, b∩c, a∩c can all be nonempty while a∩b∩c is empty only for
+        # arcs covering > half the circle; with these widths the triple
+        # intersection is genuinely empty.
+        arcs = [Arc(0.0, 0.6), Arc(0.5, 0.6), Arc(1.0, 0.6)]
+        assert arc_intersection_nonempty([arcs[0], arcs[1]])
+        assert arc_intersection_nonempty([arcs[1], arcs[2]])
+        assert not arc_intersection_nonempty([arcs[0], arcs[2]])
+        assert not arc_intersection_nonempty(arcs)
+
+
+class TestCommonOrientation:
+    def test_returns_member_of_all(self):
+        arcs = [Arc(0.0, 1.0), Arc(0.5, 1.0)]
+        theta = common_orientation(arcs)
+        assert theta is not None
+        assert all(a.contains(theta) for a in arcs)
+
+    def test_none_when_disjoint(self):
+        assert common_orientation([Arc(0.0, 0.5), Arc(2.0, 0.5)]) is None
+
+    def test_full_circles_only(self):
+        assert common_orientation([Arc(0.0, TWO_PI)]) == pytest.approx(0.0)
+
+    def test_interior_preference(self):
+        # The returned point should sit strictly inside a fat intersection.
+        arcs = [Arc(0.0, 2.0), Arc(0.5, 2.0)]
+        theta = common_orientation(arcs)
+        assert all(a.contains(theta - 0.05) for a in arcs)
+        assert all(a.contains(theta + 0.05) for a in arcs)

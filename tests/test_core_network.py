@@ -1,0 +1,196 @@
+"""Unit tests for :class:`repro.core.network.ChargerNetwork` and schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Charger, ChargerNetwork, ChargingTask, PowerModel, Schedule
+from repro.core.network import IDLE_POLICY
+
+
+def line_network():
+    """One charger, two receivable tasks east of it, one out of range."""
+    chargers = [Charger(0, 0.0, 0.0, charging_angle=np.pi / 2, radius=10.0)]
+    tasks = [
+        ChargingTask(0, 5.0, 0.0, np.pi, 0, 3, 100.0, receiving_angle=np.pi),
+        ChargingTask(1, 5.0, 1.0, np.pi, 1, 4, 100.0, receiving_angle=np.pi),
+        ChargingTask(2, 50.0, 0.0, np.pi, 0, 3, 100.0, receiving_angle=np.pi),
+    ]
+    return ChargerNetwork(chargers, tasks, slot_seconds=60.0)
+
+
+class TestConstruction:
+    def test_ids_must_match_positions(self):
+        chargers = [Charger(1, 0.0, 0.0)]
+        with pytest.raises(ValueError):
+            ChargerNetwork(chargers, [])
+
+    def test_task_ids_must_match_positions(self):
+        tasks = [ChargingTask(3, 0, 0, 0.0, 0, 1, 1.0)]
+        with pytest.raises(ValueError):
+            ChargerNetwork([Charger(0, 0, 0)], tasks)
+
+    def test_empty_network(self):
+        net = ChargerNetwork([], [])
+        assert net.n == 0 and net.m == 0
+        assert net.num_slots == 0
+
+    def test_dimensions(self, small_network):
+        net = small_network
+        assert net.power.shape == (net.n, net.m)
+        assert net.receivable.shape == (net.n, net.m)
+        assert net.active.shape == (net.m, net.num_slots)
+
+    def test_power_zero_iff_not_receivable(self, small_network):
+        net = small_network
+        assert np.all((net.power > 0) == net.receivable)
+
+    def test_describe_mentions_sizes(self, small_network):
+        text = small_network.describe()
+        assert str(small_network.n) in text
+        assert str(small_network.m) in text
+
+
+class TestPolicies:
+    def test_idle_policy_always_present(self):
+        net = line_network()
+        assert net.policy_count(0) >= 1
+        assert not net.cover_masks[0][IDLE_POLICY].any()
+        assert np.isnan(net.policy_orientations[0][IDLE_POLICY])
+
+    def test_receivable_tasks_in_some_policy(self):
+        net = line_network()
+        covered = net.cover_masks[0][1:].any(axis=0)
+        assert covered[0] and covered[1]
+        assert not covered[2]  # out of range
+
+    def test_policy_orientation_lookup(self):
+        net = line_network()
+        assert net.policy_orientation(0, IDLE_POLICY) is None
+        assert isinstance(net.policy_orientation(0, 1), float)
+
+    def test_policy_power_matches_cover(self, small_network):
+        net = small_network
+        for i in range(net.n):
+            power = net.policy_power[i]
+            cover = net.cover_masks[i]
+            assert power.shape == cover.shape
+            assert np.all((power > 0) == (cover & (net.power[i] > 0)[None, :]))
+
+
+class TestQueries:
+    def test_tasks_receivable_by(self):
+        net = line_network()
+        assert set(net.tasks_receivable_by(0)) == {0, 1}
+
+    def test_chargers_covering(self):
+        net = line_network()
+        assert list(net.chargers_covering(0)) == [0]
+        assert list(net.chargers_covering(2)) == []
+
+    def test_active_tasks_at(self):
+        net = line_network()
+        assert set(net.active_tasks_at(0)) == {0, 2}
+        assert set(net.active_tasks_at(3)) == {1}
+
+    def test_relevant_slots(self):
+        net = line_network()
+        # Task 0 active 0-2, task 1 active 1-3 → union 0-3.
+        assert list(net.relevant_slots(0)) == [0, 1, 2, 3]
+
+    def test_neighbors_share_task(self):
+        chargers = [
+            Charger(0, 0.0, 0.0, radius=10.0),
+            Charger(1, 8.0, 0.0, radius=10.0),
+            Charger(2, 100.0, 0.0, radius=10.0),
+        ]
+        tasks = [
+            ChargingTask(0, 4.0, 0.0, 0.0, 0, 2, 10.0, receiving_angle=2 * np.pi)
+        ]
+        net = ChargerNetwork(chargers, tasks)
+        assert net.neighbors[0] == frozenset({1})
+        assert net.neighbors[1] == frozenset({0})
+        assert net.neighbors[2] == frozenset()
+
+    def test_neighbor_relation_symmetric(self, small_network):
+        net = small_network
+        for i, nbrs in enumerate(net.neighbors):
+            for j in nbrs:
+                assert i in net.neighbors[j]
+
+
+class TestRestrictedNetwork:
+    def test_subset_preserves_geometry(self, small_network):
+        sub = small_network.restricted_to_tasks([0, 2, 5])
+        assert sub.m == 3
+        assert sub.n == small_network.n
+        assert sub.task_origin == [0, 2, 5]
+        assert sub.tasks[1].x == small_network.tasks[2].x
+
+    def test_subset_power_consistent(self, small_network):
+        ids = [1, 3, 4]
+        sub = small_network.restricted_to_tasks(ids)
+        for new_j, old_j in enumerate(ids):
+            assert sub.power[:, new_j] == pytest.approx(small_network.power[:, old_j])
+
+
+class TestSchedule:
+    def test_default_all_idle(self, small_network):
+        sched = Schedule(small_network)
+        assert sched.nonidle_fraction() == 0.0
+
+    def test_set_get(self, small_network):
+        sched = Schedule(small_network)
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        sched.set(i, 0, 1)
+        assert sched.get(i, 0) == 1
+        assert not sched.is_idle(i, 0)
+
+    def test_set_out_of_range_policy(self, small_network):
+        sched = Schedule(small_network)
+        with pytest.raises(ValueError):
+            sched.set(0, 0, small_network.policy_count(0))
+
+    def test_copy_is_independent(self, small_network):
+        sched = Schedule(small_network)
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        dup = sched.copy()
+        dup.set(i, 0, 1)
+        assert sched.get(i, 0) == IDLE_POLICY
+
+    def test_clear_from(self, small_network):
+        sched = Schedule(small_network)
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        sched.set(i, 0, 1)
+        sched.set(i, small_network.num_slots - 1, 1)
+        sched.clear_from(1)
+        assert sched.get(i, 0) == 1
+        assert sched.get(i, small_network.num_slots - 1) == IDLE_POLICY
+
+    def test_from_matrix_roundtrip(self, small_network):
+        sched = Schedule(small_network)
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        sched.set(i, 2, 1)
+        again = Schedule.from_matrix(small_network, sched.sel)
+        assert again == sched
+
+    def test_from_matrix_validates(self, small_network):
+        bad = np.full((small_network.n, small_network.num_slots), 99, dtype=int)
+        with pytest.raises(ValueError):
+            Schedule.from_matrix(small_network, bad)
+
+    def test_from_matrix_shape_check(self, small_network):
+        with pytest.raises(ValueError):
+            Schedule.from_matrix(small_network, np.zeros((1, 1), dtype=int))
+
+    def test_equality(self, small_network):
+        assert Schedule(small_network) == Schedule(small_network)

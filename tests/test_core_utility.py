@@ -1,0 +1,132 @@
+"""Unit tests for the charging utility functions (paper Eq. 1 + extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ChargingTask, LinearBoundedUtility, LogUtility, PowerLawUtility
+
+
+def _tasks(energies):
+    return [
+        ChargingTask(j, 0, 0, 0.0, release_slot=0, end_slot=1, required_energy=e)
+        for j, e in enumerate(energies)
+    ]
+
+
+class TestLinearBounded:
+    def test_zero_at_zero(self):
+        u = LinearBoundedUtility([100.0])
+        assert u(0.0) == pytest.approx(0.0)
+
+    def test_linear_below_threshold(self):
+        u = LinearBoundedUtility([100.0])
+        assert u(25.0) == pytest.approx(0.25)
+        assert u(50.0) == pytest.approx(0.5)
+
+    def test_saturates_at_one(self):
+        u = LinearBoundedUtility([100.0])
+        assert u(100.0) == pytest.approx(1.0)
+        assert u(1_000.0) == pytest.approx(1.0)
+
+    def test_vector_of_tasks(self):
+        u = LinearBoundedUtility([100.0, 200.0])
+        out = u(np.array([50.0, 50.0]))
+        assert out == pytest.approx([0.5, 0.25])
+
+    def test_gain_matches_difference(self):
+        u = LinearBoundedUtility([100.0])
+        for cur in (0.0, 50.0, 90.0, 150.0):
+            for add in (0.0, 10.0, 60.0):
+                assert u.gain(cur, add) == pytest.approx(u(cur + add) - u(cur))
+
+    def test_gain_clipped_at_saturation(self):
+        u = LinearBoundedUtility([100.0])
+        assert u.gain(90.0, 50.0) == pytest.approx(0.1)
+        assert u.gain(150.0, 50.0) == pytest.approx(0.0)
+
+    def test_for_tasks(self):
+        u = LinearBoundedUtility.for_tasks(_tasks([10.0, 20.0]))
+        assert u.required_energy == pytest.approx([10.0, 20.0])
+
+    def test_concavity(self):
+        u = LinearBoundedUtility([100.0])
+        assert u.is_concave_on(np.linspace(0, 300, 50))
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValueError):
+            LinearBoundedUtility([0.0])
+        with pytest.raises(ValueError):
+            LinearBoundedUtility([-10.0])
+
+    def test_broadcast_over_matrix(self):
+        u = LinearBoundedUtility([100.0, 200.0])
+        x = np.array([[50.0, 50.0], [200.0, 400.0]])
+        out = u(x)
+        assert out == pytest.approx(np.array([[0.5, 0.25], [1.0, 1.0]]))
+
+
+class TestLogUtility:
+    def test_zero_at_zero(self):
+        u = LogUtility([100.0])
+        assert u(0.0) == pytest.approx(0.0)
+
+    def test_one_at_required_energy(self):
+        u = LogUtility([100.0])
+        assert u(100.0) == pytest.approx(1.0)
+
+    def test_never_saturates(self):
+        u = LogUtility([100.0])
+        assert u(1_000.0) > u(500.0) > u(100.0)
+
+    def test_concavity(self):
+        u = LogUtility([100.0])
+        assert u.is_concave_on(np.linspace(0, 1000, 100))
+
+    def test_monotonicity(self):
+        u = LogUtility([50.0])
+        grid = np.linspace(0, 500, 60)
+        vals = u(grid)
+        assert np.all(np.diff(vals) >= 0)
+
+    def test_invalid_energy(self):
+        with pytest.raises(ValueError):
+            LogUtility([-1.0])
+
+
+class TestPowerLawUtility:
+    def test_gamma_one_equals_linear_bounded(self):
+        lin = LinearBoundedUtility([100.0])
+        pw = PowerLawUtility([100.0], gamma=1.0)
+        grid = np.linspace(0, 300, 40)
+        assert pw(grid) == pytest.approx(lin(grid))
+
+    def test_concavity_for_small_gamma(self):
+        u = PowerLawUtility([100.0], gamma=0.5)
+        assert u.is_concave_on(np.linspace(0, 300, 60))
+
+    def test_saturation(self):
+        u = PowerLawUtility([100.0], gamma=0.5)
+        assert u(100.0) == pytest.approx(1.0)
+        assert u(400.0) == pytest.approx(1.0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            PowerLawUtility([100.0], gamma=0.0)
+        with pytest.raises(ValueError):
+            PowerLawUtility([100.0], gamma=1.5)
+
+    def test_for_tasks_passes_gamma(self):
+        u = PowerLawUtility.for_tasks(_tasks([10.0]), gamma=0.7)
+        assert u.gamma == pytest.approx(0.7)
+
+
+class TestConcavityDetector:
+    def test_rejects_convex(self):
+        class Convex(LinearBoundedUtility):
+            def __call__(self, energy):
+                x = np.asarray(energy, dtype=float)
+                return np.square(x / self.required_energy)
+
+        assert not Convex([100.0]).is_concave_on(np.linspace(0, 100, 30))

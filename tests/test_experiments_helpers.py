@@ -1,0 +1,131 @@
+"""Tests for the experiment-layer helpers (sweep factories, adapters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    approx_nondecreasing,
+    approx_nonincreasing,
+    config_for_scale,
+    haste_offline_c1,
+    offline_greedy_cover,
+    offline_greedy_utility,
+    online_greedy_cover,
+    online_greedy_utility,
+)
+from repro.experiments.fig10_energy_duration_offline import (
+    _grid_config_builder,
+    grid_values,
+)
+from repro.experiments.sweeps import algorithms_for_setting, online_config_for_scale
+from repro.sim import SimulationConfig, sample_network
+
+
+class TestTrendPredicates:
+    def test_nondecreasing_accepts_noise(self):
+        assert approx_nondecreasing([0.1, 0.095, 0.2], slack=0.02)
+
+    def test_nondecreasing_rejects_real_drop(self):
+        assert not approx_nondecreasing([0.5, 0.3, 0.6], slack=0.02)
+
+    def test_nonincreasing_mirror(self):
+        assert approx_nonincreasing([0.5, 0.51, 0.3], slack=0.02)
+        assert not approx_nonincreasing([0.1, 0.4], slack=0.02)
+
+    def test_single_point_trivially_monotone(self):
+        assert approx_nondecreasing([1.0])
+        assert approx_nonincreasing([1.0])
+
+
+class TestSweepFactories:
+    def test_algorithms_for_setting_offline(self):
+        algs = algorithms_for_setting("offline")
+        assert set(algs) == {
+            "HASTE(C=4)",
+            "HASTE(C=1)",
+            "GreedyUtility",
+            "GreedyCover",
+        }
+
+    def test_algorithms_for_setting_online(self):
+        algs = algorithms_for_setting("online")
+        assert "HASTE(C=4)" in algs
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ValueError):
+            algorithms_for_setting("hybrid")
+
+    def test_online_config_smaller_at_default(self):
+        base = config_for_scale("default")
+        online = online_config_for_scale("default")
+        assert online.num_chargers <= base.num_chargers
+        assert online.num_tasks <= base.num_tasks
+
+    def test_online_config_quick_unchanged(self):
+        assert online_config_for_scale("quick") == config_for_scale("quick")
+
+
+class TestGridBuilder:
+    def test_grid_values_scales(self):
+        for scale in ("quick", "default", "paper"):
+            energies, durations = grid_values(scale)
+            assert energies and durations
+
+    def test_builder_sets_ranges(self):
+        base = SimulationConfig.quick()
+        cfg = _grid_config_builder(base, (10_000.0, 6))
+        assert cfg.energy_min == pytest.approx(5_000.0)
+        assert cfg.energy_max == pytest.approx(15_000.0)
+        assert cfg.duration_slots_min == 3
+        assert cfg.duration_slots_max == 9
+        assert cfg.horizon_slots >= 9
+
+    def test_builder_clamps_minimum_duration(self):
+        base = SimulationConfig.quick()
+        cfg = _grid_config_builder(base, (1_000.0, 1))
+        assert cfg.duration_slots_min >= 1
+
+
+class TestAdapters:
+    """Adapters must return utilities in [0, 1] and be deterministic."""
+
+    @pytest.fixture(scope="class")
+    def net_and_cfg(self):
+        cfg = SimulationConfig.quick()
+        return sample_network(cfg, np.random.default_rng(0)), cfg
+
+    @pytest.mark.parametrize(
+        "adapter",
+        [
+            haste_offline_c1,
+            offline_greedy_utility,
+            offline_greedy_cover,
+            online_greedy_utility,
+            online_greedy_cover,
+        ],
+    )
+    def test_range_and_determinism(self, adapter, net_and_cfg):
+        net, cfg = net_and_cfg
+        a = adapter(net, np.random.default_rng(1), cfg)
+        b = adapter(net, np.random.default_rng(1), cfg)
+        assert 0.0 <= a <= 1.0
+        assert a == pytest.approx(b)
+
+    def test_haste_adapter_applies_smoothing(self, net_and_cfg):
+        """At ρ = 1 the adapter (with smoothing) must not fall below the
+        plain scheduler's executed value."""
+        from repro.offline import schedule_offline
+        from repro.sim.engine import execute_schedule
+
+        net, cfg = net_and_cfg
+        harsh = cfg.replace(rho=1.0)
+        smoothed_val = haste_offline_c1(net, np.random.default_rng(2), harsh)
+        raw = schedule_offline(net, 1, rng=np.random.default_rng(2))
+        raw_val = execute_schedule(net, raw.schedule, rho=1.0).total_utility
+        assert smoothed_val >= raw_val - 1e-9
+
+    def test_config_for_scale_is_scale_keyed(self):
+        with pytest.raises(ValueError):
+            config_for_scale("nope")

@@ -1,0 +1,101 @@
+"""Tests for the experiment registry and the cheap experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    all_experiments,
+    config_for_scale,
+    get_experiment,
+)
+from repro.experiments.common import ShapeCheck
+
+
+EXPECTED_IDS = {
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig21",
+    "fig22",
+    "fig24",
+    "fig25",
+    "ablation-baselines",
+    "ablation-online-gap",
+    "ablation-utilities",
+    "ablation-anisotropic",
+    "ablation-complexity",
+}
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        assert EXPECTED_IDS <= set(EXPERIMENTS)
+
+    def test_get_known(self):
+        exp = get_experiment("fig04")
+        assert exp.id == "fig04"
+        assert "Fig. 4" in exp.figure
+
+    def test_get_unknown_raises_with_hint(self):
+        with pytest.raises(KeyError, match="fig04"):
+            get_experiment("nonexistent")
+
+    def test_all_experiments_order_stable(self):
+        ids = [e.id for e in all_experiments()]
+        assert ids[0] == "fig04"
+        assert len(ids) == len(set(ids))
+
+    def test_every_experiment_has_claim(self):
+        for exp in all_experiments():
+            assert exp.paper_claim.strip()
+            assert exp.title.strip()
+
+
+class TestConfigForScale:
+    def test_tiers(self):
+        quick = config_for_scale("quick")
+        default = config_for_scale("default")
+        paper = config_for_scale("paper")
+        assert quick.num_tasks < default.num_tasks <= paper.num_tasks
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            config_for_scale("gigantic")
+
+
+class TestShapeCheckRendering:
+    def test_pass_render(self):
+        c = ShapeCheck("claim", True, "detail")
+        assert "PASS" in c.render() and "detail" in c.render()
+
+    def test_fail_render(self):
+        assert "FAIL" in ShapeCheck("claim", False).render()
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    ["fig04", "fig06", "fig08", "fig10", "fig16", "fig17", "fig18", "fig21"],
+)
+class TestQuickRuns:
+    def test_runs_and_passes_at_quick_scale(self, experiment_id):
+        out = get_experiment(experiment_id).run(trials=2, seed=0, scale="quick")
+        assert out.experiment_id == experiment_id
+        assert out.table.strip()
+        rendered = out.render()
+        assert experiment_id in rendered
+        failed = [c for c in out.checks if not c.passed]
+        assert not failed, "\n".join(c.render() for c in failed)

@@ -1,0 +1,181 @@
+"""Unit tests for the HASTE-R objective (Lemma 4.2 and evaluation paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LogUtility, Schedule
+from repro.core.network import IDLE_POLICY
+from repro.objective import HasteObjective, HasteSetFunction
+from repro.submodular import (
+    check_monotone,
+    check_normalized,
+    check_submodular,
+    haste_policy_matroid,
+)
+
+from conftest import build_network
+
+
+class TestLemma42:
+    """Lemma 4.2: f(X) is normalized, monotone, and submodular."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_properties_on_random_networks(self, seed):
+        net = build_network(seed, n=2, m=4, horizon=3)
+        f = HasteSetFunction(HasteObjective(net))
+        if len(f.ground_set) > 9:
+            pytest.skip("ground set too large for exhaustive check")
+        assert check_normalized(f)
+        assert check_monotone(f, max_subset_size=4)
+        assert check_submodular(f, max_subset_size=4)
+
+    def test_properties_under_log_utility(self):
+        net = build_network(2, n=2, m=3, horizon=3)
+        utility = LogUtility.for_tasks(net.tasks)
+        f = HasteSetFunction(HasteObjective(net, utility))
+        if len(f.ground_set) > 9:
+            pytest.skip("ground set too large for exhaustive check")
+        assert check_normalized(f)
+        assert check_monotone(f, max_subset_size=4)
+        assert check_submodular(f, max_subset_size=4)
+
+
+class TestIncrementalEvaluation:
+    def test_partition_gains_match_value_difference(self, small_network):
+        obj = HasteObjective(small_network)
+        energies = obj.zero_energy()
+        rng = np.random.default_rng(0)
+        # Seed some prior energy.
+        for _ in range(5):
+            i = int(rng.integers(0, small_network.n))
+            if small_network.policy_count(i) <= 1:
+                continue
+            slots = small_network.relevant_slots(i)
+            if slots.size == 0:
+                continue
+            k = int(rng.choice(slots))
+            p = int(rng.integers(1, small_network.policy_count(i)))
+            obj.apply(energies, i, k, p)
+        base = obj.value(energies)
+        for i in range(small_network.n):
+            slots = small_network.relevant_slots(i)
+            if slots.size == 0 or small_network.policy_count(i) <= 1:
+                continue
+            k = int(slots[0])
+            gains = obj.partition_gains(energies, i, k)
+            assert gains[IDLE_POLICY] == pytest.approx(0.0)
+            for p in range(small_network.policy_count(i)):
+                after = energies + obj.added_energy(i, k)[p]
+                assert gains[p] == pytest.approx(obj.value(after) - base)
+
+    def test_batched_gains_match_per_row(self, small_network):
+        obj = HasteObjective(small_network)
+        rng = np.random.default_rng(1)
+        S = 4
+        energies = rng.uniform(0, 3000, size=(S, small_network.m))
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        k = int(small_network.relevant_slots(i)[0])
+        batched = obj.partition_gains(energies, i, k)
+        assert batched.shape == (S, small_network.policy_count(i))
+        for s in range(S):
+            single = obj.partition_gains(energies[s], i, k)
+            assert batched[s] == pytest.approx(single)
+
+    def test_apply_rows(self, small_network):
+        obj = HasteObjective(small_network)
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        k = int(small_network.relevant_slots(i)[0])
+        energies = obj.zero_energy((3,))
+        obj.apply_rows(energies, np.array([0, 2]), i, k, 1)
+        add = obj.added_energy(i, k)[1]
+        assert energies[0] == pytest.approx(add)
+        assert energies[1] == pytest.approx(np.zeros(small_network.m))
+        assert energies[2] == pytest.approx(add)
+
+    def test_inactive_slot_adds_nothing(self, small_network):
+        obj = HasteObjective(small_network)
+        for i in range(small_network.n):
+            if small_network.policy_count(i) <= 1:
+                continue
+            all_slots = set(range(small_network.num_slots))
+            irrelevant = all_slots - set(
+                int(k) for k in small_network.relevant_slots(i)
+            )
+            for k in list(irrelevant)[:2]:
+                add = obj.added_energy(i, k)
+                assert np.all(add == 0.0)
+
+
+class TestScheduleEvaluation:
+    def test_value_of_schedule_equals_setfunction(self, small_network):
+        obj = HasteObjective(small_network)
+        f = HasteSetFunction(obj)
+        rng = np.random.default_rng(3)
+        items = []
+        mat = haste_policy_matroid(small_network)
+        for g, choices in mat.groups.items():
+            if rng.random() < 0.6:
+                options = sorted(choices)
+                items.append(options[int(rng.integers(0, len(options)))])
+        sched = obj.items_to_schedule(items)
+        assert obj.value_of_schedule(sched) == pytest.approx(f.value(items))
+
+    def test_window_energies(self, small_network):
+        obj = HasteObjective(small_network)
+        sched = Schedule(small_network)
+        i = next(
+            i for i in range(small_network.n) if small_network.policy_count(i) > 1
+        )
+        slots = small_network.relevant_slots(i)
+        for k in slots:
+            sched.set(i, int(k), 1)
+        full = obj.energies_of_schedule(sched)
+        head = obj.energies_of_schedule(sched, stop=int(slots[0]) + 1)
+        tail = obj.energies_of_schedule(sched, start=int(slots[0]) + 1)
+        assert full == pytest.approx(head + tail)
+
+    def test_empty_schedule_is_zero(self, small_network):
+        obj = HasteObjective(small_network)
+        assert obj.value_of_schedule(Schedule(small_network)) == pytest.approx(0.0)
+
+
+class TestTaskMask:
+    def test_masked_tasks_invisible(self, small_network):
+        mask = np.zeros(small_network.m, dtype=bool)
+        mask[: small_network.m // 2] = True
+        obj = HasteObjective(small_network, task_mask=mask)
+        sched = Schedule(small_network)
+        for i in range(small_network.n):
+            for k in small_network.relevant_slots(i):
+                if small_network.policy_count(i) > 1:
+                    sched.set(i, int(k), 1)
+        energies = obj.energies_of_schedule(sched)
+        assert np.all(energies[~mask] == 0.0)
+
+    def test_masked_value_le_unmasked(self, small_network):
+        mask = np.zeros(small_network.m, dtype=bool)
+        mask[::2] = True
+        masked = HasteObjective(small_network, task_mask=mask)
+        full = HasteObjective(small_network)
+        sched = Schedule(small_network)
+        for i in range(small_network.n):
+            if small_network.policy_count(i) > 1:
+                for k in small_network.relevant_slots(i):
+                    sched.set(i, int(k), 1)
+        assert masked.value_of_schedule(sched) <= full.value_of_schedule(sched) + 1e-9
+
+    def test_bad_mask_shape_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            HasteObjective(small_network, task_mask=np.ones(3, dtype=bool))
+
+    def test_relevant_slots_shrink_under_mask(self, small_network):
+        mask = np.zeros(small_network.m, dtype=bool)
+        obj = HasteObjective(small_network, task_mask=mask)
+        for i in range(small_network.n):
+            assert obj.relevant_slots(i).size == 0

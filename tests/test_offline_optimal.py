@@ -1,0 +1,92 @@
+"""Unit tests for the exact solvers (MILP vs brute force vs greedy bounds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LogUtility
+from repro.objective import HasteObjective
+from repro.offline import brute_force_optimal, optimal_schedule, schedule_offline
+
+from conftest import build_network
+
+
+class TestMilpAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_values_agree_on_tiny_instances(self, seed):
+        net = build_network(seed, n=2, m=4, horizon=3)
+        milp = optimal_schedule(net)
+        brute = brute_force_optimal(net)
+        assert milp.objective_value == pytest.approx(
+            brute.objective_value, abs=1e-6
+        )
+
+    def test_milp_schedule_achieves_reported_value(self, tiny_network):
+        res = optimal_schedule(tiny_network)
+        obj = HasteObjective(tiny_network)
+        assert obj.value_of_schedule(res.schedule) == pytest.approx(
+            res.objective_value, abs=1e-6
+        )
+
+
+class TestOptimalDominatesHeuristics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_opt_at_least_greedy(self, seed):
+        net = build_network(seed + 10, n=3, m=6, horizon=4)
+        opt = optimal_schedule(net).objective_value
+        greedy = schedule_offline(net, 1, rng=np.random.default_rng(0)).objective_value
+        assert opt >= greedy - 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_greedy_within_half_of_opt(self, seed):
+        """Empirical check of the ½-approximation (Nemhauser et al.)."""
+        net = build_network(seed + 20, n=3, m=6, horizon=4)
+        opt = optimal_schedule(net).objective_value
+        greedy = schedule_offline(net, 1, rng=np.random.default_rng(0)).objective_value
+        assert greedy >= 0.5 * opt - 1e-9
+
+
+class TestSwitchingAwareMilp:
+    def test_switching_opt_below_relaxed_opt(self, tiny_network):
+        relaxed = optimal_schedule(tiny_network)
+        delayed = optimal_schedule(
+            tiny_network, include_switching=True, rho=0.5
+        )
+        assert delayed.objective_value <= relaxed.objective_value + 1e-6
+
+    def test_rho_zero_matches_relaxed(self, tiny_network):
+        relaxed = optimal_schedule(tiny_network)
+        delayed = optimal_schedule(tiny_network, include_switching=True, rho=0.0)
+        assert delayed.objective_value == pytest.approx(
+            relaxed.objective_value, abs=1e-6
+        )
+
+    def test_switching_value_monotone_in_rho(self, tiny_network):
+        vals = [
+            optimal_schedule(tiny_network, include_switching=True, rho=r).objective_value
+            for r in (0.0, 0.3, 0.8)
+        ]
+        assert vals[0] >= vals[1] - 1e-6 >= vals[2] - 2e-6
+
+    def test_invalid_rho(self, tiny_network):
+        with pytest.raises(ValueError):
+            optimal_schedule(tiny_network, include_switching=True, rho=1.5)
+
+
+class TestGuards:
+    def test_non_linear_utility_rejected(self, tiny_network):
+        tiny_network.utility = LogUtility.for_tasks(tiny_network.tasks)
+        with pytest.raises(TypeError):
+            optimal_schedule(tiny_network)
+
+    def test_brute_force_combination_guard(self):
+        net = build_network(0, n=5, m=14, horizon=8)
+        with pytest.raises(ValueError):
+            brute_force_optimal(net, max_combinations=10)
+
+    def test_summaries(self, tiny_network):
+        res = optimal_schedule(tiny_network)
+        assert "HASTE-R" in res.summary()
+        res2 = optimal_schedule(tiny_network, include_switching=True, rho=0.1)
+        assert "HASTE" in res2.summary()

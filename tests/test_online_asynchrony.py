@@ -1,0 +1,103 @@
+"""Tests for the asynchronous negotiation model (paper §6: chargers are
+"totally asynchronous"; the proof's linearization never assumes lock-step
+rounds, so dropping agents from rounds must not hurt solution quality)."""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.core import Schedule
+from repro.objective import HasteObjective
+from repro.online import negotiate_window
+from repro.online.ordering import commit_order_graph
+
+from conftest import build_network
+
+
+def negotiate(net, dropout: float, seed: int = 0):
+    obj = HasteObjective(net)
+    return negotiate_window(
+        net,
+        obj,
+        list(range(net.num_slots)),
+        1,
+        rng=np.random.default_rng(seed),
+        async_dropout=dropout,
+        async_rng=np.random.default_rng(seed + 1) if dropout > 0 else None,
+    )
+
+
+def value_of(net, res):
+    obj = HasteObjective(net)
+    sched = Schedule(net)
+    for (i, k, _c), p in res.table.items():
+        sched.set(i, k, p)
+    return obj.value_of_schedule(sched)
+
+
+class TestValidation:
+    def test_dropout_requires_rng(self, small_network):
+        obj = HasteObjective(small_network)
+        with pytest.raises(ValueError, match="async_rng"):
+            negotiate_window(
+                small_network,
+                obj,
+                [0],
+                1,
+                rng=np.random.default_rng(0),
+                async_dropout=0.5,
+            )
+
+    def test_dropout_range(self, small_network):
+        obj = HasteObjective(small_network)
+        with pytest.raises(ValueError, match="async_dropout"):
+            negotiate_window(
+                small_network,
+                obj,
+                [0],
+                1,
+                rng=np.random.default_rng(0),
+                async_dropout=1.0,
+                async_rng=np.random.default_rng(1),
+            )
+
+
+class TestAsynchronousQuality:
+    @pytest.mark.parametrize("dropout", [0.2, 0.5])
+    def test_terminates_and_commits(self, dropout):
+        net = build_network(0, n=5, m=12, horizon=5)
+        res = negotiate(net, dropout)
+        assert res.table  # committed something
+        assert res.stats.rounds > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_quality_insensitive_to_asynchrony(self, seed):
+        """Asynchronous runs stay within the greedy band of synchronous."""
+        net = build_network(seed, n=5, m=12, horizon=5)
+        sync_val = value_of(net, negotiate(net, 0.0, seed))
+        async_val = value_of(net, negotiate(net, 0.4, seed))
+        assert async_val >= 0.5 * sync_val - 1e-9
+        assert async_val <= 2.0 * sync_val + 1e-9
+
+    def test_rounds_stretch_under_dropout(self):
+        net = build_network(2, n=5, m=12, horizon=5)
+        sync_rounds = negotiate(net, 0.0).stats.rounds
+        async_rounds = negotiate(net, 0.6).stats.rounds
+        assert async_rounds >= sync_rounds
+
+    def test_trace_still_linearizable(self):
+        """The commit DAG stays acyclic under asynchrony (Thm 6.1)."""
+        net = build_network(3, n=5, m=12, horizon=5)
+        res = negotiate(net, 0.5)
+        g = commit_order_graph(res.commit_trace, list(net.neighbors))
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_matroid_respected(self):
+        net = build_network(4, n=5, m=12, horizon=5)
+        res = negotiate(net, 0.5)
+        seen = set()
+        for (i, k, c) in res.table:
+            assert (i, k, c) not in seen
+            seen.add((i, k, c))

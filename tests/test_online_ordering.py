@@ -1,0 +1,109 @@
+"""Tests for the Thm 6.1 commit-order linearization (repro.online.ordering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.objective import HasteObjective
+from repro.online import negotiate_window
+from repro.online.ordering import CommitEvent, commit_order_graph, linearize_commits
+
+from conftest import build_network
+
+
+def run_negotiation(seed=0, colors=1):
+    net = build_network(seed, n=5, m=12, horizon=5)
+    obj = HasteObjective(net)
+    res = negotiate_window(
+        net,
+        obj,
+        list(range(net.num_slots)),
+        colors,
+        rng=np.random.default_rng(0),
+        num_samples=8,
+    )
+    return net, res
+
+
+class TestCommitTrace:
+    def test_trace_matches_table(self):
+        net, res = run_negotiation()
+        assert len(res.commit_trace) == len(res.table)
+        for ev in res.commit_trace:
+            assert res.table[(ev.charger, ev.slot, ev.color)] == ev.policy
+
+    def test_rounds_positive(self):
+        _net, res = run_negotiation(1)
+        assert all(ev.round_index >= 1 for ev in res.commit_trace)
+
+
+class TestCommitOrderGraph:
+    def test_graph_is_acyclic(self):
+        """Thm 6.1's core structural claim, on a real trace."""
+        for seed in range(4):
+            net, res = run_negotiation(seed)
+            g = commit_order_graph(res.commit_trace, list(net.neighbors))
+            assert nx.is_directed_acyclic_graph(g)
+
+    def test_acyclic_with_colors(self):
+        net, res = run_negotiation(2, colors=3)
+        g = commit_order_graph(res.commit_trace, list(net.neighbors))
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_edges_only_between_neighbors_same_negotiation(self):
+        net, res = run_negotiation(3)
+        g = commit_order_graph(res.commit_trace, list(net.neighbors))
+        for (i1, k1, c1), (i2, k2, c2) in g.edges:
+            assert (k1, c1) == (k2, c2)
+            assert i2 == i1 or i2 in net.neighbors[i1]
+
+    def test_nodes_carry_metadata(self):
+        net, res = run_negotiation(4)
+        g = commit_order_graph(res.commit_trace, list(net.neighbors))
+        for node, data in g.nodes(data=True):
+            assert "round_index" in data and "policy" in data
+
+
+class TestLinearization:
+    def test_every_commit_once(self):
+        net, res = run_negotiation(0)
+        order = linearize_commits(res.commit_trace, list(net.neighbors))
+        assert sorted(
+            (e.charger, e.slot, e.color) for e in order
+        ) == sorted((e.charger, e.slot, e.color) for e in res.commit_trace)
+
+    def test_respects_neighbor_round_order(self):
+        net, res = run_negotiation(1)
+        order = linearize_commits(res.commit_trace, list(net.neighbors))
+        position = {
+            (e.charger, e.slot, e.color): pos for pos, e in enumerate(order)
+        }
+        for a in res.commit_trace:
+            for b in res.commit_trace:
+                if (a.slot, a.color) != (b.slot, b.color):
+                    continue
+                if a.round_index < b.round_index and (
+                    b.charger == a.charger or b.charger in net.neighbors[a.charger]
+                ):
+                    assert (
+                        position[(a.charger, a.slot, a.color)]
+                        < position[(b.charger, b.slot, b.color)]
+                    )
+
+    def test_cycle_detection(self):
+        """A hand-built inconsistent trace must be rejected."""
+        events = [
+            CommitEvent(0, 0, 0, 1, 1),
+            CommitEvent(1, 0, 0, 1, 1),
+        ]
+        neighbors = [frozenset({1}), frozenset({0})]
+        g = commit_order_graph(events, neighbors)
+        # Same round between neighbors: no edge either way → still a DAG.
+        assert nx.is_directed_acyclic_graph(g)
+        order = linearize_commits(events, neighbors)
+        assert len(order) == 2
+
+    def test_empty_trace(self):
+        assert linearize_commits([], []) == []

@@ -1,0 +1,116 @@
+"""Property-based tests for network precomputation invariants.
+
+Whatever the random layout, the precomputed matrices must satisfy the
+structural facts every scheduler silently relies on: coverage gates power,
+dominant sets partition-cover the receivable tasks, the neighbor relation
+is symmetric and task-witnessed, and relevant slots exactly track task
+activity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Charger, ChargerNetwork, ChargingTask
+
+
+@st.composite
+def layouts(draw):
+    n = draw(st.integers(1, 4))
+    m = draw(st.integers(1, 8))
+    coords = st.floats(min_value=0.0, max_value=40.0)
+    chargers = [
+        Charger(
+            i,
+            draw(coords),
+            draw(coords),
+            charging_angle=draw(st.floats(min_value=0.3, max_value=2 * np.pi)),
+            radius=draw(st.floats(min_value=3.0, max_value=50.0)),
+        )
+        for i in range(n)
+    ]
+    tasks = []
+    for j in range(m):
+        release = draw(st.integers(0, 3))
+        tasks.append(
+            ChargingTask(
+                j,
+                draw(coords),
+                draw(coords),
+                orientation=draw(st.floats(min_value=0.0, max_value=2 * np.pi)),
+                release_slot=release,
+                end_slot=release + draw(st.integers(1, 4)),
+                required_energy=draw(st.floats(min_value=1.0, max_value=1e5)),
+                receiving_angle=draw(st.floats(min_value=0.3, max_value=2 * np.pi)),
+            )
+        )
+    return ChargerNetwork(chargers, tasks, slot_seconds=60.0)
+
+
+class TestPrecomputeInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_power_gated_by_receivable(self, net):
+        assert np.all((net.power > 0) == net.receivable)
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_receivable_respects_distance(self, net):
+        for i in range(net.n):
+            too_far = net.dist[i] > net.chargers[i].radius + 1e-9
+            assert not np.any(net.receivable[i] & too_far)
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_dominant_sets_cover_every_receivable_task(self, net):
+        for i in range(net.n):
+            receivable = set(int(j) for j in np.flatnonzero(net.receivable[i]))
+            in_policies = set(
+                int(j) for j in np.flatnonzero(net.cover_masks[i][1:].any(axis=0))
+            )
+            assert in_policies == receivable
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_policy_sets_are_maximal(self, net):
+        """No dominant set of a charger strictly contains another."""
+        for i in range(net.n):
+            sets = [frozenset(np.flatnonzero(row)) for row in net.cover_masks[i][1:]]
+            for a in sets:
+                for b in sets:
+                    if a is not b:
+                        assert not a < b
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_neighbors_symmetric_and_witnessed(self, net):
+        for i, nbrs in enumerate(net.neighbors):
+            for j in nbrs:
+                assert i in net.neighbors[j]
+                shared = net.receivable[i] & net.receivable[j]
+                assert shared.any(), "neighbors must share a receivable task"
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_relevant_slots_track_activity(self, net):
+        for i in range(net.n):
+            relevant = set(int(k) for k in net.relevant_slots(i))
+            for k in range(net.num_slots):
+                has_active = bool(
+                    (net.receivable[i] & net.active[:, k]).any()
+                )
+                assert (k in relevant) == has_active
+
+    @settings(max_examples=40, deadline=None)
+    @given(layouts())
+    def test_orientations_cover_their_sets(self, net):
+        """Executing every non-idle policy's orientation really covers its
+        dominant set (cross-check of the orientation representative)."""
+        for i in range(net.n):
+            charger = net.chargers[i]
+            for p in range(1, net.policy_count(i)):
+                theta = net.policy_orientation(i, p)
+                for j in np.flatnonzero(net.cover_masks[i][p]):
+                    assert charger.covers(net.task_xy[j], theta)

@@ -1,0 +1,174 @@
+"""Property-based tests: the HASTE objective and utility invariants.
+
+These are the machine-checked versions of the paper's Lemma 4.2
+(normalization, monotonicity, submodularity of ``f``), the concavity
+premises behind Theorems 5.1/6.1, and the engine's delay accounting —
+exercised on randomly generated networks rather than fixed examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Charger,
+    ChargerNetwork,
+    ChargingTask,
+    LinearBoundedUtility,
+    LogUtility,
+    PowerLawUtility,
+    Schedule,
+)
+from repro.objective import HasteObjective, HasteSetFunction
+from repro.sim.engine import execute_schedule
+
+
+@st.composite
+def networks(draw, max_chargers=3, max_tasks=5, horizon=4):
+    """Random small charger networks."""
+    n = draw(st.integers(1, max_chargers))
+    m = draw(st.integers(1, max_tasks))
+    field = 30.0
+    coords = st.floats(min_value=0.0, max_value=field)
+    chargers = [
+        Charger(
+            i,
+            draw(coords),
+            draw(coords),
+            charging_angle=draw(st.floats(min_value=0.5, max_value=2 * np.pi)),
+            radius=draw(st.floats(min_value=5.0, max_value=40.0)),
+        )
+        for i in range(n)
+    ]
+    tasks = []
+    for j in range(m):
+        release = draw(st.integers(0, horizon - 2))
+        duration = draw(st.integers(1, horizon - release))
+        tasks.append(
+            ChargingTask(
+                j,
+                draw(coords),
+                draw(coords),
+                orientation=draw(st.floats(min_value=0.0, max_value=2 * np.pi)),
+                release_slot=release,
+                end_slot=release + duration,
+                required_energy=draw(st.floats(min_value=100.0, max_value=5000.0)),
+                receiving_angle=draw(st.floats(min_value=0.5, max_value=2 * np.pi)),
+                weight=1.0 / m,
+            )
+        )
+    return ChargerNetwork(chargers, tasks, slot_seconds=60.0)
+
+
+@st.composite
+def network_with_items(draw):
+    net = draw(networks())
+    f = HasteSetFunction(HasteObjective(net))
+    ground = sorted(f.ground_set)
+    subset = [it for it in ground if draw(st.booleans())]
+    return net, f, ground, subset
+
+
+class TestLemma42Properties:
+    @settings(max_examples=25, deadline=None)
+    @given(network_with_items())
+    def test_normalized(self, payload):
+        _net, f, _ground, _subset = payload
+        assert abs(f.value(())) < 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(network_with_items(), st.randoms())
+    def test_monotone(self, payload, pyrandom):
+        _net, f, ground, subset = payload
+        if not ground:
+            return
+        extra = pyrandom.choice(ground)
+        base = set(subset) - {extra}
+        assert f.value(base | {extra}) >= f.value(base) - 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(network_with_items(), st.randoms())
+    def test_diminishing_returns(self, payload, pyrandom):
+        """Δ(e | A) ≥ Δ(e | B) for A ⊆ B — the submodularity condition."""
+        _net, f, ground, subset = payload
+        if not ground:
+            return
+        extra = pyrandom.choice(ground)
+        b = set(subset) - {extra}
+        if not b:
+            return
+        a = {it for it in b if pyrandom.random() < 0.5}
+        gain_a = f.value(a | {extra}) - f.value(a)
+        gain_b = f.value(b | {extra}) - f.value(b)
+        assert gain_a >= gain_b - 1e-9
+
+
+class TestUtilityConcavityProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    def test_eq6_concavity_inequality(self, e_req, x1, x2, dx):
+        """Paper Eq. (6): U(x1+Δ) − U(x1) ≥ U(x2+Δ) − U(x2) for x1 ≤ x2."""
+        lo, hi = sorted((x1, x2))
+        for u in (
+            LinearBoundedUtility([e_req]),
+            LogUtility([e_req]),
+            PowerLawUtility([e_req], gamma=0.5),
+        ):
+            g_lo = float(np.asarray(u.gain(lo, dx)).ravel()[0])
+            g_hi = float(np.asarray(u.gain(hi, dx)).ravel()[0])
+            assert g_lo >= g_hi - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=1.0, max_value=1e5), st.floats(min_value=0.0, max_value=1e6))
+    def test_bounded_by_one(self, e_req, x):
+        u = LinearBoundedUtility([e_req])
+        assert 0.0 <= float(np.asarray(u(x)).ravel()[0]) <= 1.0
+
+
+class TestEngineProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(networks(), st.randoms(), st.floats(min_value=0.0, max_value=1.0))
+    def test_delay_bound_theorem_5_1(self, net, pyrandom, rho):
+        """Executed utility ∈ [(1 − ρ)·relaxed, relaxed] for any schedule."""
+        sched = Schedule(net)
+        for i in range(net.n):
+            p_count = net.policy_count(i)
+            if p_count <= 1:
+                continue
+            for k in range(net.num_slots):
+                if pyrandom.random() < 0.5:
+                    sched.set(i, k, pyrandom.randrange(1, p_count))
+        ex = execute_schedule(net, sched, rho=rho)
+        assert ex.total_utility <= ex.relaxed_utility + 1e-9
+        assert ex.total_utility >= (1 - rho) * ex.relaxed_utility - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(networks(), st.randoms())
+    def test_energy_conservation(self, net, pyrandom):
+        """Engine energies at ρ=0 equal the objective's accounting."""
+        sched = Schedule(net)
+        for i in range(net.n):
+            p_count = net.policy_count(i)
+            if p_count <= 1:
+                continue
+            for k in range(net.num_slots):
+                if pyrandom.random() < 0.5:
+                    sched.set(i, k, pyrandom.randrange(1, p_count))
+        obj = HasteObjective(net)
+        ex = execute_schedule(net, sched, rho=0.0)
+        assert np.allclose(ex.energies, obj.energies_of_schedule(sched))
+
+    @settings(max_examples=20, deadline=None)
+    @given(networks())
+    def test_empty_schedule_zero_everything(self, net):
+        ex = execute_schedule(net, Schedule(net), rho=0.3)
+        assert ex.total_utility == 0.0
+        assert ex.switch_count == 0
+        assert np.all(ex.energies == 0.0)

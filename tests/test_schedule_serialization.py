@@ -1,0 +1,70 @@
+"""Tests for schedule persistence (deploy-a-plan workflow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule
+from repro.core.policy import network_fingerprint
+from repro.offline import schedule_offline
+
+from conftest import build_network
+
+
+class TestFingerprint:
+    def test_stable_for_same_network(self, small_network):
+        assert network_fingerprint(small_network) == network_fingerprint(
+            small_network
+        )
+
+    def test_differs_for_different_layout(self):
+        a = build_network(0)
+        b = build_network(1)
+        assert network_fingerprint(a) != network_fingerprint(b)
+
+    def test_short_hex(self, small_network):
+        fp = network_fingerprint(small_network)
+        assert len(fp) == 16
+        int(fp, 16)  # valid hex
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, small_network):
+        res = schedule_offline(small_network, 2, rng=np.random.default_rng(0))
+        payload = res.schedule.to_dict(small_network)
+        again = Schedule.from_dict(small_network, payload)
+        assert again == res.schedule
+
+    def test_json_round_trip(self, small_network, tmp_path):
+        res = schedule_offline(small_network, 2, rng=np.random.default_rng(1))
+        path = tmp_path / "plan.json"
+        res.schedule.save_json(small_network, path)
+        again = Schedule.load_json(small_network, path)
+        assert again == res.schedule
+
+    def test_payload_is_json_serializable(self, small_network):
+        import json
+
+        payload = Schedule(small_network).to_dict(small_network)
+        json.dumps(payload)  # must not raise
+
+
+class TestValidation:
+    def test_wrong_network_rejected(self, small_network):
+        other = build_network(99)
+        payload = Schedule(small_network).to_dict(small_network)
+        with pytest.raises(ValueError, match="fingerprint"):
+            Schedule.from_dict(other, payload)
+
+    def test_unknown_format_rejected(self, small_network):
+        payload = Schedule(small_network).to_dict(small_network)
+        payload["format"] = "v999"
+        with pytest.raises(ValueError, match="format"):
+            Schedule.from_dict(small_network, payload)
+
+    def test_tampered_selections_rejected(self, small_network):
+        payload = Schedule(small_network).to_dict(small_network)
+        payload["selections"][0][0] = 999
+        with pytest.raises(ValueError):
+            Schedule.from_dict(small_network, payload)

@@ -1,0 +1,177 @@
+"""Unit tests for configuration, topology generators, and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import SimulationConfig, sample_network
+from repro.sim.topology import (
+    boundary_positions,
+    gaussian_positions,
+    grid_positions,
+    uniform_positions,
+)
+from repro.sim.workload import make_chargers, make_tasks
+
+
+class TestSimulationConfig:
+    def test_defaults_reasonable(self):
+        cfg = SimulationConfig()
+        assert cfg.rho == pytest.approx(1 / 12)
+        assert cfg.weight == pytest.approx(1 / cfg.num_tasks)
+
+    def test_paper_preset_matches_section_7_1(self):
+        cfg = SimulationConfig.paper()
+        assert cfg.num_chargers == 50
+        assert cfg.num_tasks == 200
+        assert cfg.alpha == 10000.0
+        assert cfg.beta == 40.0
+        assert cfg.radius == 20.0
+        assert cfg.field_size == 50.0
+        assert cfg.slot_seconds == 60.0
+        assert cfg.charging_angle == pytest.approx(np.pi / 3)
+        assert cfg.receiving_angle == pytest.approx(np.pi / 3)
+        assert cfg.duration_slots_min == 10
+        assert cfg.duration_slots_max == 120
+        assert cfg.energy_min == 5_000.0
+        assert cfg.energy_max == 20_000.0
+
+    def test_small_scale_preset(self):
+        cfg = SimulationConfig.small_scale()
+        assert cfg.num_chargers == 5
+        assert cfg.num_tasks == 10
+        assert cfg.field_size == 10.0
+        # Paper §3.1: task durations ≥ 2τ slots.
+        assert cfg.duration_slots_min >= 2 * cfg.tau
+
+    def test_replace(self):
+        cfg = SimulationConfig().replace(num_chargers=7)
+        assert cfg.num_chargers == 7
+
+    def test_explicit_weight(self):
+        cfg = SimulationConfig(task_weight=0.5)
+        assert cfg.weight == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rho": 1.5},
+            {"tau": -1},
+            {"energy_min": 0.0},
+            {"energy_min": 10.0, "energy_max": 5.0},
+            {"duration_slots_min": 0},
+            {"duration_slots_min": 10, "duration_slots_max": 5},
+            {"horizon_slots": 5, "duration_slots_max": 10},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+
+class TestTopologyGenerators:
+    def test_uniform_in_bounds(self, rng):
+        pts = uniform_positions(rng, 100, 50.0)
+        assert pts.shape == (100, 2)
+        assert np.all((pts >= 0) & (pts <= 50))
+
+    def test_uniform_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            uniform_positions(rng, -1, 10.0)
+
+    def test_gaussian_rejection_in_bounds(self, rng):
+        pts = gaussian_positions(rng, 200, 50.0, 30.0, 30.0)
+        assert np.all((pts >= 0) & (pts <= 50))
+
+    def test_gaussian_small_sigma_concentrated(self, rng):
+        pts = gaussian_positions(rng, 100, 50.0, 1.0, 1.0)
+        assert np.all(np.abs(pts - 25.0) < 10.0)
+
+    def test_gaussian_large_sigma_not_boundary_piled(self, rng):
+        """Rejection sampling (not clipping): no mass exactly on the walls."""
+        pts = gaussian_positions(rng, 300, 50.0, 40.0, 40.0)
+        on_wall = np.isclose(pts, 0.0).any(axis=1) | np.isclose(pts, 50.0).any(axis=1)
+        assert on_wall.mean() < 0.05
+
+    def test_gaussian_custom_centre(self, rng):
+        pts = gaussian_positions(rng, 50, 50.0, 0.5, 0.5, mu_x=10.0, mu_y=40.0)
+        assert np.all(np.abs(pts[:, 0] - 10.0) < 5.0)
+        assert np.all(np.abs(pts[:, 1] - 40.0) < 5.0)
+
+    def test_gaussian_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_positions(rng, 5, 10.0, -1.0, 1.0)
+
+    def test_grid_positions(self):
+        pts = grid_positions(9, 30.0)
+        assert pts.shape == (9, 2)
+        assert np.all((pts > 0) & (pts < 30))
+
+    def test_grid_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            grid_positions(4, 10.0, jitter=1.0)
+
+    def test_boundary_positions_on_perimeter(self):
+        pts = boundary_positions(8, 2.4)
+        for x, y in pts:
+            assert (
+                np.isclose(x, 0.0)
+                or np.isclose(x, 2.4)
+                or np.isclose(y, 0.0)
+                or np.isclose(y, 2.4)
+            )
+
+    def test_boundary_positions_distinct(self):
+        pts = boundary_positions(12, 4.0)
+        assert len({tuple(np.round(p, 6)) for p in pts}) == 12
+
+
+class TestWorkload:
+    def test_make_chargers_geometry(self, quick_config):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        chargers = make_chargers(quick_config, pts)
+        assert len(chargers) == 2
+        assert chargers[0].charging_angle == quick_config.charging_angle
+        assert chargers[1].x == 3.0
+
+    def test_make_tasks_within_config_ranges(self, quick_config, rng):
+        pts = rng.uniform(0, 50, (30, 2))
+        tasks = make_tasks(quick_config, pts, rng)
+        for t in tasks:
+            assert quick_config.energy_min <= t.required_energy <= quick_config.energy_max
+            assert (
+                quick_config.duration_slots_min
+                <= t.duration_slots
+                <= quick_config.duration_slots_max
+            )
+            assert t.end_slot <= quick_config.horizon_slots
+            assert t.weight == pytest.approx(quick_config.weight)
+
+    def test_make_tasks_range_overrides(self, quick_config, rng):
+        pts = rng.uniform(0, 50, (10, 2))
+        tasks = make_tasks(
+            quick_config, pts, rng, energy_range=(1.0, 2.0), duration_range=(3, 3)
+        )
+        for t in tasks:
+            assert 1.0 <= t.required_energy <= 2.0
+            assert t.duration_slots == 3
+
+    def test_sample_network_shapes(self, quick_config):
+        net = sample_network(quick_config, np.random.default_rng(0))
+        assert net.n == quick_config.num_chargers
+        assert net.m == quick_config.num_tasks
+        assert net.num_slots <= quick_config.horizon_slots
+
+    def test_sample_network_seeded(self, quick_config):
+        a = sample_network(quick_config, np.random.default_rng(5))
+        b = sample_network(quick_config, np.random.default_rng(5))
+        assert np.allclose(a.charger_xy, b.charger_xy)
+        assert np.allclose(a.task_xy, b.task_xy)
+        assert np.allclose(a.required_energy, b.required_energy)
+
+    def test_sample_network_custom_positions(self, quick_config):
+        rng = np.random.default_rng(0)
+        task_xy = np.full((quick_config.num_tasks, 2), 25.0)
+        net = sample_network(quick_config, rng, task_positions=task_xy)
+        assert np.allclose(net.task_xy, 25.0)

@@ -1,0 +1,156 @@
+"""Unit tests for the execution engine (switching delay ground truth)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Charger, ChargerNetwork, ChargingTask, Schedule
+from repro.objective import HasteObjective
+from repro.offline import schedule_offline
+from repro.sim.engine import execute_schedule, orientation_trace
+
+from conftest import build_network
+
+
+def single_charger_net():
+    """One charger, two tasks on opposite sides, 4 slots."""
+    chargers = [Charger(0, 0.0, 0.0, charging_angle=np.pi / 2, radius=10.0)]
+    tasks = [
+        ChargingTask(0, 5.0, 0.0, np.pi, 0, 4, 1e9, receiving_angle=np.pi),
+        ChargingTask(1, -5.0, 0.0, 0.0, 0, 4, 1e9, receiving_angle=np.pi),
+    ]
+    return ChargerNetwork(chargers, tasks, slot_seconds=60.0)
+
+
+def policy_covering(net, i, task):
+    for p in range(1, net.policy_count(i)):
+        if net.cover_masks[i][p, task]:
+            return p
+    raise AssertionError("no covering policy")
+
+
+class TestOrientationTrace:
+    def test_idle_keeps_orientation(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        p0 = policy_covering(net, 0, 0)
+        sched.set(0, 0, p0)
+        trace = orientation_trace(net, sched)
+        assert trace[0, 0] == pytest.approx(trace[0, 3])  # idle inherits
+
+    def test_initial_is_nan(self):
+        net = single_charger_net()
+        trace = orientation_trace(net, Schedule(net))
+        assert np.all(np.isnan(trace))
+
+
+class TestSwitchAccounting:
+    def test_first_activation_switches(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        sched.set(0, 0, policy_covering(net, 0, 0))
+        ex = execute_schedule(net, sched, rho=0.5)
+        assert ex.switches[0, 0]
+        assert ex.switch_count == 1
+
+    def test_same_policy_no_switch(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        p0 = policy_covering(net, 0, 0)
+        for k in range(4):
+            sched.set(0, k, p0)
+        ex = execute_schedule(net, sched, rho=0.5)
+        assert ex.switch_count == 1  # only the initial rotation
+
+    def test_alternation_switches_every_slot(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        p0 = policy_covering(net, 0, 0)
+        p1 = policy_covering(net, 0, 1)
+        for k in range(4):
+            sched.set(0, k, p0 if k % 2 == 0 else p1)
+        ex = execute_schedule(net, sched, rho=0.5)
+        assert ex.switch_count == 4
+
+    def test_idle_gap_does_not_force_switch(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        p0 = policy_covering(net, 0, 0)
+        sched.set(0, 0, p0)
+        sched.set(0, 2, p0)  # idle at slot 1
+        ex = execute_schedule(net, sched, rho=0.5)
+        assert ex.switch_count == 1
+
+
+class TestEnergyAccounting:
+    def test_energy_formula_single_slot(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        p0 = policy_covering(net, 0, 0)
+        sched.set(0, 0, p0)
+        ex = execute_schedule(net, sched, rho=0.25)
+        expected = net.power[0, 0] * 60.0 * 0.75  # switched slot
+        assert ex.energies[0] == pytest.approx(expected)
+        assert ex.energies[1] == pytest.approx(0.0)
+
+    def test_rho_zero_matches_objective(self, small_network):
+        res = schedule_offline(small_network, 1, rng=np.random.default_rng(0))
+        ex = execute_schedule(small_network, res.schedule, rho=0.0)
+        obj = HasteObjective(small_network)
+        assert ex.total_utility == pytest.approx(res.objective_value)
+        assert ex.energies == pytest.approx(obj.energies_of_schedule(res.schedule))
+
+    def test_utility_decreases_with_rho(self, small_network):
+        res = schedule_offline(small_network, 1, rng=np.random.default_rng(0))
+        values = [
+            execute_schedule(small_network, res.schedule, rho=r).total_utility
+            for r in (0.0, 0.3, 0.7, 1.0)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_worst_case_bound(self, small_network):
+        """Thm 5.1's worst-case accounting: delayed ≥ (1 − ρ) · relaxed."""
+        res = schedule_offline(small_network, 1, rng=np.random.default_rng(0))
+        for rho in (0.2, 0.6, 0.9):
+            ex = execute_schedule(small_network, res.schedule, rho=rho)
+            assert ex.total_utility >= (1 - rho) * ex.relaxed_utility - 1e-9
+
+    def test_inactive_tasks_receive_nothing(self):
+        net = single_charger_net()
+        sched = Schedule(net)
+        p0 = policy_covering(net, 0, 0)
+        sched.set(0, 0, p0)
+        ex = execute_schedule(net, sched)
+        # Task 1 was never covered.
+        assert ex.energies[1] == 0.0
+
+    def test_delivered_matrix_sums_to_energies(self, small_network):
+        res = schedule_offline(small_network, 2, rng=np.random.default_rng(3))
+        ex = execute_schedule(small_network, res.schedule, rho=0.3)
+        assert ex.delivered.sum(axis=0) == pytest.approx(ex.energies)
+
+    def test_additivity_across_chargers(self):
+        """Multi-charger power adds (paper §3.1)."""
+        chargers = [
+            Charger(0, -5.0, 0.0, charging_angle=np.pi / 2, radius=20.0),
+            Charger(1, 5.0, 0.0, charging_angle=np.pi / 2, radius=20.0),
+        ]
+        tasks = [
+            ChargingTask(0, 0.0, 0.0, 0.0, 0, 1, 1e9, receiving_angle=2 * np.pi)
+        ]
+        net = ChargerNetwork(chargers, tasks, slot_seconds=60.0)
+        sched = Schedule(net)
+        sched.set(0, 0, policy_covering(net, 0, 0))
+        sched.set(1, 0, policy_covering(net, 1, 0))
+        ex = execute_schedule(net, sched, rho=0.0)
+        expected = (net.power[0, 0] + net.power[1, 0]) * 60.0
+        assert ex.energies[0] == pytest.approx(expected)
+
+    def test_invalid_rho(self, small_network):
+        with pytest.raises(ValueError):
+            execute_schedule(small_network, Schedule(small_network), rho=1.5)
+
+    def test_summary_text(self, small_network):
+        ex = execute_schedule(small_network, Schedule(small_network))
+        assert "utility" in ex.summary()

@@ -1,0 +1,217 @@
+"""Unit tests for metric aggregation, the sweep runner, and parallel map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    SimulationConfig,
+    box_stats,
+    improvement_report,
+    parallel_starmap,
+    percent_improvement,
+    run_sweep,
+    run_trials,
+    spawn_seeds,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_mean_and_ci(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.n == 3
+        assert s.lo95 < 2.0 < s.hi95
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.lo95 == s.hi95 == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        bs = box_stats(range(1, 101))
+        assert bs.minimum == 1.0
+        assert bs.maximum == 100.0
+        assert bs.median == pytest.approx(50.5)
+        assert bs.q1 < bs.median < bs.q3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestImprovement:
+    def test_pairwise(self):
+        imp = percent_improvement([1.1, 2.0], [1.0, 1.0])
+        assert imp == pytest.approx([10.0, 100.0])
+
+    def test_zero_baseline_safe(self):
+        imp = percent_improvement([1.0], [0.0])
+        assert imp == pytest.approx([0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            percent_improvement([1.0], [1.0, 2.0])
+
+    def test_report_format(self):
+        text = improvement_report([1.1, 1.2], [1.0, 1.0])
+        assert "on average" in text and "at most" in text
+
+
+def _alg_constant(network, rng, config):
+    return 0.25
+
+
+def _alg_noise(network, rng, config):
+    return float(rng.uniform(0, 1))
+
+
+def _alg_size(network, rng, config):
+    return network.n / 100.0
+
+
+class TestRunSweep:
+    def _cfg(self):
+        return SimulationConfig.quick()
+
+    def test_shapes_and_names(self):
+        res = run_sweep(
+            self._cfg(),
+            "num_chargers",
+            [4, 8],
+            {"const": _alg_constant, "noise": _alg_noise},
+            trials=3,
+            seed=0,
+        )
+        assert res.values == [4, 8]
+        assert set(res.raw) == {"const", "noise"}
+        assert res.raw["const"].shape == (2, 3)
+        assert np.all(res.raw["const"] == 0.25)
+
+    def test_sweep_actually_varies_config(self):
+        res = run_sweep(
+            self._cfg(),
+            "num_chargers",
+            [4, 8],
+            {"size": _alg_size},
+            trials=2,
+            seed=0,
+        )
+        assert res.mean_series("size") == pytest.approx([0.04, 0.08])
+
+    def test_networks_paired_across_values(self):
+        """Same trial index → same topology seed regardless of sweep value."""
+        captured = {}
+
+        def capture(network, rng, config):
+            captured.setdefault(config.rho, []).append(network.task_xy.copy())
+            return 0.0
+
+        run_sweep(
+            self._cfg(), "rho", [0.0, 0.5], {"cap": capture}, trials=2, seed=3
+        )
+        for t in range(2):
+            assert np.allclose(captured[0.0][t], captured[0.5][t])
+
+    def test_deterministic(self):
+        kw = dict(trials=2, seed=9)
+        a = run_sweep(self._cfg(), "num_chargers", [4], {"n": _alg_noise}, **kw)
+        b = run_sweep(self._cfg(), "num_chargers", [4], {"n": _alg_noise}, **kw)
+        assert np.allclose(a.raw["n"], b.raw["n"])
+
+    def test_render_table(self):
+        res = run_sweep(
+            self._cfg(), "num_chargers", [4], {"const": _alg_constant}, trials=2
+        )
+        table = res.render()
+        assert "num_chargers" in table
+        assert "0.2500" in table
+
+    def test_config_builder(self):
+        def builder(base, value):
+            return base.replace(num_chargers=value * 2)
+
+        res = run_sweep(
+            self._cfg(),
+            "paired",
+            [2, 4],
+            {"size": _alg_size},
+            trials=1,
+            config_builder=builder,
+        )
+        assert res.mean_series("size") == pytest.approx([0.04, 0.08])
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            run_sweep(self._cfg(), "num_chargers", [4], {"c": _alg_constant}, trials=0)
+
+    def test_run_trials_single_point(self):
+        out = run_trials(self._cfg(), {"const": _alg_constant}, trials=4, seed=0)
+        assert out["const"].shape == (4,)
+        assert np.all(out["const"] == 0.25)
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallel:
+    def test_spawn_seeds_independent(self):
+        seeds = spawn_seeds(0, 3)
+        assert len(seeds) == 3
+        vals = [np.random.default_rng(s).integers(0, 1 << 30) for s in seeds]
+        assert len(set(int(v) for v in vals)) == 3
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_starmap_inline(self):
+        out = parallel_starmap(_square, [(2,), (3,)], processes=1)
+        assert out == [4, 9]
+
+    def test_starmap_parallel_matches_serial(self):
+        args = [(i,) for i in range(6)]
+        serial = parallel_starmap(_square, args, processes=1)
+        parallel = parallel_starmap(_square, args, processes=2)
+        assert serial == parallel
+
+    def test_sweep_parallel_matches_serial(self):
+        cfg = SimulationConfig.quick()
+        kwargs = dict(trials=2, seed=1)
+        serial = run_sweep(
+            cfg, "num_chargers", [4, 6], {"s": _alg_size}, processes=1, **kwargs
+        )
+        par = run_sweep(
+            cfg, "num_chargers", [4, 6], {"s": _alg_size}, processes=2, **kwargs
+        )
+        assert np.allclose(serial.raw["s"], par.raw["s"])
+
+
+class TestSweepCsvExport:
+    def test_csv_round_trips(self, tmp_path):
+        import csv
+
+        cfg = SimulationConfig.quick()
+        res = run_sweep(
+            cfg, "num_chargers", [4, 6], {"size": _alg_size}, trials=2, seed=0
+        )
+        path = tmp_path / "sweep.csv"
+        res.to_csv(path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["num_chargers", "trial", "size"]
+        assert len(rows) == 1 + 2 * 2  # header + values × trials
+        assert float(rows[1][2]) == res.raw["size"][0, 0]

@@ -1,0 +1,99 @@
+"""Unit tests for the generic set-function layer and property checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.submodular import (
+    ModularFunction,
+    WeightedCoverageFunction,
+    check_monotone,
+    check_normalized,
+    check_submodular,
+)
+
+
+class TestModularFunction:
+    def test_value_is_sum(self):
+        f = ModularFunction({"a": 1.0, "b": 2.0, "c": 4.0})
+        assert f.value(["a", "c"]) == pytest.approx(5.0)
+
+    def test_duplicates_ignored(self):
+        f = ModularFunction({"a": 1.0})
+        assert f.value(["a", "a"]) == pytest.approx(1.0)
+
+    def test_ground_set(self):
+        f = ModularFunction({"a": 1.0, "b": 2.0})
+        assert f.ground_set == frozenset({"a", "b"})
+
+    def test_marginal(self):
+        f = ModularFunction({"a": 1.0, "b": 2.0})
+        assert f.marginal({"a"}, "b") == pytest.approx(2.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ModularFunction({"a": -1.0})
+
+    def test_satisfies_all_three_properties(self):
+        f = ModularFunction({"a": 1.0, "b": 2.0, "c": 0.5})
+        assert check_normalized(f)
+        assert check_monotone(f)
+        assert check_submodular(f)
+
+
+class TestWeightedCoverage:
+    def _f(self):
+        return WeightedCoverageFunction(
+            {
+                "s1": frozenset({1, 2}),
+                "s2": frozenset({2, 3}),
+                "s3": frozenset({4}),
+            },
+            {1: 1.0, 2: 2.0, 3: 1.0, 4: 5.0},
+        )
+
+    def test_union_semantics(self):
+        f = self._f()
+        assert f.value(["s1"]) == pytest.approx(3.0)
+        assert f.value(["s1", "s2"]) == pytest.approx(4.0)  # element 2 once
+
+    def test_empty_is_zero(self):
+        assert check_normalized(self._f())
+
+    def test_monotone_and_submodular(self):
+        f = self._f()
+        assert check_monotone(f)
+        assert check_submodular(f)
+
+    def test_default_unit_weights(self):
+        f = WeightedCoverageFunction({"a": frozenset({1, 2}), "b": frozenset({2})})
+        assert f.value(["a", "b"]) == pytest.approx(2.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedCoverageFunction({"a": frozenset({1})}, {1: -1.0})
+
+
+class TestCheckers:
+    def test_monotone_detects_violation(self):
+        class Decreasing(ModularFunction):
+            def value(self, items):
+                return -super().value(items)
+
+        f = Decreasing({"a": 1.0})
+        assert not check_monotone(f)
+
+    def test_submodular_detects_supermodular(self):
+        class Quadratic(ModularFunction):
+            def value(self, items):
+                return float(len(set(items)) ** 2)
+
+        f = Quadratic({"a": 1.0, "b": 1.0, "c": 1.0})
+        assert not check_submodular(f)
+
+    def test_normalized_detects_offset(self):
+        class Offset(ModularFunction):
+            def value(self, items):
+                return super().value(items) + 1.0
+
+        assert not check_normalized(Offset({"a": 1.0}))

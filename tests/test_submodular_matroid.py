@@ -1,0 +1,120 @@
+"""Unit tests for matroids and the HASTE policy matroid (Lemma 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.submodular import (
+    PartitionMatroid,
+    UniformMatroid,
+    haste_policy_matroid,
+    verify_matroid_axioms,
+)
+
+
+class TestUniformMatroid:
+    def test_independence_by_cardinality(self):
+        mat = UniformMatroid({"a", "b", "c"}, k=2)
+        assert mat.is_independent([])
+        assert mat.is_independent(["a", "b"])
+        assert not mat.is_independent(["a", "b", "c"])
+
+    def test_foreign_items_rejected(self):
+        mat = UniformMatroid({"a"}, k=1)
+        assert not mat.is_independent(["z"])
+
+    def test_rank(self):
+        assert UniformMatroid({"a", "b", "c"}, k=2).rank() == 2
+
+    def test_axioms(self):
+        assert verify_matroid_axioms(UniformMatroid({"a", "b", "c", "d"}, k=2))
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            UniformMatroid({"a"}, k=-1)
+
+
+class TestPartitionMatroid:
+    def _mat(self):
+        return PartitionMatroid({"g1": ["a", "b"], "g2": ["c", "d", "e"]})
+
+    def test_one_per_group(self):
+        mat = self._mat()
+        assert mat.is_independent(["a", "c"])
+        assert not mat.is_independent(["a", "b"])
+
+    def test_group_of(self):
+        mat = self._mat()
+        assert mat.group_of("a") == "g1"
+        assert mat.group_of("e") == "g2"
+
+    def test_rank_equals_group_count(self):
+        assert self._mat().rank() == 2
+
+    def test_capacities(self):
+        mat = PartitionMatroid(
+            {"g1": ["a", "b", "c"]}, capacities={"g1": 2}
+        )
+        assert mat.is_independent(["a", "b"])
+        assert not mat.is_independent(["a", "b", "c"])
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMatroid({"g1": ["a"], "g2": ["a"]})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionMatroid({"g1": ["a"]}, capacities={"g1": -1})
+
+    def test_axioms(self):
+        assert verify_matroid_axioms(self._mat())
+
+    def test_axioms_with_capacity_two(self):
+        mat = PartitionMatroid(
+            {"g1": ["a", "b", "c"], "g2": ["d"]}, capacities={"g1": 2, "g2": 1}
+        )
+        assert verify_matroid_axioms(mat)
+
+    def test_can_extend(self):
+        mat = self._mat()
+        assert mat.can_extend(["a"], "c")
+        assert not mat.can_extend(["a"], "b")
+
+
+class TestAxiomVerifier:
+    def test_rejects_non_matroid(self):
+        class NotAMatroid(PartitionMatroid):
+            def is_independent(self, items):
+                # Violates downward closure: {a,b} in, {a} out.
+                s = frozenset(items)
+                return s in (frozenset(), frozenset({"a", "b"}))
+
+        bad = NotAMatroid({"g": ["a", "b"]})
+        assert not verify_matroid_axioms(bad)
+
+    def test_too_large_ground_raises(self):
+        mat = UniformMatroid(set(range(20)), k=2)
+        with pytest.raises(ValueError):
+            verify_matroid_axioms(mat)
+
+
+class TestHastePolicyMatroid(object):
+    def test_lemma_4_1_structure(self, tiny_network):
+        """Lemma 4.1: the policy constraint is a partition matroid."""
+        mat = haste_policy_matroid(tiny_network)
+        # Every item is (charger, slot, policy ≥ 1) and grouped by (i, k).
+        for (i, k), items in mat.groups.items():
+            for (ci, ck, p) in items:
+                assert (ci, ck) == (i, k)
+                assert p >= 1
+        if len(mat.ground_set) <= 12:
+            assert verify_matroid_axioms(mat)
+
+    def test_only_relevant_slots_present(self, tiny_network):
+        mat = haste_policy_matroid(tiny_network)
+        for (i, k) in mat.groups:
+            assert k in set(int(s) for s in tiny_network.relevant_slots(i))
+
+    def test_unit_capacity(self, small_network):
+        mat = haste_policy_matroid(small_network)
+        assert all(c == 1 for c in mat.capacities.values())

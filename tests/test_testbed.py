@@ -1,0 +1,153 @@
+"""Unit tests for the testbed emulation (§8: hardware, topologies, runs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testbed import (
+    TX91501,
+    TestbedReport,
+    build_testbed_network,
+    run_testbed,
+    topology_one,
+    topology_two,
+)
+
+
+class TestHardwareRecord:
+    def test_paper_constants(self):
+        # α is stored in watts; the paper's 41.93 figure is milliwatt-scale.
+        assert TX91501.alpha == pytest.approx(41.93e-3)
+        assert TX91501.beta == pytest.approx(0.6428)
+        assert TX91501.radius == 4.0
+        assert TX91501.charging_angle == pytest.approx(np.pi / 3)
+        assert TX91501.receiving_angle == pytest.approx(2 * np.pi / 3)
+        assert TX91501.rho == pytest.approx(1 / 12)
+        assert TX91501.tau == 1
+
+    def test_power_model_mw_scale(self):
+        pm = TX91501.power_model()
+        # ~15 mW at one metre — the plausible RF-harvesting regime.
+        p1m = pm.pair_power(1.0, TX91501.radius)
+        assert 0.005 < p1m < 0.05
+
+    def test_peak_power(self):
+        assert TX91501.peak_power() == pytest.approx(
+            TX91501.alpha / TX91501.beta**2
+        )
+
+
+class TestTopologyOne:
+    def test_shape(self):
+        net = topology_one()
+        assert net.n == 8
+        assert net.m == 8
+
+    def test_chargers_on_boundary(self):
+        net = topology_one()
+        side = 2.4
+        for c in net.chargers:
+            on_edge = (
+                np.isclose(c.x, 0.0)
+                or np.isclose(c.x, side)
+                or np.isclose(c.y, 0.0)
+                or np.isclose(c.y, side)
+            )
+            assert on_edge
+
+    def test_tasks_inside(self):
+        net = topology_one()
+        assert np.all((net.task_xy > 0) & (net.task_xy < 2.4))
+
+    def test_tasks_1_and_6_longest(self):
+        net = topology_one()
+        durations = [t.duration_slots for t in net.tasks]
+        top2 = sorted(range(8), key=lambda j: durations[j])[-2:]
+        assert set(top2) == {0, 5}
+
+    def test_every_task_receivable(self):
+        net = topology_one()
+        assert np.all(net.receivable.any(axis=0))
+
+    def test_energies_in_paper_range(self):
+        net = topology_one()
+        assert np.all(net.required_energy >= 3.0)
+        assert np.all(net.required_energy <= 5.0)
+
+    def test_deterministic(self):
+        assert np.allclose(topology_one().task_xy, topology_one().task_xy)
+
+    def test_weights_uniform(self):
+        net = topology_one()
+        assert net.weights == pytest.approx(np.full(8, 1 / 8))
+
+
+class TestTopologyTwo:
+    def test_shape(self):
+        net = topology_two()
+        assert net.n == 16
+        assert net.m == 20
+
+    def test_every_task_receivable(self):
+        net = topology_two()
+        assert np.all(net.receivable.any(axis=0))
+
+    def test_alternate_seed_differs(self):
+        assert not np.allclose(topology_two().task_xy, topology_two(seed=9).task_xy)
+
+
+class TestBuildTestbedNetwork:
+    def test_orientation_requires_rng(self):
+        with pytest.raises(ValueError):
+            build_testbed_network(
+                np.zeros((1, 2)),
+                np.ones((1, 2)),
+                [(0, 2)],
+                np.array([4.0]),
+            )
+
+    def test_explicit_orientations(self):
+        net = build_testbed_network(
+            np.array([[0.0, 0.0]]),
+            np.array([[1.0, 0.0]]),
+            [(0, 2)],
+            np.array([4.0]),
+            orientations=np.array([np.pi]),
+        )
+        assert net.tasks[0].orientation == pytest.approx(np.pi)
+        assert net.receivable[0, 0]
+
+
+class TestRunTestbed:
+    def test_offline_report(self):
+        rep = run_testbed(topology_one(), "offline", seed=3)
+        assert isinstance(rep, TestbedReport)
+        assert set(rep.task_utilities) == {"HASTE", "GreedyUtility", "GreedyCover"}
+        assert all(len(v) == 8 for v in rep.task_utilities.values())
+
+    def test_paper_orderings_topology_one(self):
+        rep = run_testbed(topology_one(), "offline", seed=3)
+        tot = rep.total_utility
+        assert tot["HASTE"] >= tot["GreedyUtility"] - 1e-9
+        assert tot["HASTE"] >= tot["GreedyCover"] - 1e-9
+
+    def test_paper_orderings_topology_one_online(self):
+        rep = run_testbed(topology_one(), "online", seed=3)
+        tot = rep.total_utility
+        assert tot["HASTE"] >= tot["GreedyUtility"] - 1e-9
+        assert tot["HASTE"] >= tot["GreedyCover"] - 1e-9
+
+    def test_render_contains_totals(self):
+        rep = run_testbed(topology_one(), "offline", seed=3)
+        assert "TOTAL" in rep.render()
+
+    def test_improvement_metrics(self):
+        rep = run_testbed(topology_one(), "offline", seed=3)
+        avg, mx = rep.improvement_over("GreedyCover")
+        assert mx >= avg
+        assert rep.total_improvement_over("GreedyCover") >= 0.0
+
+    def test_invalid_setting(self):
+        with pytest.raises(ValueError):
+            run_testbed(topology_one(), "hybrid")
