@@ -98,3 +98,80 @@ def test_distributed_negotiation(benchmark, network):
         iterations=1,
     )
     assert res.stats.negotiations > 0
+
+
+# ----------------------------------------------------------------------
+# Fast-path kernels: sparse policy matrices vs the dense reference, the
+# lazy partition sweep, and the incremental per-arrival constructors.
+# ----------------------------------------------------------------------
+def _first_partition(network):
+    i = next(i for i in range(network.n) if network.policy_count(i) > 1)
+    return i, int(network.relevant_slots(i)[0])
+
+
+@pytest.mark.parametrize("use_sparse", [False, True], ids=["dense", "sparse"])
+def test_gain_kernel(benchmark, network, use_sparse):
+    """Column-compressed gain scan vs the dense full-width reference."""
+    obj = HasteObjective(network, use_sparse=use_sparse)
+    energies = obj.zero_energy((24,))
+    i, k = _first_partition(network)
+    rows = np.arange(0, 24, 3)
+
+    gains = benchmark(obj.partition_gains_rows, energies, rows, i, k)
+    assert gains.shape == (rows.size, network.policy_count(i))
+
+
+@pytest.mark.parametrize("use_sparse", [False, True], ids=["dense", "sparse"])
+def test_apply_kernel(benchmark, network, use_sparse):
+    """In-place policy application on matched sample rows."""
+    obj = HasteObjective(network, use_sparse=use_sparse)
+    energies = obj.zero_energy((24,))
+    i, k = _first_partition(network)
+    rows = np.arange(0, 24, 3)
+    # Pick a policy that actually delivers energy at (i, k).
+    policy = int(obj.added_energy(i, k).sum(axis=1).argmax())
+
+    benchmark(obj.apply_rows, energies, rows, i, k, policy)
+    assert energies.sum() > 0
+
+
+@pytest.mark.parametrize("use_sparse", [False, True], ids=["dense", "sparse"])
+def test_energies_of_schedule(benchmark, network, use_sparse):
+    """Whole-schedule energy accumulation via the sparse column kernels."""
+    res = schedule_offline(network, 1, rng=np.random.default_rng(7))
+    obj = HasteObjective(network, use_sparse=use_sparse)
+
+    energies = benchmark(obj.energies_of_schedule, res.schedule)
+    assert energies.shape == (network.m,)
+
+
+@pytest.mark.parametrize("lazy", [False, True], ids=["eager", "lazy"])
+def test_centralized_sweep(benchmark, network, lazy):
+    """Full C=4 TabularGreedy sweep: lazy dirty-aware vs eager reference."""
+    scheduler = CentralizedScheduler(network)
+
+    res = benchmark.pedantic(
+        lambda: scheduler.run(
+            4, num_samples=16, rng=np.random.default_rng(8), lazy=lazy
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.objective_value > 0
+
+
+def test_masked_view_construction(benchmark, network):
+    """Per-arrival knowledge masking via the incremental constructor."""
+    base = HasteObjective(network)
+    known = network.release_slots <= int(np.median(network.release_slots))
+
+    view = benchmark(base.masked_view, known)
+    assert view.network is network
+
+
+def test_fresh_masked_objective(benchmark, network):
+    """Reference for masked_view: rebuilding the objective from scratch."""
+    known = network.release_slots <= int(np.median(network.release_slots))
+
+    obj = benchmark(lambda: HasteObjective(network, task_mask=known))
+    assert obj.network is network

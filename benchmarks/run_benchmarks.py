@@ -1,0 +1,279 @@
+"""Non-interactive before/after benchmark runner → ``BENCH_kernels.json``.
+
+Measures the fast-path scheduling kernels against the repository's seed
+implementation and writes a machine-readable report.  Two measurement
+modes are combined:
+
+* **seed-git** — end-to-end runs (centralized C=4 sweep, online
+  per-arrival replanning).  The "before" is the repository's actual root
+  commit, extracted with ``git archive`` into a temp directory and run in
+  a subprocess with its own ``PYTHONPATH``; "after" is the working tree.
+  Before/after repeats are interleaved in time so slow drift of the host
+  (thermal, co-tenants) hits both sides equally, and the median repeat is
+  reported.
+* **flags-reference** — in-process micro-kernels where the dense/eager
+  reference is still available behind flags (``use_sparse=False``,
+  ``lazy=False``).  Both sides run in this interpreter, interleaved, and
+  medians are reported.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # paper scale
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI-sized
+
+The default output path is ``BENCH_kernels.json`` next to the repo root;
+``--skip-seed`` falls back to flags-reference for the end-to-end rows
+(e.g. when the git history is unavailable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKER_CENTRALIZED = """
+import json, sys, time
+import numpy as np
+from repro.sim.config import SimulationConfig
+from repro.sim.workload import sample_network
+from repro.offline.centralized import schedule_offline
+
+scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
+net = sample_network(cfg, np.random.default_rng(net_seed))
+rng = np.random.default_rng(run_seed)
+t0 = time.perf_counter()
+res = schedule_offline(net, cfg.num_colors, num_samples=cfg.num_samples, rng=rng)
+dt = time.perf_counter() - t0
+print(json.dumps({"seconds": dt, "value": res.objective_value,
+                  "n": net.n, "m": net.m, "K": net.num_slots,
+                  "C": cfg.num_colors, "S": cfg.num_samples}))
+"""
+
+WORKER_ONLINE = """
+import json, sys, time
+import numpy as np
+from repro.sim.config import SimulationConfig
+from repro.sim.workload import sample_network
+from repro.online.runtime import run_online_haste
+
+scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
+net = sample_network(cfg, np.random.default_rng(net_seed))
+rng = np.random.default_rng(run_seed)
+t0 = time.perf_counter()
+run = run_online_haste(net, num_colors=cfg.num_colors, num_samples=cfg.num_samples,
+                       tau=cfg.tau, rho=cfg.rho, rng=rng)
+dt = time.perf_counter() - t0
+print(json.dumps({"seconds": dt, "events": run.events,
+                  "per_event": dt / max(run.events, 1),
+                  "utility": run.total_utility,
+                  "n": net.n, "m": net.m, "K": net.num_slots,
+                  "C": cfg.num_colors, "S": cfg.num_samples}))
+"""
+
+
+def extract_seed_tree(dest: Path) -> Path:
+    """Extract ``src/`` of the repo's root commit into ``dest``."""
+    root = subprocess.run(
+        ["git", "rev-list", "--max-parents=0", "HEAD"],
+        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
+    ).stdout.split()[0]
+    archive = subprocess.run(
+        ["git", "archive", root, "src"],
+        cwd=REPO_ROOT, check=True, capture_output=True,
+    ).stdout
+    subprocess.run(["tar", "-x"], cwd=dest, input=archive, check=True)
+    return dest / "src"
+
+
+def run_worker(worker: str, pythonpath: Path, args: list[str]) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(pythonpath))
+    out = subprocess.run(
+        [sys.executable, "-c", worker, *args],
+        check=True, capture_output=True, text=True, env=env,
+    ).stdout
+    return json.loads(out.strip().splitlines()[-1])
+
+
+def interleaved_subprocess_op(
+    *, op: str, worker: str, metric: str, scale: str, repeats: int,
+    before_path: Path, after_path: Path, net_seed: int = 7, run_seed: int = 11,
+) -> dict:
+    """Alternate before/after subprocess runs; report per-side medians."""
+    before, after, instance = [], [], {}
+    for r in range(repeats):
+        for side, path, sink in (("before", before_path, before),
+                                 ("after", after_path, after)):
+            res = run_worker(worker, path, [scale, str(net_seed), str(run_seed)])
+            sink.append(res)
+            instance = {k: res[k] for k in ("n", "m", "K", "C", "S")}
+            print(f"  {op} [{side} {r + 1}/{repeats}] "
+                  f"{res[metric]:.4f}s", flush=True)
+    b = statistics.median(r[metric] for r in before)
+    a = statistics.median(r[metric] for r in after)
+    # Agreement of the optimized value with the seed's is part of the
+    # report — the fast path must not buy speed with a different answer.
+    check_key = "value" if "value" in before[0] else "utility"
+    agree = max(abs(x[check_key] - y[check_key])
+                for x, y in zip(before, after))
+    return {
+        "op": op, "metric": metric, "mode": "seed-git", "scale": scale,
+        "instance": instance, "repeats": repeats,
+        "before_median_s": b, "after_median_s": a,
+        "speedup": b / a if a > 0 else float("inf"),
+        "max_abs_value_diff": agree,
+    }
+
+
+def interleaved_inprocess_op(
+    *, op: str, before_fn, after_fn, instance: dict, repeats: int = 7,
+    inner: int = 1, metric: str = "seconds",
+) -> dict:
+    """Alternate before/after callables in-process; report medians."""
+    before, after = [], []
+    for _ in range(repeats):
+        for fn, sink in ((before_fn, before), (after_fn, after)):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            sink.append((time.perf_counter() - t0) / inner)
+    b, a = statistics.median(before), statistics.median(after)
+    return {
+        "op": op, "metric": metric, "mode": "flags-reference",
+        "instance": instance, "repeats": repeats,
+        "before_median_s": b, "after_median_s": a,
+        "speedup": b / a if a > 0 else float("inf"),
+    }
+
+
+def micro_benchmarks(scale: str) -> list[dict]:
+    """In-process micro-kernels: dense/eager reference vs fast path."""
+    import numpy as np
+    from repro.objective import HasteObjective
+    from repro.offline import CentralizedScheduler, schedule_offline
+    from repro.sim import SimulationConfig, sample_network
+
+    cfg = (getattr(SimulationConfig, scale)() if scale != "default"
+           else SimulationConfig())
+    net = sample_network(cfg, np.random.default_rng(7))
+    instance = {"n": net.n, "m": net.m, "K": net.num_slots,
+                "C": cfg.num_colors, "S": cfg.num_samples}
+    S = cfg.num_samples
+    dense = HasteObjective(net, use_sparse=False)
+    sparse = HasteObjective(net, use_sparse=True)
+    i = next(i for i in range(net.n) if net.policy_count(i) > 1)
+    k = int(net.relevant_slots(i)[0])
+    rows = np.arange(0, S, 3)
+    e_dense = dense.zero_energy((S,))
+    e_sparse = sparse.zero_energy((S,))
+    results = [
+        interleaved_inprocess_op(
+            op="gain_kernel",
+            before_fn=lambda: dense.partition_gains_rows(e_dense, rows, i, k),
+            after_fn=lambda: sparse.partition_gains_rows(e_sparse, rows, i, k),
+            instance=instance, inner=50,
+        )
+    ]
+
+    sched = schedule_offline(net, 1, rng=np.random.default_rng(3)).schedule
+    results.append(
+        interleaved_inprocess_op(
+            op="energies_of_schedule",
+            before_fn=lambda: dense.energies_of_schedule(sched),
+            after_fn=lambda: sparse.energies_of_schedule(sched),
+            instance=instance, inner=5,
+        )
+    )
+
+    known = net.release_slots <= int(np.median(net.release_slots))
+    base = HasteObjective(net)
+    results.append(
+        interleaved_inprocess_op(
+            op="per_arrival_objective",
+            before_fn=lambda: HasteObjective(net, task_mask=known),
+            after_fn=lambda: base.masked_view(known),
+            instance=instance, inner=5,
+        )
+    )
+
+    scheduler = CentralizedScheduler(net)
+    results.append(
+        interleaved_inprocess_op(
+            op="sweep_lazy_vs_eager",
+            before_fn=lambda: scheduler.run(
+                cfg.num_colors, num_samples=S,
+                rng=np.random.default_rng(5), lazy=False),
+            after_fn=lambda: scheduler.run(
+                cfg.num_colors, num_samples=S,
+                rng=np.random.default_rng(5), lazy=True),
+            instance=instance, repeats=3 if scale == "paper" else 5,
+        )
+    )
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized instances instead of paper scale")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_kernels.json"))
+    parser.add_argument("--repeats-centralized", type=int, default=None)
+    parser.add_argument("--repeats-online", type=int, default=None)
+    parser.add_argument("--skip-seed", action="store_true",
+                        help="skip git-seed end-to-end rows")
+    parser.add_argument("--skip-online", action="store_true")
+    args = parser.parse_args()
+
+    scale = "quick" if args.quick else "paper"
+    rep_c = args.repeats_centralized or (3 if args.quick else 5)
+    rep_o = args.repeats_online or 3
+
+    results: list[dict] = []
+    if not args.skip_seed:
+        with tempfile.TemporaryDirectory() as tmp:
+            seed_src = extract_seed_tree(Path(tmp))
+            after_src = REPO_ROOT / "src"
+            print(f"centralized C=4 sweep ({scale}, {rep_c} repeats/side)")
+            results.append(interleaved_subprocess_op(
+                op="offline_centralized_c4", worker=WORKER_CENTRALIZED,
+                metric="seconds", scale=scale, repeats=rep_c,
+                before_path=seed_src, after_path=after_src,
+            ))
+            if not args.skip_online:
+                print(f"online replanning ({scale}, {rep_o} repeats/side)")
+                results.append(interleaved_subprocess_op(
+                    op="online_per_arrival", worker=WORKER_ONLINE,
+                    metric="per_event", scale=scale, repeats=rep_o,
+                    before_path=seed_src, after_path=after_src,
+                ))
+
+    print(f"micro-kernels ({scale})")
+    results.extend(micro_benchmarks(scale))
+
+    report = {
+        "description": "Fast-path scheduling kernels: before/after medians "
+                       "(interleaved repeats; seed-git rows run the repo's "
+                       "root commit as the 'before' side)",
+        "scale": scale,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    for r in results:
+        print(f"  {r['op']:28s} {r['before_median_s']:.4f}s → "
+              f"{r['after_median_s']:.4f}s  ({r['speedup']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

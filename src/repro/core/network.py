@@ -135,11 +135,24 @@ class ChargerNetwork:
         self._build_neighbors()
 
     def _build_policies(self) -> None:
-        """Dominant task sets → per-charger policy arrays."""
+        """Dominant task sets → per-charger policy arrays.
+
+        Besides the dense ``(P_i, m)`` masks the construction lays out the
+        *column-compressed* policy arrays the fast scheduling kernels use:
+        charger ``i`` can only ever touch its receivable tasks ``T_i``, so
+        ``policy_tasks[i]`` records those task indices and
+        ``sparse_cover[i]`` / ``sparse_power[i]`` are the ``(P_i, |T_i|)``
+        blocks of the dense matrices restricted to them.  All power blocks
+        live in one contiguous flat array (``policy_power_flat`` with
+        per-charger ``policy_offsets``) so a whole-fleet kernel can stream
+        them without pointer chasing.
+        """
         self.dominant_sets: list[list[DominantSet]] = []
         self.cover_masks: list[np.ndarray] = []  # (P_i, m) bool, row 0 = idle
         self.policy_power: list[np.ndarray] = []  # (P_i, m) float, W
         self.policy_orientations: list[np.ndarray] = []  # (P_i,), nan = idle
+        self.policy_tasks: list[np.ndarray] = []  # (|T_i|,) int — receivable columns
+        self.sparse_cover: list[np.ndarray] = []  # (P_i, |T_i|) bool
         for i in range(self.n):
             receivable_idx = np.flatnonzero(self.receivable[i])
             sets = dominant_sets_from_arcs(
@@ -157,6 +170,29 @@ class ChargerNetwork:
             self.cover_masks.append(cover)
             self.policy_power.append(cover * self.power[i][None, :])
             self.policy_orientations.append(orient)
+            self.policy_tasks.append(receivable_idx)
+            self.sparse_cover.append(cover[:, receivable_idx])
+        # Contiguous stacked power blocks: charger i's (P_i, |T_i|) block is
+        # policy_power_flat[policy_offsets[i]:policy_offsets[i+1]] reshaped.
+        sizes = [
+            self.sparse_cover[i].shape[0] * self.policy_tasks[i].size
+            for i in range(self.n)
+        ]
+        self.policy_offsets = np.concatenate(
+            [[0], np.cumsum(np.array(sizes, dtype=np.int64))]
+        )
+        self.policy_power_flat = np.empty(int(self.policy_offsets[-1]), dtype=float)
+        self.sparse_power: list[np.ndarray] = []  # (P_i, |T_i|) views into the flat array
+        for i in range(self.n):
+            cols = self.policy_tasks[i]
+            block = self.policy_power_flat[
+                int(self.policy_offsets[i]) : int(self.policy_offsets[i + 1])
+            ].reshape(self.sparse_cover[i].shape)
+            block[:] = self.sparse_cover[i] * self.power[i][cols][None, :]
+            self.sparse_power.append(block)
+        self._sparse_energy_cache: list[np.ndarray] | None = None
+        self._dense_energy_cache: list[np.ndarray] | None = None
+        self._active_sub_cache: list[np.ndarray] | None = None
 
     def _build_neighbors(self) -> None:
         """Chargers sharing a receivable task are neighbors (§6.1)."""
@@ -207,6 +243,45 @@ class ChargerNetwork:
         val = self.policy_orientations[charger][policy]
         return None if np.isnan(val) else float(val)
 
+    # ------------------------------------------------------------------
+    # Shared scheduling kernels (cached — networks are immutable)
+    # ------------------------------------------------------------------
+    def sparse_policy_energy(self) -> list[np.ndarray]:
+        """Per-charger ``(P_i, |T_i|)`` energy-per-slot blocks (joules).
+
+        ``sparse_power[i] * slot_seconds``, cached: every
+        :class:`~repro.objective.haste.HasteObjective` bound to this network
+        (the online runtime builds one per arrival event) shares the same
+        read-only blocks instead of reallocating ``Σ P_i·m`` floats each
+        time.  Callers must not mutate the returned arrays.
+        """
+        if self._sparse_energy_cache is None:
+            self._sparse_energy_cache = [
+                pw * self.slot_seconds for pw in self.sparse_power
+            ]
+        return self._sparse_energy_cache
+
+    def dense_policy_energy(self) -> list[np.ndarray]:
+        """Per-charger dense ``(P_i, m)`` energy-per-slot matrices (cached)."""
+        if self._dense_energy_cache is None:
+            self._dense_energy_cache = [
+                pw * self.slot_seconds for pw in self.policy_power
+            ]
+        return self._dense_energy_cache
+
+    def active_by_charger(self) -> list[np.ndarray]:
+        """Per-charger ``(|T_i|, K)`` activity rows of the receivable tasks.
+
+        Cached column gathers of :attr:`active`; masked objectives rebuild
+        their own copies against the masked activity instead.  Callers must
+        not mutate the returned arrays.
+        """
+        if self._active_sub_cache is None:
+            self._active_sub_cache = [
+                self.active[cols] for cols in self.policy_tasks
+            ]
+        return self._active_sub_cache
+
     def describe(self) -> str:
         """One-paragraph human-readable summary (used by the CLI)."""
         pol = sum(self.policy_count(i) - 1 for i in range(self.n))
@@ -222,13 +297,27 @@ class ChargerNetwork:
     # ------------------------------------------------------------------
     # Derived networks
     # ------------------------------------------------------------------
-    def restricted_to_tasks(self, task_ids: Sequence[int]) -> "ChargerNetwork":
+    def restricted_to_tasks(
+        self, task_ids: Sequence[int], *, incremental: bool = True
+    ) -> "ChargerNetwork":
         """A sub-network containing only the given tasks (re-indexed).
 
         Used by the online runtime to build each charger's *known* world
         before unreleased tasks exist.  Charger set and geometry are
         preserved; task ids are remapped to positions, with the original id
         recorded in :attr:`task_origin`.
+
+        With ``incremental=True`` (default) the sub-network *slices* this
+        network's precomputed ``dist`` / ``azimuth`` / ``receivable`` /
+        ``power`` columns instead of redoing the pairwise geometry, the
+        receivability predicate, and the power model from scratch; only the
+        task-subset-dependent pieces (slot grid, activity, dominant sets,
+        neighbors) are rebuilt, from the sliced per-charger arc data.  The
+        result is element-for-element identical to the full reconstruction
+        (``incremental=False``, kept as the verification reference) because
+        every sliced matrix is elementwise in the task column.  Either way
+        the sub-network carries the paper's default utility, as a freshly
+        restricted world does not inherit experiment-specific overrides.
         """
         ids = sorted(int(t) for t in task_ids)
         remapped = []
@@ -247,11 +336,46 @@ class ChargerNetwork:
                     weight=t.weight,
                 )
             )
-        sub = ChargerNetwork(
-            chargers=self.chargers,
-            tasks=remapped,
-            power_model=self.power_model,
-            slot_seconds=self.slot_seconds,
+        if not incremental:
+            sub = ChargerNetwork(
+                chargers=self.chargers,
+                tasks=remapped,
+                power_model=self.power_model,
+                slot_seconds=self.slot_seconds,
+            )
+            sub.task_origin = ids  # type: ignore[attr-defined]
+            return sub
+
+        cols = np.asarray(ids, dtype=int)
+        sub = object.__new__(ChargerNetwork)
+        sub.chargers = list(self.chargers)
+        sub.tasks = remapped
+        sub.power_model = self.power_model
+        sub.slot_seconds = self.slot_seconds
+        sub.utility = (
+            LinearBoundedUtility.for_tasks(remapped) if remapped else None
         )
+        sub.n, sub.m = self.n, len(remapped)
+        sub.grid = SlotGrid.for_tasks(remapped, self.slot_seconds)
+        sub.num_slots = sub.grid.num_slots
+        sub.charger_xy = self.charger_xy
+        sub.task_xy = self.task_xy[cols] if self.m else np.zeros((0, 2))
+        sub.weights = self.weights[cols]
+        sub.required_energy = self.required_energy[cols]
+        sub.release_slots = self.release_slots[cols]
+        sub.end_slots = self.end_slots[cols]
+        if sub.n and sub.m:
+            sub.dist = self.dist[:, cols]
+            sub.azimuth = self.azimuth[:, cols]
+            sub.receivable = self.receivable[:, cols]
+            sub.power = self.power[:, cols]
+        else:
+            sub.dist = np.zeros((sub.n, sub.m))
+            sub.azimuth = np.zeros((sub.n, sub.m))
+            sub.receivable = np.zeros((sub.n, sub.m), dtype=bool)
+            sub.power = np.zeros((sub.n, sub.m))
+        sub.active = sub.grid.activity_matrix(remapped)
+        sub._build_policies()
+        sub._build_neighbors()
         sub.task_origin = ids  # type: ignore[attr-defined]
         return sub

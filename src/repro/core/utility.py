@@ -57,6 +57,30 @@ class UtilityFunction(ABC):
             current
         )
 
+    def restrict(self, cols) -> "UtilityFunction | None":
+        """A utility over the task subset ``cols``, or ``None`` if unsupported.
+
+        The sparse scheduling kernels evaluate marginal gains only on the
+        columns a charger can reach; a restricted utility must therefore
+        accept energy vectors of length ``len(cols)`` and evaluate exactly
+        like the full utility does on those columns.  The default returns
+        ``None``, which makes callers fall back to the dense full-width
+        kernels — custom utilities stay correct without any extra work.
+        """
+        return None
+
+    def saturation_energies(self):
+        """Per-task energy beyond which the marginal gain is *exactly* zero.
+
+        Returns an array broadcastable against a task-energy vector, or
+        ``None`` when the utility has no hard saturation point (then no
+        exact-zero pruning is possible).  The lazy partition sweep uses this
+        to skip visits whose reachable tasks are all saturated — the gain of
+        every candidate policy is exactly ``0.0`` there, so the skip cannot
+        change the schedule.
+        """
+        return None
+
     def is_concave_on(self, grid) -> bool:
         """Empirical concavity check on a grid — used by property tests."""
         g = np.sort(np.asarray(grid, dtype=float))
@@ -97,6 +121,14 @@ class LinearBoundedUtility(UtilityFunction):
             cur / self.required_energy, 1.0
         )
 
+    def restrict(self, cols) -> "LinearBoundedUtility":
+        if self.required_energy.size == 1:
+            return type(self)(self.required_energy)
+        return type(self)(self.required_energy[np.asarray(cols, dtype=int)])
+
+    def saturation_energies(self):
+        return self.required_energy
+
 
 class LogUtility(UtilityFunction):
     """Smooth concave alternative ``U(x) = log(1 + x/E) / log 2`` (so ``U(E)=1``).
@@ -119,6 +151,11 @@ class LogUtility(UtilityFunction):
     def __call__(self, energy):
         x = np.asarray(energy, dtype=float)
         return np.log1p(np.maximum(x, 0.0) / self.required_energy) / np.log(2.0)
+
+    def restrict(self, cols) -> "LogUtility":
+        if self.required_energy.size == 1:
+            return type(self)(self.required_energy)
+        return type(self)(self.required_energy[np.asarray(cols, dtype=int)])
 
 
 class PowerLawUtility(UtilityFunction):
@@ -143,3 +180,13 @@ class PowerLawUtility(UtilityFunction):
     def __call__(self, energy):
         x = np.maximum(np.asarray(energy, dtype=float), 0.0)
         return np.minimum(np.power(x / self.required_energy, self.gamma), 1.0)
+
+    def restrict(self, cols) -> "PowerLawUtility":
+        if self.required_energy.size == 1:
+            return type(self)(self.required_energy, gamma=self.gamma)
+        return type(self)(
+            self.required_energy[np.asarray(cols, dtype=int)], gamma=self.gamma
+        )
+
+    def saturation_energies(self):
+        return self.required_energy

@@ -18,7 +18,13 @@ Implementation notes (performance-guide driven):
   evaluation (see :mod:`repro.submodular.estimation`);
 * the per-partition candidate scan is one numpy expression: the objective
   returns the marginal of *every* policy against the matching sample rows
-  at once (:meth:`repro.objective.haste.HasteObjective.partition_gains`);
+  at once (:meth:`repro.objective.haste.HasteObjective.partition_gains_rows`,
+  which gathers only the ``(rows × receivable columns)`` block);
+* the sweep is *lazy* by default (:mod:`repro.offline.lazy`): partitions
+  whose receivable tasks are untouched in the matching rows reuse cached
+  gains, and stale-upper-bound pruning skips provably idle visits — the
+  schedule is identical to the eager sweep's, with the avoided work
+  reported in :class:`OfflineResult`;
 * partitions are visited in ``(slot, charger)`` order by default; the
   TabularGreedy guarantee is order-invariant (the paper leans on this for
   Thm 6.1), and the tests verify order invariance for ``C = 1``.
@@ -36,6 +42,7 @@ from ..core.policy import Schedule
 from ..core.utility import UtilityFunction
 from ..objective.haste import HasteObjective
 from ..submodular.estimation import ColorSampler
+from .lazy import LazySweepState
 
 __all__ = ["OfflineResult", "CentralizedScheduler", "schedule_offline"]
 
@@ -58,12 +65,21 @@ class OfflineResult:
     num_samples: int
     table: dict = field(repr=False, default_factory=dict)
     partitions: int = 0
+    #: Partition visits with at least one matching sample — the eager
+    #: algorithm's scan count (Thm 5.1's work unit), lazy or not.
     candidate_scans: int = 0
+    #: Visits that actually ran the vectorized gain kernel.
+    fresh_scans: int = 0
+    #: Visits answered from the clean-partition gain cache.
+    cached_reuses: int = 0
+    #: Visits pruned outright by the stale upper bound.
+    pruned_skips: int = 0
 
     def summary(self) -> str:
         return (
             f"OfflineResult(f={self.objective_value:.6g}, C={self.num_colors}, "
-            f"S={self.num_samples}, partitions={self.partitions})"
+            f"S={self.num_samples}, partitions={self.partitions}, "
+            f"scans={self.fresh_scans}/{self.candidate_scans})"
         )
 
 
@@ -79,9 +95,10 @@ class CentralizedScheduler:
         network: ChargerNetwork,
         *,
         utility: UtilityFunction | None = None,
+        use_sparse: bool = True,
     ) -> None:
         self.network = network
-        self.objective = HasteObjective(network, utility)
+        self.objective = HasteObjective(network, utility, use_sparse=use_sparse)
         # Partitions in (slot, charger) order; chargers with only the idle
         # policy or no relevant slots never appear.
         parts: list[tuple[int, int]] = []
@@ -101,6 +118,7 @@ class CentralizedScheduler:
         rng: np.random.Generator | None = None,
         group_order: Sequence[tuple[int, int]] | None = None,
         final_draws: int = 8,
+        lazy: bool = True,
     ) -> OfflineResult:
         """Execute TabularGreedy and return the sampled schedule.
 
@@ -109,34 +127,66 @@ class CentralizedScheduler:
         by sampling (the maximum over draws is at least the expectation the
         guarantee is stated for).  ``final_draws = 1`` is the literal
         Algorithm 2.
+
+        ``lazy`` routes the sweep through the dirty-aware gain cache
+        (:class:`~repro.offline.lazy.LazySweepState`): partitions whose
+        receivable tasks are untouched in the matching sample rows reuse
+        their cached gains, and partitions whose stale upper bound cannot
+        clear ``MIN_GAIN`` are pruned without a scan.  ``lazy=False`` runs
+        the eager reference sweep; both produce the same schedule.
         """
         if num_colors < 1:
             raise ValueError(f"num_colors must be >= 1, got {num_colors}")
         rng = rng if rng is not None else np.random.default_rng()
         order = list(group_order) if group_order is not None else self.partitions
-        extra = [g for g in order if g not in set(self.partitions)]
+        known_partitions = set(self.partitions)
+        extra = [g for g in order if g not in known_partitions]
         if extra:
             raise ValueError(f"group_order contains unknown partitions: {extra!r}")
 
         sampler = ColorSampler(order, num_colors, num_samples, rng)
         S = sampler.num_samples
         energies = self.objective.zero_energy((S,))  # (S, m)
+        sweep = (
+            LazySweepState(self.objective, order, S, threshold=MIN_GAIN)
+            if lazy
+            else None
+        )
+        matches = sampler.matches_by_color()
+        bits = (
+            sweep.match_bits_by_color(sampler.colors, num_colors)
+            if sweep is not None
+            else None
+        )
 
         table: dict[tuple[int, int, int], int] = {}
         scans = 0
         for c in range(num_colors):
-            for (i, k) in order:
-                match = sampler.matching_samples((i, k), c)
+            color_matches = matches[c]
+            color_bits = bits[c] if bits is not None else None
+            for g, (i, k) in enumerate(order):
+                match = color_matches[g]
                 if match.size == 0:
                     continue
-                gains = self.objective.partition_gains(energies[match], i, k)
-                total = gains.sum(axis=0) / S  # (P_i,)
                 scans += 1
-                best_p = int(np.argmax(total))
+                if sweep is not None:
+                    mb = color_bits[g] if color_bits is not None else None
+                    total = sweep.totals(energies, i, k, match, mb)
+                    if total is None:
+                        continue  # provably idle — bit-identical skip
+                else:
+                    gains = self.objective.partition_gains_rows(
+                        energies, match, i, k
+                    )
+                    total = gains.sum(axis=0) / S  # (P_i,)
+                best_p = int(total.argmax())
                 if best_p == IDLE_POLICY or total[best_p] <= MIN_GAIN:
                     continue
                 table[(i, k, c)] = best_p
-                self.objective.apply_rows(energies, match, i, k, best_p)
+                if sweep is not None:
+                    sweep.commit(energies, i, k, best_p, match, mb)
+                else:
+                    self.objective.apply_rows(energies, match, i, k, best_p)
 
         if final_draws < 1:
             raise ValueError(f"final_draws must be >= 1, got {final_draws}")
@@ -144,9 +194,11 @@ class CentralizedScheduler:
         best_value = -np.inf
         for _ in range(final_draws if num_colors > 1 else 1):
             candidate = Schedule(self.network)
-            for (i, k) in order:
-                c = int(rng.integers(0, num_colors))
-                p = table.get((i, k, c))
+            # One batched draw per vector — bit-identical to per-partition
+            # scalar draws (the generator consumes the same stream).
+            draws = rng.integers(0, num_colors, size=len(order))
+            for (i, k), c in zip(order, draws):
+                p = table.get((i, k, int(c)))
                 if p is not None:
                     candidate.set(i, k, p)
             value = self.objective.value_of_schedule(candidate)
@@ -163,6 +215,9 @@ class CentralizedScheduler:
             table=table,
             partitions=len(order),
             candidate_scans=scans,
+            fresh_scans=sweep.fresh_scans if sweep is not None else scans,
+            cached_reuses=sweep.cached_reuses if sweep is not None else 0,
+            pruned_skips=sweep.pruned_skips if sweep is not None else 0,
         )
 
 

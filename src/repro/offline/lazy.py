@@ -1,0 +1,273 @@
+"""Dirty-aware lazy partition sweep for the TabularGreedy schedulers.
+
+The eager Algorithm 2 loop re-scans every partition ``(charger i, slot k)``
+once per color, but the gain vector of a partition only depends on the
+energies of the tasks charger ``i`` can reach (``T_i``) in the sample rows
+whose color draw matches — and those energies only change when some
+earlier commit actually charged one of those tasks in one of those rows.
+Three facts let the sweep answer many visits without running the full
+matched-rows gain kernel, *without changing a single scheduling decision*:
+
+* **Clean reuse.**  All sample rows start from the same common energy row
+  (zeros offline).  Until a commit touches a task ``j ∈ T_i`` in a matching
+  row, every matching row still equals that common row on the ``T_i``
+  columns, so the per-row gain vector equals the *base gains* computed once
+  against the common row (a single-row kernel, computed lazily at the first
+  clean visit) and the expectation is their sum over ``|match|`` identical
+  rows.  The sum is materialized with the same pairwise reduction the fresh
+  scan would use, so the reused totals are bit-identical.
+* **Stale upper bounds (CELF-style).**  The objective is submodular:
+  per-row marginal gains only shrink as energy accumulates, so the base
+  gains remain valid upper bounds forever.  If even the scaled upper bound
+  cannot clear the idle threshold, the partition is pruned without a scan —
+  the eager scan would have chosen idle too.
+* **Saturation pruning.**  For utilities with a hard saturation point
+  (:meth:`~repro.core.utility.UtilityFunction.saturation_energies` — the
+  paper's linear-bounded utility saturates at ``E_j``), a task at or past
+  saturation has *exactly zero* marginal gain.  A visit whose every
+  gain-carrying column (nonzero weight, some policy adds energy) is
+  saturated in every matching row therefore totals exactly ``0.0`` for all
+  policies — provably idle, skipped before the kernel runs.  At paper
+  scale (``f ≈ 0.74`` of demand met) this catches every idle visit of the
+  later color sweeps.
+
+Unlike :func:`repro.submodular.greedy.lazy_greedy_uniform` (whose CELF heap
+*reorders* candidate evaluation under a cardinality constraint), the
+locally greedy partition order here is fixed, so the heap machinery reduces
+to the bound check itself; the dirtiness tracking is what recovers the
+skipped work.  Dirtiness is tracked per ``(task, sample row)`` — packed
+into one ``uint64`` bitmask per task when ``S ≤ 64`` — so that, for
+``C > 1``, a commit only dirties the rows whose draw matched its color and
+partitions negotiating other colors keep reusing their cached gains.
+
+The sweep is exact: reused totals are bitwise the values the eager scan
+would compute, and pruned partitions are provably idle.  The equivalence
+tests assert the resulting schedules are identical to the eager reference
+on seeded instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..objective.haste import HasteObjective
+
+__all__ = ["LazySweepState"]
+
+
+class LazySweepState:
+    """Gain cache + dirtiness tracker for one TabularGreedy run.
+
+    Parameters
+    ----------
+    objective:
+        The bound :class:`~repro.objective.haste.HasteObjective`.
+    partitions:
+        The ``(charger, slot)`` groups the sweep will visit (accepted for
+        interface symmetry; state is allocated lazily per visited group).
+    num_samples:
+        ``S`` — number of Monte Carlo color sample rows.
+    initial_row:
+        The common per-task energy row all samples start from (``None`` →
+        zeros).  Base gains are computed against it.
+    threshold:
+        The scheduler's idle gain floor (``MIN_GAIN``); totals at or below
+        it never commit, which is what makes pruning safe.
+    """
+
+    def __init__(
+        self,
+        objective: HasteObjective,
+        partitions: list[tuple[int, int]],
+        num_samples: int,
+        initial_row: np.ndarray | None = None,
+        threshold: float = 0.0,
+    ) -> None:
+        self.objective = objective
+        self.num_samples = int(num_samples)
+        self.threshold = float(threshold)
+        m = objective.network.m
+        row = (
+            np.zeros(m, dtype=float)
+            if initial_row is None
+            else np.asarray(initial_row, dtype=float)
+        )
+        self._row1 = row[None, :]  # the (1, P) base-gain kernel input
+        # Base per-policy gains against the common initial row: both the
+        # clean-reuse values and the permanent upper bounds.  Filled lazily
+        # at each partition's first clean visit.
+        self.base_gains: dict[tuple[int, int], np.ndarray] = {}
+        self.base_max: dict[tuple[int, int], float] = {}
+        # dirty(j, s): task j's energy in sample row s has diverged from the
+        # common initial row.  Packed as one uint64 bitmask per task when
+        # the rows fit (the default S = 24 does).
+        self._packed = self.num_samples <= 64
+        if self._packed:
+            self.dirty_bits = np.zeros(m, dtype=np.uint64)
+            self._pow2 = np.uint64(1) << np.arange(
+                self.num_samples, dtype=np.uint64
+            )
+        else:
+            self.dirty = np.zeros((m, self.num_samples), dtype=bool)
+        # Saturation pruning state (sparse kernels + saturating utility
+        # only): per charger, the saturation energies of its receivable
+        # columns; per partition, the column positions that can carry gain.
+        sat = objective.utility.saturation_energies()
+        if sat is not None and objective.use_sparse:
+            sat_full = np.broadcast_to(np.asarray(sat, dtype=float), (m,))
+            self._sat_cols = [sat_full[cols] for cols in objective._cols]
+        else:
+            self._sat_cols = None
+        self._live: dict[tuple[int, int], np.ndarray] = {}
+        # Work counters (reported through OfflineResult).
+        self.fresh_scans = 0
+        self.cached_reuses = 0
+        self.pruned_skips = 0
+
+    def _sat_thresholds(self, charger: int, slot: int) -> np.ndarray:
+        """Per-column saturation thresholds for one partition's prune test.
+
+        A column with zero weight, or one no policy of this partition adds
+        energy to, contributes exactly ``0.0`` to every candidate's total —
+        it cannot block a saturation prune, so its threshold is ``-inf``
+        (always "saturated").  An empty result means no column can carry
+        gain at all (the visit is unconditionally idle).
+        """
+        key = (charger, slot)
+        thr = self._live.get(key)
+        if thr is None:
+            add = self.objective.added_energy_cols(charger, slot)
+            w = self.objective._w_cols[charger]
+            live = add.any(axis=0) & (w != 0.0)
+            sat = self._sat_cols[charger]
+            if live.all():
+                thr = sat
+            elif not live.any():
+                thr = sat[:0]
+            else:
+                thr = np.where(live, sat, -np.inf)
+            self._live[key] = thr
+        return thr
+
+    def match_bits_by_color(
+        self, colors: np.ndarray, num_colors: int
+    ) -> list[np.ndarray] | None:
+        """Bulk-precomputed row bitmasks for every ``(group, color)`` pair.
+
+        ``colors`` is the sampler's ``(S, G)`` draw matrix; the result's
+        ``[c][g]`` entry is the OR of ``2**row`` over the rows matching
+        color ``c`` for group ``g`` — what :meth:`totals` /
+        :meth:`mark_dirty` would otherwise rebuild per visit.  ``None``
+        when rows don't fit the packed representation.
+        """
+        if not self._packed:
+            return None
+        pw = self._pow2[:, None]
+        return [
+            ((colors == c) * pw).sum(axis=0, dtype=np.uint64)
+            for c in range(num_colors)
+        ]
+
+    def totals(
+        self,
+        energies: np.ndarray,
+        charger: int,
+        slot: int,
+        match: np.ndarray,
+        match_bits: np.uint64 | None = None,
+    ) -> np.ndarray | None:
+        """Expected gains ``(P_i,)`` for one partition visit.
+
+        Returns ``None`` when the visit is *provably idle* (stale upper
+        bound or saturation) — the eager scan would have chosen idle too.
+        Otherwise the returned totals are bitwise what the eager scan
+        computes: fresh kernel runs for dirty partitions, bit-identical
+        cached sums for clean ones.  Exactly one work counter is bumped per
+        call, so ``fresh + cached + pruned`` accounts for every visit.
+        """
+        key = (charger, slot)
+        S = self.num_samples
+        bound = self.base_max.get(key)
+        if bound is not None and bound * (match.size / S) <= self.threshold:
+            # Upper bound says even the best policy stays idle — prune.
+            self.pruned_skips += 1
+            return None
+        obj = self.objective
+        cols = obj._cols[charger]
+        if self._packed:
+            if match_bits is None:
+                match_bits = np.bitwise_or.reduce(self._pow2[match])
+            clean = not (self.dirty_bits[cols] & match_bits).any()
+        else:
+            clean = not self.dirty[cols[:, None], match].any()
+        if clean:
+            base = self.base_gains.get(key)
+            if base is None:
+                base = obj.partition_gains(self._row1, charger, slot)[0]
+                self.base_gains[key] = base
+                self.base_max[key] = float(base.max()) if base.size else 0.0
+            self.cached_reuses += 1
+            # Every matching row equals the initial common row on the
+            # receivable columns: reduce |match| copies of the base gains
+            # with the same pairwise sum the fresh kernel would use.
+            return (
+                np.broadcast_to(base, (match.size, base.size)).sum(axis=0) / S
+            )
+        if obj.use_sparse:
+            cur = energies[match[:, None], cols]
+            if self._sat_cols is not None:
+                thr = self._live.get(key)
+                if thr is None:
+                    thr = self._sat_thresholds(charger, slot)
+                if thr.size == 0 or (cur >= thr).all():
+                    # Every gain-carrying column is saturated in every
+                    # matching row: all totals are exactly 0.0 — idle.
+                    self.pruned_skips += 1
+                    return None
+            self.fresh_scans += 1
+            gains = obj._gains_cols(cur, charger, slot)
+        else:
+            self.fresh_scans += 1
+            gains = obj.partition_gains_rows(energies, match, charger, slot)
+        return gains.sum(axis=0) / S
+
+    def commit(
+        self,
+        energies: np.ndarray,
+        charger: int,
+        slot: int,
+        policy: int,
+        match: np.ndarray,
+        match_bits: np.uint64 | None = None,
+    ) -> None:
+        """Apply a committed policy to the matched rows and record the dirt.
+
+        Fuses :meth:`HasteObjective.apply_rows` with :meth:`mark_dirty` —
+        bitwise the same state updates, one cache lookup instead of three.
+        """
+        obj = self.objective
+        if obj.use_sparse:
+            add = obj.added_energy_cols(charger, slot)
+            energies[match[:, None], obj._cols[charger]] += add[policy]
+        else:
+            obj.apply_rows(energies, match, charger, slot, policy)
+        self.mark_dirty(charger, slot, policy, match, match_bits)
+
+    def mark_dirty(
+        self,
+        charger: int,
+        slot: int,
+        policy: int,
+        match: np.ndarray,
+        match_bits: np.uint64 | None = None,
+    ) -> None:
+        """Record a commit: the charged tasks diverge in the matched rows."""
+        changed = self.objective.changed_tasks(charger, slot, policy)
+        if changed.size == 0 or match.size == 0:
+            return
+        if self._packed:
+            if match_bits is None:
+                match_bits = np.bitwise_or.reduce(self._pow2[match])
+            self.dirty_bits[changed] |= match_bits
+        else:
+            self.dirty[changed[:, None], match] = True

@@ -1,0 +1,81 @@
+"""Loader for the optional C negotiation kernels (``_fastpath.c``).
+
+The distributed negotiation's inner loop is dispatch-bound: millions of
+tiny tensor evaluations whose arithmetic is a few hundred flops each.
+``_fastpath.c`` collapses each evaluation into one C call.  The extension
+is compiled on first import with the system C compiler and cached next to
+the source; anything going wrong — no compiler, no headers, sandboxed
+filesystem — degrades silently to the pure-NumPy path, which remains the
+reference implementation (the equivalence tests compare the two).
+
+Set ``REPRO_DISABLE_CKERNEL=1`` to force the NumPy path (used by the
+tests to pin C-vs-NumPy protocol equivalence, and available as an escape
+hatch).  No third-party packages are involved: just ``cc`` and the
+Python/NumPy headers that ship with the interpreter environment.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sysconfig
+from pathlib import Path
+
+__all__ = ["load"]
+
+_SRC = Path(__file__).with_name("_fastpath.c")
+
+
+def _build(so_path: Path) -> bool:
+    """Compile ``_fastpath.c`` → ``so_path``; True on success."""
+    import numpy as np
+
+    cc = os.environ.get("CC", "cc")
+    tmp = so_path.with_name(so_path.name + f".tmp{os.getpid()}")
+    cmd = [
+        cc,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        # Keep IEEE rounding bit-for-bit: no FMA contraction.
+        "-ffp-contract=off",
+        f"-I{sysconfig.get_paths()['include']}",
+        f"-I{np.get_include()}",
+        str(_SRC),
+        "-o",
+        str(tmp),
+    ]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, timeout=120)
+        if proc.returncode != 0 or not tmp.exists():
+            tmp.unlink(missing_ok=True)
+            return False
+        tmp.replace(so_path)  # atomic: concurrent builders race safely
+        return True
+    except (OSError, subprocess.TimeoutExpired):
+        tmp.unlink(missing_ok=True)
+        return False
+
+
+def load():
+    """Return the compiled ``_fastpath`` module, or ``None``."""
+    if os.environ.get("REPRO_DISABLE_CKERNEL"):
+        return None
+    tag = sysconfig.get_config_var("SOABI") or "generic"
+    so_path = _SRC.with_name(f"_fastpath.{tag}.so")
+    try:
+        stale = (
+            not so_path.exists()
+            or so_path.stat().st_mtime < _SRC.stat().st_mtime
+        )
+        if stale and not _build(so_path):
+            return None
+        spec = importlib.util.spec_from_file_location(
+            "repro.online._fastpath", so_path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    except Exception:
+        return None

@@ -25,6 +25,19 @@ argument to Algorithm 2 (whose guarantee is order-invariant).
 The Monte Carlo color draws (``C > 1``) are *public pseudorandomness*: all
 agents derive the same ``(S, partitions)`` color table from a shared seed,
 which needs no communication — only the seed — so locality is preserved.
+
+Simulation note: radio delivery is accounted, not materialized.  Within a
+round, every receiver of an advertisement would read the sender's latest
+``(ΔF*, e*)`` — in the synchronous model because all views are current, in
+the asynchronous model because a sleeping sender's *last* advertisement
+stays standing with every neighbor.  A single shared table of standing
+advertisements therefore reproduces each agent's inbox-derived knowledge
+exactly (agents only ever consult entries of their own neighbors), while
+the :class:`~repro.online.messaging.MessageStats` accounting — one
+transmission plus ``|N(s_i)|`` deliveries per broadcast, the Fig. 16
+quantities — is unchanged.  Energy views are likewise per-agent but
+stacked in one array, so a commit's fold into every receiver's view is a
+single batched scatter-add — see :class:`ChargerAgent`.
 """
 
 from __future__ import annotations
@@ -36,12 +49,19 @@ import numpy as np
 from ..core.network import IDLE_POLICY, ChargerNetwork
 from ..objective.haste import HasteObjective
 from ..submodular.estimation import ColorSampler
-from .messaging import CMD_NULL, CMD_UPDATE, Message, MessageBus, MessageStats
+from . import _ckernel
+from .messaging import MessageBus, MessageStats
 from .ordering import CommitEvent
 
 __all__ = ["ChargerAgent", "NegotiationResult", "negotiate_window"]
 
 MIN_GAIN: float = 1e-12
+
+#: Compiled negotiation kernels (``_fastpath.c``), or ``None`` when no C
+#: compiler is available / ``REPRO_DISABLE_CKERNEL`` is set.  The pure
+#: NumPy code below remains the reference implementation; the tests pin
+#: protocol-level equivalence between the two.
+_C = _ckernel.load()
 
 
 class ChargerAgent:
@@ -49,9 +69,11 @@ class ChargerAgent:
 
     ``energies`` is the agent's ``(S, m)`` view of per-task harvested
     energy under each Monte Carlo color sample, fed by its own commitments
-    and the ``UPD`` messages of neighbors.  Entries for tasks outside the
-    agent's coverage may be stale — they are never read (see module
-    docstring).
+    and the ``UPD`` messages of neighbors.  :func:`negotiate_window` hands
+    each agent a row of one stacked ``(n, S, m)`` array so commit folds
+    can be batched across receivers; the views themselves remain strictly
+    per-agent.  Entries for tasks outside the agent's coverage may be
+    stale — they are never read (see module docstring).
     """
 
     def __init__(
@@ -59,19 +81,100 @@ class ChargerAgent:
         index: int,
         objective: HasteObjective,
         num_samples: int,
-        initial_energies: np.ndarray | None = None,
+        energies: np.ndarray | None = None,
     ) -> None:
         self.index = index
         self.objective = objective
-        if initial_energies is not None:
-            if initial_energies.shape != (num_samples, objective.network.m):
-                raise ValueError("initial_energies has the wrong shape")
-            self.energies = initial_energies.copy()
+        if energies is not None:
+            if energies.shape != (num_samples, objective.network.m):
+                raise ValueError("energies has the wrong shape")
+            self.energies = energies
         else:
             self.energies = objective.zero_energy((num_samples,))
-        #: latest advertised gain per neighbor for the active negotiation;
-        #: ``None`` marks a neighbor known to be decided.
-        self.neighbor_gains: dict[int, float | None] = {}
+        #: cached own proposal for the active negotiation; valid until a
+        #: commit changes this agent's energy view.
+        self._proposal: tuple[float, int] | None = None
+        #: sample-row bitmask of the active negotiation's matching rows.
+        self._match_bits: int = 0
+        #: the matching rows themselves, as plain ints for bit tests.
+        self._row_list: list[int] = []
+        self._rows: np.ndarray | None = None
+        self._rows_col: np.ndarray | None = None
+        #: per-matching-row gain vectors ``(R, P_i)`` for the active
+        #: negotiation; rows are recomputed selectively (the kernel is
+        #: row-independent, so a partial refresh is bitwise identical).
+        self._row_gains: np.ndarray | None = None
+        self._dirty_pos: set[int] = set()
+        self._add: np.ndarray | None = None
+        # Receivable-task bitmask — lets note_commit test column overlap
+        # with one integer AND.  The linear-bounded sparse case also binds
+        # the kernel's inputs here so best_candidate can inline it.
+        cols = getattr(objective, "_cols", None)
+        if cols is not None:
+            bits = 0
+            for t in cols[index]:
+                bits |= 1 << int(t)
+            self._col_bits: int | None = bits
+        else:
+            self._col_bits = None
+        util_E = getattr(objective, "_util_E", None)
+        self._fast = (
+            objective.use_sparse
+            and util_E is not None
+            and util_E[index] is not None
+        )
+        self._ck = None
+        if self._fast:
+            self._cols_i = np.ascontiguousarray(objective._cols[index])
+            self._E_i = np.ascontiguousarray(util_E[index])
+            self._w_i = np.ascontiguousarray(objective._w_cols[index])
+            num_policies = objective.network.policy_count(index)
+            if (
+                _C is not None
+                and self._cols_i.dtype == np.intp
+                and 2 <= num_policies <= 512
+                and 0 < self._cols_i.size <= 512
+            ):
+                # Compiled kernels: the gather/element-wise stage and the
+                # sum/argmax stage become one C call each; only the
+                # BLAS-ordered weighted sum stays in NumPy, keeping the
+                # result bit-identical to the pure NumPy path.  Buffers
+                # are allocated once at the window's full sample count
+                # and sliced per negotiation.
+                self._ck = _C
+                t = self._cols_i.size
+                self._tens_full = np.empty((num_samples, num_policies, t))
+                self._rg_full = np.empty((num_samples, num_policies))
+
+    def reset_negotiation(
+        self,
+        slot: int,
+        match_bits: int,
+        match_rows: np.ndarray,
+        row_list: list[int] | None = None,
+        add: np.ndarray | None = None,
+    ) -> None:
+        """Start a fresh ``(slot, color)`` negotiation.
+
+        ``row_list`` and ``add`` let :func:`negotiate_window` pass its
+        window-level precomputations (the rows as plain ints, the agent's
+        per-slot added-energy block); both are derived locally when absent.
+        """
+        self._proposal = None
+        self._match_bits = match_bits
+        self._rows = match_rows
+        if row_list is not None:
+            self._row_list = row_list
+        else:
+            self._row_list = [int(r) for r in match_rows]
+        self._rows_col = None
+        self._row_gains = None
+        self._dirty_pos.clear()
+        if self._fast:
+            if add is not None:
+                self._add = add
+            else:
+                self._add = self.objective.added_energy_cols(self.index, slot)
 
     def best_candidate(
         self, slot: int, match_rows: np.ndarray, total_samples: int
@@ -80,24 +183,114 @@ class ChargerAgent:
 
         ``match_rows`` are the color-sample indices whose draw for the
         partition equals the color under negotiation; the expectation is
-        normalized by the full sample count.
+        normalized by the full sample count.  The result is cached between
+        negotiation rounds: an agent's marginal only changes when a commit
+        touches its view (:meth:`note_commit` invalidates), so
+        re-advertising an untouched proposal skips the kernel entirely —
+        the dominant per-arrival saving of the incremental runtime.
         """
-        if match_rows.size == 0:
-            return 0.0, IDLE_POLICY
-        gains = self.objective.partition_gains(
-            self.energies[match_rows], self.index, slot
-        )
-        total = gains.sum(axis=0) / total_samples
-        best_p = int(np.argmax(total))
+        if self._proposal is not None:
+            return self._proposal
+        if not self._row_list:
+            self._proposal = (0.0, IDLE_POLICY)
+            return self._proposal
+        rg = self._row_gains
+        if self._ck is not None:
+            # Compiled path, bit-identical to the NumPy branch below: C
+            # refreshes the dirty rows of the difference tensor and later
+            # the column-sum/argmax; the weighted sum over tasks keeps
+            # NumPy's own matmul (its BLAS summation order is part of the
+            # reference semantics — see _fastpath.c).
+            n_rows = len(self._row_list)
+            if rg is None:
+                rg = self._row_gains = self._rg_full[:n_rows]
+                dirty = None
+            else:
+                dirty = sorted(self._dirty_pos)
+            tens = self._tens_full[:n_rows]
+            self._ck.fill(
+                self.energies, tens, self._rows, dirty,
+                self._cols_i, self._add, self._E_i,
+            )
+            np.matmul(tens, self._w_i, out=rg)
+            best_p, best_v = self._ck.finish(rg, total_samples)
+            self._dirty_pos.clear()
+            if best_p == IDLE_POLICY or best_v <= MIN_GAIN:
+                self._proposal = (0.0, IDLE_POLICY)
+            else:
+                self._proposal = (best_v, best_p)
+            return self._proposal
+        if self._fast:
+            # Inlined sparse linear-bounded kernel — the exact ufunc
+            # sequence of HasteObjective._gains_cols, minus the per-call
+            # dispatch layers (this runs millions of times per online run).
+            E, add, w = self._E_i, self._add, self._w_i
+            rows_col = self._rows_col
+            if rows_col is None:
+                rows_col = self._rows_col = self._rows[:, None]
+            if rg is None:
+                cur = self.energies[rows_col, self._cols_i]
+                tens = cur[:, None, :]
+                rg = self._row_gains = (
+                    np.minimum((tens + add) / E, 1.0)
+                    - np.minimum(tens / E, 1.0)
+                ) @ w
+            elif self._dirty_pos:
+                # Refresh only the rows commits touched since the last
+                # compute; the kernel treats rows independently, so the
+                # patched array is bitwise equal to a fresh evaluation.
+                pos = sorted(self._dirty_pos)
+                cur = self.energies[rows_col[pos], self._cols_i]
+                tens = cur[:, None, :]
+                rg[pos] = (
+                    np.minimum((tens + add) / E, 1.0)
+                    - np.minimum(tens / E, 1.0)
+                ) @ w
+        else:
+            if rg is None:
+                rg = self._row_gains = self.objective.partition_gains_rows(
+                    self.energies, match_rows, self.index, slot
+                )
+            elif self._dirty_pos:
+                pos = sorted(self._dirty_pos)
+                rg[pos] = self.objective.partition_gains_rows(
+                    self.energies, match_rows[pos], self.index, slot
+                )
+        self._dirty_pos.clear()
+        total = rg.sum(axis=0) / total_samples
+        best_p = int(total.argmax())
         if best_p == IDLE_POLICY or total[best_p] <= MIN_GAIN:
-            return 0.0, IDLE_POLICY
-        return float(total[best_p]), best_p
+            self._proposal = (0.0, IDLE_POLICY)
+        else:
+            self._proposal = (float(total[best_p]), best_p)
+        return self._proposal
 
-    def observe_commit(
-        self, sender: int, slot: int, policy: int, match_rows: np.ndarray
-    ) -> None:
-        """Fold a neighbor's (or our own) committed policy into the view."""
-        self.objective.apply_rows(self.energies, match_rows, sender, slot, policy)
+    def note_commit(self, sender_bits: int, changed_bits: int) -> None:
+        """Maintain the caches after a neighbor's commit touched the view.
+
+        The energy fold itself happens once, in :func:`negotiate_window`
+        (see the class docstring); this method only decides whether the
+        cached proposal survives.  It depends on the ``(matching rows ×
+        receivable tasks)`` block alone, so a commit whose touched block
+        is provably disjoint — the sender's matching rows miss ours, or
+        its changed tasks miss our receivable set — leaves the proposal
+        bit-identical and costs two integer ANDs.
+        """
+        if self._proposal is None and self._row_gains is None:
+            return  # nothing cached to maintain
+        if not (sender_bits & self._match_bits):
+            return
+        if self._col_bits is not None and not (changed_bits & self._col_bits):
+            return
+        self._proposal = None
+        if self._col_bits is not None:
+            # Only rows the commit actually wrote need a fresh gain vector.
+            dirty = self._dirty_pos
+            for p, r in enumerate(self._row_list):
+                if (sender_bits >> r) & 1:
+                    dirty.add(p)
+        else:
+            self._row_gains = None
 
 
 @dataclass
@@ -166,38 +359,108 @@ def negotiate_window(
     ]
     sampler = ColorSampler(part_keys, num_colors, num_samples, rng)
     S = sampler.num_samples
+    # Bulk-precompute every (partition, color) row match once per window —
+    # identical to per-negotiation ``matching_samples`` lookups.
+    group_index = {key: g for g, key in enumerate(part_keys)}
+    all_matches = sampler.matches_by_color()
+    # Window-level precompute per (color, group): the rows as a native-int
+    # index array, as a plain-int list (for bit tests), and as a bitmask —
+    # every negotiation touching the group reuses them.
+    all_matches = [
+        [np.ascontiguousarray(rows, dtype=np.intp) for rows in per_color]
+        for per_color in all_matches
+    ]
+    row_lists = [
+        [[int(r) for r in rows] for rows in per_color]
+        for per_color in all_matches
+    ]
+    row_bits = [
+        [sum(1 << r for r in rl) for rl in per_color]
+        for per_color in row_lists
+    ]
 
-    if initial_energies is not None and initial_energies.ndim == 1:
-        initial_energies = np.broadcast_to(
-            initial_energies, (S, network.m)
+    # Per-agent energy views, stacked into one (n, S, m) array so a commit
+    # can be folded into all its receivers' views with a single batched
+    # scatter-add: every receiver gets the same addend at distinct index
+    # triples, bit-identical to folding each inbox separately.  Views stay
+    # per-agent — an agent that already decided a negotiation misses its
+    # later commits, exactly as in the message-passing protocol.
+    if initial_energies is not None:
+        if initial_energies.ndim == 1:
+            initial_energies = initial_energies[None, None, :]
+        else:
+            initial_energies = initial_energies[None, :, :]
+        views = np.broadcast_to(
+            initial_energies, (network.n, S, network.m)
         ).copy()
-    agents = {
-        i: ChargerAgent(i, objective, S, initial_energies) for i in participants
-    }
+    else:
+        views = objective.zero_energy((network.n, S))
+    agents = {i: ChargerAgent(i, objective, S, views[i]) for i in participants}
+    use_sparse = objective.use_sparse
+    sparse_cols = objective._cols if use_sparse else None
+    if use_sparse and _C is not None:
+        sparse_cols = [
+            np.ascontiguousarray(c, dtype=np.intp) for c in sparse_cols
+        ]
+    # (charger, slot, policy) → int bitmask of the tasks the commit funds.
+    changed_bits_cache: dict[tuple[int, int, int], int] = {}
     bus = bus if bus is not None else MessageBus(list(network.neighbors))
     bus.reset_inboxes()
+    stats = bus.stats
+    neighbors = network.neighbors
+    degree = [len(nbrs) for nbrs in neighbors]
 
     table: dict[tuple[int, int, int], int] = {}
     commit_trace: list[CommitEvent] = []
+    sync = async_dropout == 0.0
 
     for k in slots:
         k = int(k)
         active_agents = [i for i in participants if k in relevant[i]]
         if not active_agents:
             continue
+        gidx = [(i, group_index[(i, k)]) for i in active_agents]
+        deg_active = sum(degree[i] for i in active_agents)
+        adds_k = (
+            {i: objective.added_energy_cols(i, k) for i in active_agents}
+            if use_sparse
+            else None
+        )
         for c in range(num_colors):
-            bus.stats.negotiations += 1
-            match = {i: sampler.matching_samples((i, k), c) for i in active_agents}
+            stats.negotiations += 1
+            rows_c, lists_c, bits_c = all_matches[c], row_lists[c], row_bits[c]
+            match = {}
+            match_bits = {}
+            for i, g in gidx:
+                match[i] = rows_c[g]
+                match_bits[i] = bits_c[g]
+                agents[i].reset_negotiation(
+                    k, bits_c[g], rows_c[g], lists_c[g],
+                    adds_k[i] if adds_k is not None else None,
+                )
             undecided = set(active_agents)
-            for i in active_agents:
-                agents[i].neighbor_gains = {}
+            # Message-count bookkeeping: in the synchronous model every
+            # undecided agent broadcasts each round, so the per-round
+            # degree sum is maintained incrementally.
+            deg_u = deg_active
+            # Standing advertisements: the latest ``ΔF*`` each agent has
+            # broadcast this negotiation (``None`` = withdrawn/committed).
+            # One shared table reproduces every receiver's inbox-derived
+            # knowledge exactly — see the module docstring.
+            standing: dict[int, float | None] = {}
+            # Last neighbor observed to beat each agent; its standing
+            # advertisement is re-checked first so persistent losers skip
+            # the full neighbor scan (pure short-circuit — same verdict).
+            blocker: dict[int, int] = {}
 
             negotiation_round = 0
             while undecided:
                 negotiation_round += 1
                 # Asynchrony model: a sleeping agent skips the round; its
                 # previous advertisement stays standing with its neighbors.
-                if async_dropout > 0.0:
+                if sync:
+                    order = sorted(undecided)
+                else:
                     awake = {
                         i
                         for i in undecided
@@ -205,48 +468,59 @@ def negotiate_window(
                     }
                     if not awake:
                         continue  # a fully silent round; retry
-                else:
-                    awake = set(undecided)
+                    order = sorted(awake)
 
                 # Advertisement phase: every awake undecided agent
                 # broadcasts its current best marginal (possibly 0 =
-                # withdrawal).
+                # withdrawal).  Each broadcast is one transmission plus
+                # ``|N(s_i)|`` deliveries in the Fig. 16 accounting.
                 proposals: dict[int, tuple[float, int]] = {}
-                for i in sorted(awake):
-                    gain, policy = agents[i].best_candidate(k, match[i], S)
-                    proposals[i] = (gain, policy)
-                    bus.broadcast(
-                        Message(i, k, c, CMD_NULL, gain, policy)
-                    )
-                bus.advance_round()
-                for i in sorted(undecided):
-                    for msg in bus.inbox(i):
-                        if msg.command == CMD_NULL and msg.slot == k and msg.color == c:
-                            agents[i].neighbor_gains[msg.sender] = (
-                                msg.gain if msg.gain > MIN_GAIN else None
-                            )
+                for i in order:
+                    agent = agents[i]
+                    prop = agent._proposal
+                    if prop is None:
+                        prop = agent.best_candidate(k, match[i], S)
+                    proposals[i] = prop
+                    standing[i] = prop[0] if prop[0] > MIN_GAIN else None
+                stats.broadcasts += len(order)
+                stats.messages += (
+                    deg_u if sync else sum(degree[i] for i in order)
+                )
+                stats.rounds += 1
 
                 # Withdrawal: awake agents with no positive gain are done.
-                withdrawn = {i for i in awake if proposals[i][0] <= MIN_GAIN}
-                undecided -= withdrawn
-                awake -= withdrawn
+                contenders = []
+                for i in order:
+                    if proposals[i][0] <= MIN_GAIN:
+                        undecided.discard(i)
+                        deg_u -= degree[i]
+                    else:
+                        contenders.append(i)
                 if not undecided:
                     break
 
                 # Commit phase: local maxima (ties to lower ID) commit in
-                # parallel — each agent decides from its own inbox only: a
-                # neighbor is out of the race once it announced a commit
-                # (UPD) or a zero gain, both of which set its entry to None.
+                # parallel — each agent decides from its neighbors' standing
+                # advertisements only: a neighbor is out of the race once it
+                # announced a commit (UPD) or a zero gain, both of which set
+                # its standing entry to None.
+                standing_get = standing.get
                 winners = []
-                for i in sorted(awake):
+                for i in contenders:
                     gain_i = proposals[i][0]
+                    b = blocker.get(i)
+                    if b is not None:
+                        gain_b = standing_get(b)
+                        if gain_b is not None and (gain_b, -b) >= (gain_i, -i):
+                            continue  # still beaten by the cached blocker
                     beat_all = True
-                    for j in network.neighbors[i]:
-                        gain_j = agents[i].neighbor_gains.get(j)
+                    for j in neighbors[i]:
+                        gain_j = standing_get(j)
                         if gain_j is None:
                             continue
                         if (gain_j, -j) >= (gain_i, -i):
                             beat_all = False
+                            blocker[i] = j
                             break
                     if beat_all:
                         winners.append(i)
@@ -265,7 +539,7 @@ def negotiate_window(
                     )
 
                 for i in winners:
-                    gain, policy = proposals[i]
+                    policy = proposals[i][1]
                     table[(i, k, c)] = policy
                     commit_trace.append(
                         CommitEvent(
@@ -276,17 +550,56 @@ def negotiate_window(
                             policy=policy,
                         )
                     )
-                    agents[i].observe_commit(i, k, policy, match[i])
-                    bus.broadcast(Message(i, k, c, CMD_UPDATE, gain, policy))
-                bus.advance_round()
-                undecided -= set(winners)
-                for i in sorted(undecided):
-                    for msg in bus.inbox(i):
-                        if msg.command == CMD_UPDATE and msg.slot == k and msg.color == c:
-                            agents[i].observe_commit(
-                                msg.sender, k, msg.policy, match[msg.sender]
+                    standing[i] = None
+                stats.broadcasts += len(winners)
+                stats.messages += sum(degree[i] for i in winners)
+                stats.rounds += 1
+                for i in winners:
+                    undecided.discard(i)
+                    deg_u -= degree[i]
+                # UPD delivery: every undecided neighbor of a winner folds
+                # the committed policy into its view, the winner folds its
+                # own.  Winners are in ascending ID order, so each receiver
+                # folds commits in the same order its inbox would have
+                # delivered them; the stacked views make each commit one
+                # batched scatter-add over all receivers.  Undecided
+                # neighbors then refresh their caches against the touched
+                # (rows × tasks) block.
+                for w in winners:
+                    policy = table[(w, k, c)]
+                    rows_w = match[w]
+                    receivers = [i for i in neighbors[w] if i in undecided]
+                    receivers.append(w)
+                    if use_sparse:
+                        vals = adds_k[w][policy]
+                        if _C is not None:
+                            _C.fold(
+                                views, receivers, rows_w,
+                                sparse_cols[w], vals,
                             )
-                            agents[i].neighbor_gains[msg.sender] = None
+                        else:
+                            obs = np.asarray(receivers, dtype=np.intp)
+                            views[
+                                obs[:, None, None],
+                                rows_w[None, :, None],
+                                sparse_cols[w][None, None, :],
+                            ] += vals
+                    else:
+                        obs = np.asarray(receivers, dtype=np.intp)
+                        views[
+                            obs[:, None], rows_w[None, :]
+                        ] += objective.added_energy(w, k)[policy]
+                    key = (w, k, policy)
+                    cb = changed_bits_cache.get(key)
+                    if cb is None:
+                        cb = 0
+                        for t in objective.changed_tasks(w, k, policy):
+                            cb |= 1 << int(t)
+                        changed_bits_cache[key] = cb
+                    wb = match_bits[w]
+                    for i in neighbors[w]:
+                        if i in undecided:
+                            agents[i].note_commit(wb, cb)
 
     return NegotiationResult(
         table=table, stats=bus.stats, sampler=sampler, commit_trace=commit_trace

@@ -23,7 +23,7 @@ CMD_NULL = "NULL"
 CMD_UPDATE = "UPD"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One control message, mirroring the paper's six fields."""
 
@@ -93,11 +93,16 @@ class MessageBus:
             self._pending[j].append(msg)
 
     def advance_round(self) -> None:
-        """Deliver queued messages and start a new synchronous round."""
+        """Deliver queued messages and start a new synchronous round.
+
+        The previous round's inbox lists are recycled as the new pending
+        queues (they have been consumed by then), avoiding a fresh list
+        allocation per charger per round.
+        """
         self.stats.rounds += 1
-        for j, queue in enumerate(self._pending):
-            self._inboxes[j] = queue
-        self._pending = [[] for _ in self.neighbors]
+        self._pending, self._inboxes = self._inboxes, self._pending
+        for queue in self._pending:
+            queue.clear()
 
     def inbox(self, agent: int) -> list[Message]:
         """Messages delivered to ``agent`` at the last round boundary."""

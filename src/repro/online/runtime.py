@@ -69,6 +69,7 @@ def run_online_haste(
     rho: float = 1.0 / 12.0,
     rng: np.random.Generator | None = None,
     final_draws: int = 4,
+    use_sparse: bool = True,
 ) -> OnlineRunResult:
     """HASTE-DO: the distributed online algorithm end to end.
 
@@ -81,6 +82,13 @@ def run_online_haste(
     Algorithm 3 draw; values > 1 are the same derandomization-by-sampling
     used by the centralized scheduler, realizable with shared
     pseudorandomness plus one aggregation round).
+
+    Per-arrival replanning is incremental: one base objective is built for
+    the whole run and each event derives a knowledge-masked view from it
+    (:meth:`~repro.objective.haste.HasteObjective.masked_view`), sharing
+    the per-policy energy kernels instead of reallocating them.
+    ``use_sparse=False`` selects the dense reference kernels end to end
+    (used by the equivalence tests).
     """
     if tau < 0:
         raise ValueError(f"tau must be >= 0, got {tau}")
@@ -92,6 +100,7 @@ def run_online_haste(
     committed = Schedule(network)
     stats = MessageStats()
     events = 0
+    base_objective = HasteObjective(network, use_sparse=use_sparse)
 
     arrival_slots = sorted({t.release_slot for t in network.tasks})
     for t in arrival_slots:
@@ -99,7 +108,7 @@ def run_online_haste(
         if boundary >= K:
             continue  # nothing left to replan for this arrival
         known = network.release_slots <= t
-        objective = HasteObjective(network, task_mask=known)
+        objective = base_objective.masked_view(known)
 
         window = [k for k in range(boundary, K)]
         # Restrict to slots where anything known is active for any charger.

@@ -76,6 +76,30 @@ class ColorSampler:
         """All drawn colors for ``group``, shape ``(S,)``."""
         return self.colors[:, self._index[group]]
 
+    def matches_by_color(self) -> list[list[np.ndarray]]:
+        """All :meth:`matching_samples` lookups, precomputed in bulk.
+
+        Returns ``out[c][g]`` = the ascending sample rows whose draw for the
+        ``g``-th group equals color ``c`` — identical to
+        ``matching_samples(group_keys[g], c)``.  One stable argsort over the
+        color matrix replaces the per-visit ``flatnonzero`` calls of a sweep
+        (``C × #groups`` of them), which matters at paper scale.
+        """
+        order = np.argsort(self.colors, axis=0, kind="stable")  # (S, G)
+        num_groups = len(self.group_keys)
+        counts = np.empty((self.num_colors, num_groups), dtype=np.intp)
+        for c in range(self.num_colors):
+            counts[c] = (self.colors == c).sum(axis=0)
+        starts = np.zeros_like(counts)
+        starts[1:] = np.cumsum(counts, axis=0)[:-1]
+        return [
+            [
+                order[starts[c, g] : starts[c, g] + counts[c, g], g]
+                for g in range(num_groups)
+            ]
+            for c in range(self.num_colors)
+        ]
+
 
 def exact_color_average(
     value_of_assignment: Callable[[Mapping[Hashable, int]], float],
