@@ -20,10 +20,18 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # paper scale
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI-sized
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --obs      # BENCH_obs.json
 
 The default output path is ``BENCH_kernels.json`` next to the repo root;
 ``--skip-seed`` falls back to flags-reference for the end-to-end rows
 (e.g. when the git history is unavailable).
+
+``--obs`` measures the observability layer instead (→ ``BENCH_obs.json``):
+the **disabled** instrumentation path against the pre-instrumentation
+tree (``--obs-baseline``, default the commit the observability layer
+landed on top of) on the PR 1 kernel benchmarks — the acceptance bar is
+<2 % overhead — plus the in-process cost of *enabled* tracing and the
+per-call price of a no-op span.
 """
 
 from __future__ import annotations
@@ -82,18 +90,25 @@ print(json.dumps({"seconds": dt, "events": run.events,
 """
 
 
-def extract_seed_tree(dest: Path) -> Path:
-    """Extract ``src/`` of the repo's root commit into ``dest``."""
-    root = subprocess.run(
-        ["git", "rev-list", "--max-parents=0", "HEAD"],
-        cwd=REPO_ROOT, check=True, capture_output=True, text=True,
-    ).stdout.split()[0]
+def extract_tree(dest: Path, rev: str) -> Path:
+    """Extract ``src/`` of commit ``rev`` into ``dest`` (``"root"`` → the
+    repository's root commit)."""
+    if rev == "root":
+        rev = subprocess.run(
+            ["git", "rev-list", "--max-parents=0", "HEAD"],
+            cwd=REPO_ROOT, check=True, capture_output=True, text=True,
+        ).stdout.split()[0]
     archive = subprocess.run(
-        ["git", "archive", root, "src"],
+        ["git", "archive", rev, "src"],
         cwd=REPO_ROOT, check=True, capture_output=True,
     ).stdout
     subprocess.run(["tar", "-x"], cwd=dest, input=archive, check=True)
     return dest / "src"
+
+
+def extract_seed_tree(dest: Path) -> Path:
+    """Extract ``src/`` of the repo's root commit into ``dest``."""
+    return extract_tree(dest, "root")
 
 
 def run_worker(worker: str, pythonpath: Path, args: list[str]) -> dict:
@@ -222,21 +237,157 @@ def micro_benchmarks(scale: str) -> list[dict]:
     return results
 
 
+def obs_enabled_micro(scale: str) -> list[dict]:
+    """In-process: tracing disabled vs enabled on the PR 1 kernel ops.
+
+    The registry runs sink-less while enabled (aggregation only), which
+    is what ``repro-haste profile`` costs minus the final formatting.
+    """
+    import numpy as np
+    from repro import obs
+    from repro.offline import CentralizedScheduler
+    from repro.online.runtime import run_online_haste
+    from repro.sim import SimulationConfig, sample_network
+
+    cfg = (getattr(SimulationConfig, scale)() if scale != "default"
+           else SimulationConfig())
+    net = sample_network(cfg, np.random.default_rng(7))
+    instance = {"n": net.n, "m": net.m, "K": net.num_slots,
+                "C": cfg.num_colors, "S": cfg.num_samples}
+    reg = obs.get_registry()
+
+    def gated(fn, enabled):
+        def run():
+            reg.enabled = enabled
+            try:
+                fn()
+            finally:
+                reg.enabled = False
+        return run
+
+    scheduler = CentralizedScheduler(net)
+    sweep = lambda: scheduler.run(
+        cfg.num_colors, num_samples=cfg.num_samples,
+        rng=np.random.default_rng(5))
+    online = lambda: run_online_haste(
+        net, num_colors=1, tau=cfg.tau, rho=cfg.rho,
+        rng=np.random.default_rng(6))
+    results = []
+    for op, fn, repeats in (
+        ("sweep_traced_vs_untraced", sweep, 3 if scale == "paper" else 5),
+        ("online_traced_vs_untraced", online, 3),
+    ):
+        row = interleaved_inprocess_op(
+            op=op, before_fn=gated(fn, False), after_fn=gated(fn, True),
+            instance=instance, repeats=repeats,
+        )
+        row["mode"] = "obs-enabled"
+        row["overhead_pct"] = (row["after_median_s"] / row["before_median_s"]
+                               - 1.0) * 100.0
+        results.append(row)
+        reg.reset()
+
+    # The raw price of one disabled call site: a flag check + no-op span.
+    calls = 1_000_000
+    span = obs.span
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with span("noop"):
+            pass
+    per_call = (time.perf_counter() - t0) / calls
+    results.append({
+        "op": "noop_span_call", "metric": "seconds_per_call",
+        "mode": "obs-disabled", "instance": {"calls": calls},
+        "seconds_per_call": per_call,
+    })
+    return results
+
+
+def obs_overhead_report(scale: str, baseline_rev: str, rep_c: int,
+                        rep_o: int, skip_online: bool) -> list[dict]:
+    """BENCH_obs.json rows: disabled-path overhead vs the
+    pre-instrumentation tree, then the enabled-tracing micro rows."""
+    results: list[dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        base_src = extract_tree(Path(tmp), baseline_rev)
+        after_src = REPO_ROOT / "src"
+        print(f"obs-disabled overhead, centralized C=4 ({scale}, "
+              f"{rep_c} repeats/side, baseline {baseline_rev})")
+        row = interleaved_subprocess_op(
+            op="offline_centralized_c4", worker=WORKER_CENTRALIZED,
+            metric="seconds", scale=scale, repeats=rep_c,
+            before_path=base_src, after_path=after_src,
+        )
+        rows = [row]
+        if not skip_online:
+            print(f"obs-disabled overhead, online replanning ({scale}, "
+                  f"{rep_o} repeats/side)")
+            rows.append(interleaved_subprocess_op(
+                op="online_per_arrival", worker=WORKER_ONLINE,
+                metric="per_event", scale=scale, repeats=rep_o,
+                before_path=base_src, after_path=after_src,
+            ))
+        for row in rows:
+            row["mode"] = "obs-disabled-vs-baseline"
+            row["baseline_rev"] = baseline_rev
+            row["overhead_pct"] = (
+                row["after_median_s"] / row["before_median_s"] - 1.0
+            ) * 100.0
+            results.append(row)
+    print(f"obs-enabled micro rows ({scale})")
+    results.extend(obs_enabled_micro(scale))
+    return results
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized instances instead of paper scale")
-    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_kernels.json"))
+    parser.add_argument("--output", default=None)
     parser.add_argument("--repeats-centralized", type=int, default=None)
     parser.add_argument("--repeats-online", type=int, default=None)
     parser.add_argument("--skip-seed", action="store_true",
                         help="skip git-seed end-to-end rows")
     parser.add_argument("--skip-online", action="store_true")
+    parser.add_argument("--obs", action="store_true",
+                        help="measure the observability layer instead "
+                             "(writes BENCH_obs.json)")
+    parser.add_argument("--obs-baseline", default="HEAD",
+                        help="git rev of the pre-instrumentation tree the "
+                             "--obs disabled-path rows compare against")
     args = parser.parse_args()
 
     scale = "quick" if args.quick else "paper"
     rep_c = args.repeats_centralized or (3 if args.quick else 5)
     rep_o = args.repeats_online or 3
+
+    if args.obs:
+        results = obs_overhead_report(
+            scale, args.obs_baseline, rep_c, rep_o, args.skip_online
+        )
+        report = {
+            "description": "Observability layer cost: obs-disabled rows run "
+                           "the pre-instrumentation tree (baseline_rev) as "
+                           "'before' and the instrumented working tree with "
+                           "tracing off as 'after' (acceptance: <2% "
+                           "overhead); obs-enabled rows toggle the registry "
+                           "in-process.",
+            "scale": scale,
+            "python": sys.version.split()[0],
+            "results": results,
+        }
+        out = args.output or str(REPO_ROOT / "BENCH_obs.json")
+        Path(out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+        for r in results:
+            if "overhead_pct" in r:
+                print(f"  {r['op']:28s} {r['before_median_s']:.4f}s → "
+                      f"{r['after_median_s']:.4f}s  "
+                      f"({r['overhead_pct']:+.2f}%)")
+            else:
+                print(f"  {r['op']:28s} "
+                      f"{r['seconds_per_call'] * 1e9:.0f}ns/call")
+        return
 
     results: list[dict] = []
     if not args.skip_seed:
@@ -268,8 +419,9 @@ def main() -> None:
         "python": sys.version.split()[0],
         "results": results,
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"\nwrote {args.output}")
+    out = args.output or str(REPO_ROOT / "BENCH_kernels.json")
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
     for r in results:
         print(f"  {r['op']:28s} {r['before_median_s']:.4f}s → "
               f"{r['after_median_s']:.4f}s  ({r['speedup']:.2f}x)")

@@ -23,6 +23,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from . import obs
 from .core import (
     AnisotropicPowerModel,
     Charger,
@@ -98,6 +99,7 @@ __all__ = [
     "greedy_cover_schedule",
     "greedy_utility_schedule",
     "negotiate_window",
+    "obs",
     "optimal_schedule",
     "random_schedule",
     "run_online_baseline",

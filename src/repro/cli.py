@@ -5,13 +5,22 @@ Usage::
     repro-haste list
     repro-haste describe fig04
     repro-haste run fig04 --trials 5 --seed 0 --scale default
+    repro-haste run fig16 --trace out.jsonl
     repro-haste run all --scale quick
+    repro-haste profile fig04
     repro-haste demo
 
 (Equivalently ``python -m repro.cli …``.)  Experiment output is the text
 table the paper's figure plots plus the machine-checked shape claims; exit
 status is non-zero if any shape check fails, so the CLI doubles as a
 reproduction gate in CI.
+
+Observability: ``run … --trace out.jsonl`` records the run's telemetry
+(spans, events, and the final metric summary — see :mod:`repro.obs`) as
+one JSON object per line; ``profile <exp>`` runs an experiment under an
+in-memory registry and prints the nested span-tree summary.  The
+``REPRO_TRACE`` environment variable enables the same machinery for any
+entry point.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import time
 
 import numpy as np
 
+from . import obs
 from .experiments import all_experiments, get_experiment
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +67,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--processes", type=int, default=1, help="worker processes for sweeps"
     )
     p_run.add_argument("--out", default=None, help="also append output to this file")
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write JSONL run telemetry (spans, events, metric summary) here",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one experiment under the tracer and print the span tree",
+    )
+    p_prof.add_argument("experiment", help="experiment id, e.g. fig04")
+    p_prof.add_argument("--trials", type=int, default=1, help="topologies per point")
+    p_prof.add_argument("--seed", type=int, default=0, help="root random seed")
+    p_prof.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="quick",
+        help="instance size tier (default: quick — profiling wants cycles, "
+        "not statistics)",
+    )
+    p_prof.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also write the JSONL telemetry to this file",
+    )
 
     sub.add_parser("demo", help="run a 30-second end-to-end demonstration")
 
@@ -90,26 +127,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.experiment == "all"
         else [get_experiment(args.experiment)]
     )
+    if args.trace:
+        obs.configure(trace=args.trace)
     any_failed = False
-    for exp in targets:
+    try:
+        for exp in targets:
+            start = time.time()
+            output = exp.run(
+                trials=args.trials,
+                seed=args.seed,
+                scale=args.scale,
+                processes=args.processes,
+            )
+            rendered = output.render()
+            rendered += f"\n(elapsed {time.time() - start:.1f}s)\n"
+            print(rendered)
+            if args.out:
+                # Append per experiment so long runs leave a usable record
+                # even if interrupted.
+                with open(args.out, "a", encoding="utf-8") as fh:
+                    fh.write(rendered + "\n")
+            if not output.all_passed:
+                any_failed = True
+    finally:
+        if args.trace:
+            obs.shutdown()
+            print(f"(trace written to {args.trace})")
+    return 1 if any_failed else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    exp = get_experiment(args.experiment)
+    reg = obs.configure(trace=args.trace)
+    try:
         start = time.time()
         output = exp.run(
-            trials=args.trials,
-            seed=args.seed,
-            scale=args.scale,
-            processes=args.processes,
+            trials=args.trials, seed=args.seed, scale=args.scale, processes=1
         )
-        rendered = output.render()
-        rendered += f"\n(elapsed {time.time() - start:.1f}s)\n"
-        print(rendered)
-        if args.out:
-            # Append per experiment so long runs leave a usable record even
-            # if interrupted.
-            with open(args.out, "a", encoding="utf-8") as fh:
-                fh.write(rendered + "\n")
-        if not output.all_passed:
-            any_failed = True
-    return 1 if any_failed else 0
+        elapsed = time.time() - start
+        print(output.render())
+        print(f"(elapsed {elapsed:.1f}s)\n")
+        print(obs.format_summary(reg))
+    finally:
+        obs.shutdown()
+        if args.trace:
+            print(f"\n(trace written to {args.trace})")
+    return 0 if output.all_passed else 1
 
 
 def _cmd_demo() -> int:
@@ -141,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_describe(args.experiment)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "demo":
         return _cmd_demo()
     if args.command == "bounds":

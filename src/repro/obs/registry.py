@@ -1,0 +1,307 @@
+"""Thread-safe metric registry and wall-clock span tracer.
+
+The registry is the single accumulation point for everything the
+schedulers measure about themselves: **counters** (monotone totals —
+gain-kernel scans, negotiation messages), **gauges** (last-written
+values), **latency histograms** (per-arrival negotiation latency,
+Fig. 16's communication-cost denominators), and **spans** (nested
+wall-clock timings forming the profile tree `repro-haste profile`
+prints).
+
+Design constraints, in order:
+
+1. *Disabled must be free.*  The schedulers call the module-level
+   helpers in :mod:`repro.obs` which check one flag before touching the
+   registry; hot inner loops are never instrumented per iteration —
+   they accumulate plain local ints and fold totals into the registry
+   once per run/window.  ``benchmarks/run_benchmarks.py --obs`` measures
+   the residue and writes ``BENCH_obs.json``.
+2. *Thread-safe.*  Sweeps run trials from thread pools and the parallel
+   runner forks workers; every mutation takes a lock, and span nesting
+   is tracked per thread (a worker thread's spans never splice into
+   another's path).
+3. *Bounded.*  Aggregates are O(distinct names); raw span/event records
+   are only materialized for attached sinks (:mod:`repro.obs.sinks`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+]
+
+
+class Counter:
+    """A monotone (well, additive) total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """Last-written value (e.g. which kernel backend is active)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+
+class Histogram:
+    """Latency/size distribution with nearest-rank percentiles.
+
+    Keeps every observation (runs are bounded: one per arrival, window,
+    or scheduler run — not per kernel iteration), so percentiles are
+    exact.  ``max_samples`` caps pathological growth; past it the
+    summary stats stay exact while percentile queries use the retained
+    prefix.
+    """
+
+    __slots__ = ("name", "_values", "count", "total", "min", "max",
+                 "max_samples", "_lock")
+
+    def __init__(self, name: str, max_samples: int = 100_000) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._values) < self.max_samples:
+                self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; ``q`` in [0, 100]."""
+        with self._lock:
+            if not self._values:
+                return 0.0
+            ordered = sorted(self._values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class _Span:
+    """One live ``with registry.span(...)`` frame."""
+
+    __slots__ = ("_reg", "name", "fields", "path", "_t0", "_wall")
+
+    def __init__(self, reg: "MetricRegistry", name: str, fields: dict) -> None:
+        self._reg = reg
+        self.name = name
+        self.fields = fields
+        self.path: tuple[str, ...] = (name,)
+
+    def __enter__(self) -> "_Span":
+        stack = self._reg._stack()
+        if stack:
+            self.path = stack[-1].path + (self.name,)
+        stack.append(self)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._reg._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._reg._record_span(self, duration, failed=exc_type is not None)
+        return False
+
+
+class MetricRegistry:
+    """The accumulation point: counters, gauges, histograms, spans, events.
+
+    ``enabled`` gates everything; a disabled registry's helpers are
+    bypassed entirely by the module-level wrappers in :mod:`repro.obs`.
+    Sinks (:class:`~repro.obs.sinks.Sink`) receive one record per closed
+    span and per event, plus a final summary on :meth:`close`.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.sinks: list = []
+        self._lock = threading.RLock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: span-path aggregation: path -> [count, total_seconds]
+        self._span_agg: dict[tuple[str, ...], list] = {}
+        self._local = threading.local()
+
+    # -- primitive accessors (get-or-create) ---------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            return h
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, n: int | float = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def event(self, name: str, level: str = "info", **fields) -> None:
+        """Record a point-in-time event (e.g. kernel backend selection)."""
+        self.inc(f"event.{name}")
+        self._emit({
+            "kind": "event",
+            "name": name,
+            "level": level,
+            "t": time.time(),
+            **({"fields": fields} if fields else {}),
+        })
+
+    def span(self, name: str, **fields) -> _Span:
+        """Context manager timing a nested wall-clock span."""
+        return _Span(self, name, fields)
+
+    # -- span plumbing ---------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record_span(self, span: _Span, duration: float, failed: bool) -> None:
+        with self._lock:
+            agg = self._span_agg.get(span.path)
+            if agg is None:
+                self._span_agg[span.path] = [1, duration]
+            else:
+                agg[0] += 1
+                agg[1] += duration
+        self.observe(f"span.{span.name}", duration)
+        self._emit({
+            "kind": "span",
+            "name": span.name,
+            "path": "/".join(span.path),
+            "t": span._wall,
+            "dur_s": duration,
+            **({"failed": True} if failed else {}),
+            **({"fields": span.fields} if span.fields else {}),
+        })
+
+    def _emit(self, record: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    # -- inspection ------------------------------------------------------
+    def span_paths(self) -> dict[tuple[str, ...], tuple[int, float]]:
+        """First-seen-ordered ``path -> (count, total_seconds)``."""
+        with self._lock:
+            return {p: (a[0], a[1]) for p, a in self._span_agg.items()}
+
+    def snapshot(self) -> dict:
+        """A JSON-able dump of every aggregate in the registry."""
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = {
+                n: h.snapshot() for n, h in self._histograms.items()
+            }
+            spans = {
+                "/".join(p): {"count": a[0], "total_s": a[1]}
+                for p, a in self._span_agg.items()
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": spans,
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded data (sinks are kept attached)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._span_agg.clear()
+
+    def close(self) -> None:
+        """Emit the final summary record and close every sink."""
+        summary = {"kind": "summary", "t": time.time(), **self.snapshot()}
+        for sink in self.sinks:
+            sink.emit(summary)
+            sink.close()
+        self.sinks = []

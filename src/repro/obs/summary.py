@@ -1,0 +1,96 @@
+"""Human-readable rendering of a registry's contents.
+
+``repro-haste profile <exp>`` runs an experiment under an enabled
+registry and prints :func:`format_summary`: the nested span tree
+(count × total × mean per path), then counters, gauges, and histogram
+percentiles.  The same text is useful interactively::
+
+    from repro import obs
+    reg = obs.configure()
+    ...   # run schedulers
+    print(obs.format_summary(reg))
+"""
+
+from __future__ import annotations
+
+from .registry import MetricRegistry
+
+__all__ = ["format_summary", "format_span_tree"]
+
+
+def _tree_order(paths) -> list[tuple[str, ...]]:
+    """Depth-first print order: parents before children, siblings in
+    first-seen order.  (The aggregation dict is in *close* order, where a
+    child precedes the parent it nests under.)"""
+    first_seen = {p: i for i, p in enumerate(paths)}
+
+    def key(path: tuple[str, ...]):
+        return tuple(
+            first_seen.get(path[: d + 1], first_seen[path])
+            for d in range(len(path))
+        )
+
+    return sorted(paths, key=key)
+
+
+def format_span_tree(registry: MetricRegistry) -> str:
+    """The nested wall-clock span tree, indented by call depth."""
+    paths = registry.span_paths()
+    if not paths:
+        return "(no spans recorded)"
+    lines = ["span tree (count, total, mean):"]
+    name_width = max(2 * (len(p) - 1) + len(p[-1]) for p in paths) + 2
+    for path in _tree_order(paths):
+        count, total = paths[path]
+        indent = "  " * (len(path) - 1)
+        label = f"{indent}{path[-1]}"
+        mean = total / count if count else 0.0
+        lines.append(
+            f"  {label:<{name_width}s} {count:>7d}x {total:>10.4f}s "
+            f"{mean * 1e3:>10.3f}ms/call"
+        )
+    return "\n".join(lines)
+
+
+def format_summary(registry: MetricRegistry) -> str:
+    """Span tree + counters + gauges + histogram percentiles."""
+    snap = registry.snapshot()
+    parts = [format_span_tree(registry)]
+
+    counters = {
+        n: v for n, v in sorted(snap["counters"].items())
+        if not n.startswith("event.")
+    }
+    events = {
+        n[len("event."):]: v
+        for n, v in sorted(snap["counters"].items())
+        if n.startswith("event.")
+    }
+    if counters:
+        width = max(len(n) for n in counters) + 2
+        parts.append("counters:")
+        parts.extend(f"  {n:<{width}s} {v}" for n, v in counters.items())
+    if events:
+        width = max(len(n) for n in events) + 2
+        parts.append("events:")
+        parts.extend(f"  {n:<{width}s} {v}" for n, v in events.items())
+    gauges = {
+        n: v for n, v in sorted(snap["gauges"].items()) if v is not None
+    }
+    if gauges:
+        width = max(len(n) for n in gauges) + 2
+        parts.append("gauges:")
+        parts.extend(f"  {n:<{width}s} {v}" for n, v in gauges.items())
+    hists = {
+        n: h for n, h in sorted(snap["histograms"].items()) if h["count"]
+    }
+    if hists:
+        width = max(len(n) for n in hists) + 2
+        parts.append("histograms (count / mean / p50 / p90 / p99 / max):")
+        for n, h in hists.items():
+            parts.append(
+                f"  {n:<{width}s} {h['count']:>7d}  "
+                f"{h['mean']:.4g}  {h['p50']:.4g}  {h['p90']:.4g}  "
+                f"{h['p99']:.4g}  {h['max']:.4g}"
+            )
+    return "\n".join(parts)

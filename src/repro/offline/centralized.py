@@ -37,6 +37,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..core.network import IDLE_POLICY, ChargerNetwork
 from ..core.policy import Schedule
 from ..core.utility import UtilityFunction
@@ -134,9 +135,60 @@ class CentralizedScheduler:
         their cached gains, and partitions whose stale upper bound cannot
         clear ``MIN_GAIN`` are pruned without a scan.  ``lazy=False`` runs
         the eager reference sweep; both produce the same schedule.
+
+        When the observability layer is enabled (:mod:`repro.obs`), the
+        run is traced as an ``offline.run`` span with one
+        ``offline.color_sweep`` child per color, and the scan counters
+        reported in :class:`OfflineResult` are folded into the registry.
         """
         if num_colors < 1:
             raise ValueError(f"num_colors must be >= 1, got {num_colors}")
+        with obs.span(
+            "offline.run",
+            colors=num_colors,
+            lazy=lazy,
+            sparse=self.objective.use_sparse,
+        ):
+            result = self._run(
+                num_colors,
+                num_samples=num_samples,
+                rng=rng,
+                group_order=group_order,
+                final_draws=final_draws,
+                lazy=lazy,
+            )
+        if obs.enabled():
+            obs.inc("offline.runs")
+            obs.inc("offline.partitions", result.partitions)
+            obs.inc("offline.candidate_scans", result.candidate_scans)
+            obs.inc("offline.fresh_scans", result.fresh_scans)
+            obs.inc("offline.cached_reuses", result.cached_reuses)
+            obs.inc("offline.pruned_skips", result.pruned_skips)
+            obs.event(
+                "offline.run",
+                colors=num_colors,
+                samples=result.num_samples,
+                sparse=self.objective.use_sparse,
+                lazy=lazy,
+                value=result.objective_value,
+                candidate_scans=result.candidate_scans,
+                fresh_scans=result.fresh_scans,
+                cached_reuses=result.cached_reuses,
+                pruned_skips=result.pruned_skips,
+            )
+        return result
+
+    def _run(
+        self,
+        num_colors: int,
+        *,
+        num_samples: int,
+        rng: np.random.Generator | None,
+        group_order: Sequence[tuple[int, int]] | None,
+        final_draws: int,
+        lazy: bool,
+    ) -> OfflineResult:
+        """The actual TabularGreedy sweep (see :meth:`run`)."""
         rng = rng if rng is not None else np.random.default_rng()
         order = list(group_order) if group_order is not None else self.partitions
         known_partitions = set(self.partitions)
@@ -164,46 +216,51 @@ class CentralizedScheduler:
         for c in range(num_colors):
             color_matches = matches[c]
             color_bits = bits[c] if bits is not None else None
-            for g, (i, k) in enumerate(order):
-                match = color_matches[g]
-                if match.size == 0:
-                    continue
-                scans += 1
-                if sweep is not None:
-                    mb = color_bits[g] if color_bits is not None else None
-                    total = sweep.totals(energies, i, k, match, mb)
-                    if total is None:
-                        continue  # provably idle — bit-identical skip
-                else:
-                    gains = self.objective.partition_gains_rows(
-                        energies, match, i, k
-                    )
-                    total = gains.sum(axis=0) / S  # (P_i,)
-                best_p = int(total.argmax())
-                if best_p == IDLE_POLICY or total[best_p] <= MIN_GAIN:
-                    continue
-                table[(i, k, c)] = best_p
-                if sweep is not None:
-                    sweep.commit(energies, i, k, best_p, match, mb)
-                else:
-                    self.objective.apply_rows(energies, match, i, k, best_p)
+            with obs.span("offline.color_sweep", color=c):
+                for g, (i, k) in enumerate(order):
+                    match = color_matches[g]
+                    if match.size == 0:
+                        continue
+                    scans += 1
+                    if sweep is not None:
+                        mb = color_bits[g] if color_bits is not None else None
+                        total = sweep.totals(energies, i, k, match, mb)
+                        if total is None:
+                            continue  # provably idle — bit-identical skip
+                    else:
+                        gains = self.objective.partition_gains_rows(
+                            energies, match, i, k
+                        )
+                        total = gains.sum(axis=0) / S  # (P_i,)
+                    best_p = int(total.argmax())
+                    if best_p == IDLE_POLICY or total[best_p] <= MIN_GAIN:
+                        continue
+                    table[(i, k, c)] = best_p
+                    if sweep is not None:
+                        sweep.commit(energies, i, k, best_p, match, mb)
+                    else:
+                        self.objective.apply_rows(
+                            energies, match, i, k, best_p
+                        )
 
         if final_draws < 1:
             raise ValueError(f"final_draws must be >= 1, got {final_draws}")
         best_schedule: Schedule | None = None
         best_value = -np.inf
-        for _ in range(final_draws if num_colors > 1 else 1):
-            candidate = Schedule(self.network)
-            # One batched draw per vector — bit-identical to per-partition
-            # scalar draws (the generator consumes the same stream).
-            draws = rng.integers(0, num_colors, size=len(order))
-            for (i, k), c in zip(order, draws):
-                p = table.get((i, k, int(c)))
-                if p is not None:
-                    candidate.set(i, k, p)
-            value = self.objective.value_of_schedule(candidate)
-            if value > best_value:
-                best_schedule, best_value = candidate, value
+        with obs.span("offline.final_draws"):
+            for _ in range(final_draws if num_colors > 1 else 1):
+                candidate = Schedule(self.network)
+                # One batched draw per vector — bit-identical to
+                # per-partition scalar draws (the generator consumes the
+                # same stream).
+                draws = rng.integers(0, num_colors, size=len(order))
+                for (i, k), c in zip(order, draws):
+                    p = table.get((i, k, int(c)))
+                    if p is not None:
+                        candidate.set(i, k, p)
+                value = self.objective.value_of_schedule(candidate)
+                if value > best_value:
+                    best_schedule, best_value = candidate, value
         assert best_schedule is not None
         schedule = best_schedule
 

@@ -119,10 +119,21 @@ class LazySweepState:
         else:
             self._sat_cols = None
         self._live: dict[tuple[int, int], np.ndarray] = {}
-        # Work counters (reported through OfflineResult).
+        # Work counters — reported through OfflineResult and folded into
+        # the repro.obs registry (offline.fresh_scans / cached_reuses /
+        # pruned_skips) by CentralizedScheduler.run when tracing is on.
         self.fresh_scans = 0
         self.cached_reuses = 0
         self.pruned_skips = 0
+
+    def counters(self) -> dict[str, int]:
+        """The sweep's work counters (``fresh + cached + pruned`` accounts
+        for every visit with a nonempty match)."""
+        return {
+            "fresh_scans": self.fresh_scans,
+            "cached_reuses": self.cached_reuses,
+            "pruned_skips": self.pruned_skips,
+        }
 
     def _sat_thresholds(self, charger: int, slot: int) -> np.ndarray:
         """Per-column saturation thresholds for one partition's prune test.

@@ -12,6 +12,12 @@ Set ``REPRO_DISABLE_CKERNEL=1`` to force the NumPy path (used by the
 tests to pin C-vs-NumPy protocol equivalence, and available as an escape
 hatch).  No third-party packages are involved: just ``cc`` and the
 Python/NumPy headers that ship with the interpreter environment.
+
+Which backend actually ran is observable: :func:`load` emits a
+``ckernel.loaded`` / ``ckernel.disabled`` / ``ckernel.fallback`` event
+through :mod:`repro.obs`, and an *unrequested* fallback — compilation or
+loading failed rather than ``REPRO_DISABLE_CKERNEL`` being set — also
+raises a one-time ``RuntimeWarning`` so the degradation is never silent.
 """
 
 from __future__ import annotations
@@ -22,13 +28,15 @@ import subprocess
 import sysconfig
 from pathlib import Path
 
+from .. import obs
+
 __all__ = ["load"]
 
 _SRC = Path(__file__).with_name("_fastpath.c")
 
 
-def _build(so_path: Path) -> bool:
-    """Compile ``_fastpath.c`` → ``so_path``; True on success."""
+def _build(so_path: Path) -> tuple[bool, str]:
+    """Compile ``_fastpath.c`` → ``so_path``; ``(ok, failure detail)``."""
     import numpy as np
 
     cc = os.environ.get("CC", "cc")
@@ -50,17 +58,33 @@ def _build(so_path: Path) -> bool:
         proc = subprocess.run(cmd, capture_output=True, timeout=120)
         if proc.returncode != 0 or not tmp.exists():
             tmp.unlink(missing_ok=True)
-            return False
+            detail = proc.stderr.decode(errors="replace").strip()
+            return False, (
+                f"{cc} exited with status {proc.returncode}"
+                + (f": {detail[-500:]}" if detail else "")
+            )
         tmp.replace(so_path)  # atomic: concurrent builders race safely
-        return True
-    except (OSError, subprocess.TimeoutExpired):
+        return True, ""
+    except (OSError, subprocess.TimeoutExpired) as exc:
         tmp.unlink(missing_ok=True)
-        return False
+        return False, f"{type(exc).__name__}: {exc}"
+
+
+def _fallback(reason: str) -> None:
+    """Record an unrequested degradation to the NumPy reference path."""
+    obs.warn_once(
+        "ckernel.fallback",
+        "repro.online._fastpath could not be compiled/loaded; the "
+        "negotiation runs on the (bit-identical, slower) pure-NumPy "
+        f"reference path.  Cause: {reason}",
+        reason=reason,
+    )
 
 
 def load():
     """Return the compiled ``_fastpath`` module, or ``None``."""
     if os.environ.get("REPRO_DISABLE_CKERNEL"):
+        obs.event("ckernel.disabled", reason="REPRO_DISABLE_CKERNEL set")
         return None
     tag = sysconfig.get_config_var("SOABI") or "generic"
     so_path = _SRC.with_name(f"_fastpath.{tag}.so")
@@ -69,13 +93,18 @@ def load():
             not so_path.exists()
             or so_path.stat().st_mtime < _SRC.stat().st_mtime
         )
-        if stale and not _build(so_path):
-            return None
+        if stale:
+            ok, detail = _build(so_path)
+            if not ok:
+                _fallback(detail)
+                return None
         spec = importlib.util.spec_from_file_location(
             "repro.online._fastpath", so_path
         )
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
+        obs.event("ckernel.loaded", rebuilt=stale, path=str(so_path))
         return module
-    except Exception:
+    except Exception as exc:
+        _fallback(f"{type(exc).__name__}: {exc}")
         return None

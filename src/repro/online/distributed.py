@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.network import IDLE_POLICY, ChargerNetwork
 from ..objective.haste import HasteObjective
 from ..submodular.estimation import ColorSampler
@@ -307,6 +308,11 @@ class NegotiationResult:
     stats: MessageStats
     sampler: ColorSampler = field(repr=False, default=None)
     commit_trace: list[CommitEvent] = field(repr=False, default_factory=list)
+    #: Advertisement-phase accounting: how many proposals ran the gain
+    #: kernel vs were answered from an agent's still-valid cache — the
+    #: incremental runtime's dominant saving, surfaced for the registry.
+    proposal_evals: int = 0
+    proposal_cache_hits: int = 0
 
 
 def negotiate_window(
@@ -341,7 +347,52 @@ def negotiate_window(
     Returns the committed S-C table; drawing the final colors and building
     the schedule is the caller's job (the runtime shares draws between
     events to keep unchanged partitions stable).
+
+    When :mod:`repro.obs` is enabled the window is traced as a
+    ``negotiation.window`` span and the window's message/round/broadcast
+    deltas — exactly this window's contribution to the returned
+    :class:`~repro.online.messaging.MessageStats` — plus commit and
+    proposal-cache counts are folded into the registry once, after the
+    protocol finishes (nothing is recorded inside the round loop).
     """
+    base = bus.stats.as_dict() if bus is not None else None
+    with obs.span("negotiation.window", slots=len(slots), colors=num_colors):
+        result = _negotiate_window(
+            network,
+            objective,
+            slots,
+            num_colors,
+            rng=rng,
+            num_samples=num_samples,
+            initial_energies=initial_energies,
+            bus=bus,
+            async_dropout=async_dropout,
+            async_rng=async_rng,
+        )
+    if obs.enabled():
+        obs.inc("negotiation.windows")
+        for name, total in result.stats.as_dict().items():
+            obs.inc(f"negotiation.{name}", total - (base[name] if base else 0))
+        obs.inc("negotiation.commits", len(result.table))
+        obs.inc("negotiation.proposal_evals", result.proposal_evals)
+        obs.inc("negotiation.proposal_cache_hits", result.proposal_cache_hits)
+    return result
+
+
+def _negotiate_window(
+    network: ChargerNetwork,
+    objective: HasteObjective,
+    slots: list[int],
+    num_colors: int,
+    *,
+    rng: np.random.Generator,
+    num_samples: int = 24,
+    initial_energies: np.ndarray | None = None,
+    bus: MessageBus | None = None,
+    async_dropout: float = 0.0,
+    async_rng: np.random.Generator | None = None,
+) -> NegotiationResult:
+    """The uninstrumented protocol body (see :func:`negotiate_window`)."""
     if not (0.0 <= async_dropout < 1.0):
         raise ValueError(f"async_dropout must be in [0, 1), got {async_dropout}")
     if async_dropout > 0.0 and async_rng is None:
@@ -413,6 +464,10 @@ def negotiate_window(
     table: dict[tuple[int, int, int], int] = {}
     commit_trace: list[CommitEvent] = []
     sync = async_dropout == 0.0
+    # Proposal-cache accounting: plain local ints (folded into the obs
+    # registry by the negotiate_window wrapper, never per-round).
+    prop_evals = 0
+    prop_hits = 0
 
     for k in slots:
         k = int(k)
@@ -480,6 +535,9 @@ def negotiate_window(
                     prop = agent._proposal
                     if prop is None:
                         prop = agent.best_candidate(k, match[i], S)
+                        prop_evals += 1
+                    else:
+                        prop_hits += 1
                     proposals[i] = prop
                     standing[i] = prop[0] if prop[0] > MIN_GAIN else None
                 stats.broadcasts += len(order)
@@ -602,5 +660,10 @@ def negotiate_window(
                             agents[i].note_commit(wb, cb)
 
     return NegotiationResult(
-        table=table, stats=bus.stats, sampler=sampler, commit_trace=commit_trace
+        table=table,
+        stats=bus.stats,
+        sampler=sampler,
+        commit_trace=commit_trace,
+        proposal_evals=prop_evals,
+        proposal_cache_hits=prop_hits,
     )

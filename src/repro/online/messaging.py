@@ -61,6 +61,18 @@ class MessageStats:
         self.rounds += other.rounds
         self.negotiations += other.negotiations
 
+    def as_dict(self) -> dict[str, int]:
+        """The four totals as a plain dict — the unit the observability
+        registry folds (``negotiation.messages`` etc.) and the shape the
+        JSONL telemetry records carry, so trace files and in-memory stats
+        stay field-for-field comparable."""
+        return {
+            "messages": self.messages,
+            "broadcasts": self.broadcasts,
+            "rounds": self.rounds,
+            "negotiations": self.negotiations,
+        }
+
     def summary(self) -> str:
         return (
             f"MessageStats(messages={self.messages}, rounds={self.rounds}, "

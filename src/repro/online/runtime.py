@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.network import IDLE_POLICY, ChargerNetwork
 from ..core.policy import Schedule
 from ..objective.haste import HasteObjective
@@ -89,6 +90,14 @@ def run_online_haste(
     the per-policy energy kernels instead of reallocating them.
     ``use_sparse=False`` selects the dense reference kernels end to end
     (used by the equivalence tests).
+
+    When :mod:`repro.obs` is enabled the run is traced as an
+    ``online.run`` span with one ``online.arrival`` child per event —
+    the per-arrival negotiation latency histogram the paper's §5/§6
+    complexity discussion is about — and the run's final
+    :class:`~repro.online.messaging.MessageStats` are emitted as an
+    ``online.run`` telemetry event (bit-identical to the counters the
+    per-window folds accumulate).
     """
     if tau < 0:
         raise ValueError(f"tau must be >= 0, got {tau}")
@@ -103,62 +112,80 @@ def run_online_haste(
     base_objective = HasteObjective(network, use_sparse=use_sparse)
 
     arrival_slots = sorted({t.release_slot for t in network.tasks})
-    for t in arrival_slots:
-        boundary = t + tau
-        if boundary >= K:
-            continue  # nothing left to replan for this arrival
-        known = network.release_slots <= t
-        objective = base_objective.masked_view(known)
+    with obs.span("online.run", colors=num_colors, tau=tau):
+        for t in arrival_slots:
+            boundary = t + tau
+            if boundary >= K:
+                continue  # nothing left to replan for this arrival
+            known = network.release_slots <= t
+            objective = base_objective.masked_view(known)
 
-        window = [k for k in range(boundary, K)]
-        # Restrict to slots where anything known is active for any charger.
-        active_any = objective.active[:, boundary:K].any(axis=0)
-        window = [k for k, keep in zip(window, active_any) if keep]
-        if not window:
-            continue
+            window = [k for k in range(boundary, K)]
+            # Restrict to slots where anything known is active for any
+            # charger.
+            active_any = objective.active[:, boundary:K].any(axis=0)
+            window = [k for k, keep in zip(window, active_any) if keep]
+            if not window:
+                continue
 
-        events += 1
-        banked = objective.energies_of_schedule(committed, stop=boundary)
-        result = negotiate_window(
-            network,
-            objective,
-            window,
-            num_colors,
-            rng=rng,
-            num_samples=num_samples,
-            initial_energies=banked,
+            events += 1
+            with obs.span(
+                "online.arrival", slot=int(t), window_slots=len(window)
+            ):
+                banked = objective.energies_of_schedule(
+                    committed, stop=boundary
+                )
+                result = negotiate_window(
+                    network,
+                    objective,
+                    window,
+                    num_colors,
+                    rng=rng,
+                    num_samples=num_samples,
+                    initial_energies=banked,
+                )
+                stats.merge(result.stats)
+
+                # Sample final colors; keep the best of ``final_draws``
+                # vectors under the known-task objective.
+                best_sched: Schedule | None = None
+                best_value = -np.inf
+                draws = final_draws if num_colors > 1 else 1
+                partitions = sorted({(i, k) for (i, k, _c) in result.table})
+                with obs.span("online.draw_and_smooth"):
+                    for _ in range(draws):
+                        candidate = committed.copy()
+                        candidate.clear_from(boundary)
+                        for (i, k) in partitions:
+                            c = int(rng.integers(0, num_colors))
+                            p = result.table.get((i, k, c))
+                            if p is not None:
+                                candidate.set(i, k, p)
+                        value = objective.value_of_schedule(candidate)
+                        if value > best_value:
+                            best_sched, best_value = candidate, value
+                    if best_sched is not None:
+                        # Delay-aware switch smoothing of the freshly
+                        # planned future, seeing only the already-released
+                        # tasks (no clairvoyance).
+                        committed = smooth_switches(
+                            network,
+                            best_sched,
+                            rho=rho,
+                            task_mask=known,
+                            start_slot=boundary,
+                        )
+
+        execution = execute_schedule(network, committed, rho=rho)
+    if obs.enabled():
+        obs.inc("online.runs")
+        obs.inc("online.events", events)
+        obs.event(
+            "online.run",
+            events=events,
+            utility=execution.total_utility,
+            **stats.as_dict(),
         )
-        stats.merge(result.stats)
-
-        # Sample final colors; keep the best of ``final_draws`` vectors
-        # under the known-task objective.
-        best_sched: Schedule | None = None
-        best_value = -np.inf
-        draws = final_draws if num_colors > 1 else 1
-        partitions = sorted({(i, k) for (i, k, _c) in result.table})
-        for _ in range(draws):
-            candidate = committed.copy()
-            candidate.clear_from(boundary)
-            for (i, k) in partitions:
-                c = int(rng.integers(0, num_colors))
-                p = result.table.get((i, k, c))
-                if p is not None:
-                    candidate.set(i, k, p)
-            value = objective.value_of_schedule(candidate)
-            if value > best_value:
-                best_sched, best_value = candidate, value
-        if best_sched is not None:
-            # Delay-aware switch smoothing of the freshly planned future,
-            # seeing only the already-released tasks (no clairvoyance).
-            committed = smooth_switches(
-                network,
-                best_sched,
-                rho=rho,
-                task_mask=known,
-                start_slot=boundary,
-            )
-
-    execution = execute_schedule(network, committed, rho=rho)
     return OnlineRunResult(
         schedule=committed, execution=execution, stats=stats, events=events
     )

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..core.network import IDLE_POLICY, ChargerNetwork
 from ..core.policy import Schedule
 from ..core.utility import UtilityFunction
@@ -107,6 +108,11 @@ def execute_schedule(
     ``rho`` is the switching delay as a fraction of a slot (paper: ρ ∈
     (0, 1); ρ = 1 means a rotating charger loses the entire slot, the upper
     end of the paper's Fig. 6/14 sweeps).
+
+    When :mod:`repro.obs` is enabled each execution is traced as a
+    ``sim.execute`` span (the ρ = 0 relaxed-value re-run nests inside
+    its parent's span) and the executed non-idle charger-slots are
+    counted — one fold per execution, nothing per slot.
     """
     if not (0.0 <= rho <= 1.0):
         raise ValueError(f"rho must be in [0, 1], got {rho}")
@@ -116,37 +122,46 @@ def execute_schedule(
     switches = np.zeros((n, K), dtype=bool)
     ts = network.slot_seconds
 
-    for i in range(n):
-        orients = network.policy_orientations[i]
-        cover = network.cover_masks[i]
-        power = network.power[i]
-        current = np.nan
-        sel = schedule.sel[i]
-        for k in range(K):
-            p = sel[k]
-            if p == IDLE_POLICY:
-                continue
-            target = orients[p]
-            switched = np.isnan(current) or abs(target - current) > 1e-12
-            switches[i, k] = switched
-            current = target
-            frac = (1.0 - rho) if switched else 1.0
-            if frac <= 0.0:
-                continue
-            mask = cover[p] & network.active[:, k]
-            if mask.any():
-                delivered[i, mask] += power[mask] * ts * frac
+    with obs.span("sim.execute", rho=rho):
+        for i in range(n):
+            orients = network.policy_orientations[i]
+            cover = network.cover_masks[i]
+            power = network.power[i]
+            current = np.nan
+            sel = schedule.sel[i]
+            for k in range(K):
+                p = sel[k]
+                if p == IDLE_POLICY:
+                    continue
+                target = orients[p]
+                switched = np.isnan(current) or abs(target - current) > 1e-12
+                switches[i, k] = switched
+                current = target
+                frac = (1.0 - rho) if switched else 1.0
+                if frac <= 0.0:
+                    continue
+                mask = cover[p] & network.active[:, k]
+                if mask.any():
+                    delivered[i, mask] += power[mask] * ts * frac
 
-    energies = delivered.sum(axis=0)
-    task_utilities = np.asarray(util(energies), dtype=float)
-    total = float(task_utilities @ network.weights)
+        energies = delivered.sum(axis=0)
+        task_utilities = np.asarray(util(energies), dtype=float)
+        total = float(task_utilities @ network.weights)
 
-    if rho == 0.0:
-        relaxed = total
-    else:
-        relaxed = execute_schedule(
-            network, schedule, rho=0.0, utility=utility
-        ).total_utility
+        if rho == 0.0:
+            relaxed = total
+        else:
+            relaxed = execute_schedule(
+                network, schedule, rho=0.0, utility=utility
+            ).total_utility
+
+    if obs.enabled():
+        obs.inc("sim.executions")
+        obs.inc(
+            "sim.charger_slots",
+            int(np.count_nonzero(schedule.sel != IDLE_POLICY)),
+        )
+        obs.inc("sim.switches", int(np.count_nonzero(switches)))
 
     return ExecutionResult(
         energies=energies,

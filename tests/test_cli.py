@@ -30,6 +30,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig04", "--scale", "huge"])
 
+    def test_run_trace_flag(self):
+        args = build_parser().parse_args(
+            ["run", "fig16", "--trace", "out.jsonl"]
+        )
+        assert args.trace == "out.jsonl"
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "fig04"])
+        assert args.experiment == "fig04"
+        assert args.scale == "quick"
+        assert args.trials == 1
+        assert args.trace is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -68,6 +81,30 @@ class TestCommands:
         )
         capsys.readouterr()
         assert "fig21" in target.read_text()
+
+    def test_run_with_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "fig21", "--scale", "quick", "--trials", "2",
+             "--trace", str(trace)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        records = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        assert records[-1]["kind"] == "summary"
+        assert any(r["kind"] == "span" for r in records)
+
+    def test_profile_prints_span_tree(self, capsys):
+        code = main(["profile", "fig21", "--trials", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "span tree" in out
+        assert "offline.run" in out or "online.run" in out
+        assert "counters:" in out
 
     def test_demo(self, capsys):
         assert main(["demo"]) == 0
