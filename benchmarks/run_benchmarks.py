@@ -7,7 +7,11 @@ modes are combined:
 * **seed-git** — end-to-end runs (centralized C=4 sweep, online
   per-arrival replanning).  The "before" is the repository's actual root
   commit, extracted with ``git archive`` into a temp directory and run in
-  a subprocess with its own ``PYTHONPATH``; "after" is the working tree.
+  a subprocess with its own ``PYTHONPATH``; "after" is the working tree,
+  driven through the solver registry (``repro.solvers``) — each worker
+  resolves a spec string and reports the artifact's scheduling-phase
+  ``plan_s``, falling back to direct calls on trees that predate the
+  registry.
   Before/after repeats are interleaved in time so slow drift of the host
   (thermal, co-tenants) hits both sides equally, and the median repeat is
   reported.
@@ -53,16 +57,24 @@ import json, sys, time
 import numpy as np
 from repro.sim.config import SimulationConfig
 from repro.sim.workload import sample_network
-from repro.offline.centralized import schedule_offline
 
 scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
 cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
 net = sample_network(cfg, np.random.default_rng(net_seed))
 rng = np.random.default_rng(run_seed)
-t0 = time.perf_counter()
-res = schedule_offline(net, cfg.num_colors, num_samples=cfg.num_samples, rng=rng)
-dt = time.perf_counter() - t0
-print(json.dumps({"seconds": dt, "value": res.objective_value,
+try:
+    # Registry path (current tree): plan_s times the scheduling phase only,
+    # matching what the pre-registry worker wrapped in perf_counter.
+    from repro.solvers import get_solver
+    art = get_solver("haste-offline:smooth=0").solve(net, rng, cfg)
+    dt, value = art.meta["plan_s"], art.objective_value
+except ImportError:
+    # Older trees (the git-extracted "before" side) predate repro.solvers.
+    from repro.offline.centralized import schedule_offline
+    t0 = time.perf_counter()
+    res = schedule_offline(net, cfg.num_colors, num_samples=cfg.num_samples, rng=rng)
+    dt, value = time.perf_counter() - t0, res.objective_value
+print(json.dumps({"seconds": dt, "value": value,
                   "n": net.n, "m": net.m, "K": net.num_slots,
                   "C": cfg.num_colors, "S": cfg.num_samples}))
 """
@@ -72,19 +84,27 @@ import json, sys, time
 import numpy as np
 from repro.sim.config import SimulationConfig
 from repro.sim.workload import sample_network
-from repro.online.runtime import run_online_haste
 
 scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
 cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
 net = sample_network(cfg, np.random.default_rng(net_seed))
 rng = np.random.default_rng(run_seed)
-t0 = time.perf_counter()
-run = run_online_haste(net, num_colors=cfg.num_colors, num_samples=cfg.num_samples,
-                       tau=cfg.tau, rho=cfg.rho, rng=rng)
-dt = time.perf_counter() - t0
-print(json.dumps({"seconds": dt, "events": run.events,
-                  "per_event": dt / max(run.events, 1),
-                  "utility": run.total_utility,
+try:
+    # Registry path (current tree); plan_s wraps run_online_haste exactly
+    # as the pre-registry worker's perf_counter did.
+    from repro.solvers import get_solver
+    art = get_solver("online-haste").solve(net, rng, cfg)
+    dt, events, utility = art.meta["plan_s"], art.events, art.total_utility
+except ImportError:
+    # Older trees (the git-extracted "before" side) predate repro.solvers.
+    from repro.online.runtime import run_online_haste
+    t0 = time.perf_counter()
+    run = run_online_haste(net, num_colors=cfg.num_colors, num_samples=cfg.num_samples,
+                           tau=cfg.tau, rho=cfg.rho, rng=rng)
+    dt, events, utility = time.perf_counter() - t0, run.events, run.total_utility
+print(json.dumps({"seconds": dt, "events": events,
+                  "per_event": dt / max(events, 1),
+                  "utility": utility,
                   "n": net.n, "m": net.m, "K": net.num_slots,
                   "C": cfg.num_colors, "S": cfg.num_samples}))
 """

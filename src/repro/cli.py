@@ -9,6 +9,14 @@ Usage::
     repro-haste run all --scale quick
     repro-haste profile fig04
     repro-haste demo
+    repro-haste solvers
+    repro-haste solve haste-offline:c=4 --scale quick --seed 7
+    repro-haste solve online-haste:tau=2 --instance saved.npz --save-artifact out.npz
+    repro-haste instance sample --scale quick --seed 7 --out saved.npz
+    repro-haste instance inspect saved.npz
+
+Unknown experiment ids and malformed or unknown solver specs exit with
+status 2 and a one-line message on stderr (no traceback).
 
 (Equivalently ``python -m repro.cli …``.)  Experiment output is the text
 table the paper's figure plots plus the machine-checked shape claims; exit
@@ -96,6 +104,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("demo", help="run a 30-second end-to-end demonstration")
+
+    sub.add_parser("solvers", help="list registered solver specs and capabilities")
+
+    p_solve = sub.add_parser(
+        "solve",
+        help="run one solver spec on a sampled or saved instance",
+    )
+    p_solve.add_argument(
+        "spec", help="solver spec, e.g. haste-offline:c=4 or greedy-utility"
+    )
+    p_solve.add_argument(
+        "--instance",
+        default=None,
+        metavar="PATH",
+        help="solve a saved instance (.json/.npz) instead of sampling one",
+    )
+    p_solve.add_argument(
+        "--scale",
+        choices=("quick", "small", "default", "paper"),
+        default="quick",
+        help="instance size tier when sampling (ignored with --instance)",
+    )
+    p_solve.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="sampling/solver seed (default: 0 when sampling; the saved "
+        "instance's own seed with --instance, reproducing the original run)",
+    )
+    p_solve.add_argument(
+        "--save-artifact",
+        default=None,
+        metavar="PATH",
+        help="save the structured RunArtifact (.json/.npz) here",
+    )
+    p_solve.add_argument(
+        "--save-instance",
+        default=None,
+        metavar="PATH",
+        help="save the (sampled or loaded) instance (.json/.npz) here",
+    )
+
+    p_inst = sub.add_parser("instance", help="sample or inspect problem instances")
+    inst_sub = p_inst.add_subparsers(dest="instance_command", required=True)
+    p_sample = inst_sub.add_parser(
+        "sample", help="sample an instance and save it for later replay"
+    )
+    p_sample.add_argument(
+        "--scale",
+        choices=("quick", "small", "default", "paper"),
+        default="quick",
+        help="instance size tier",
+    )
+    p_sample.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p_sample.add_argument(
+        "--out", required=True, metavar="PATH", help="output path (.json or .npz)"
+    )
+    p_inspect = inst_sub.add_parser("inspect", help="describe a saved instance")
+    p_inspect.add_argument("path", help="instance file (.json or .npz)")
 
     p_bounds = sub.add_parser(
         "bounds", help="print the applicable theoretical guarantees"
@@ -195,9 +262,74 @@ def _cmd_demo() -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point (console script ``repro-haste``)."""
-    args = build_parser().parse_args(argv)
+def _cli_config(scale: str):
+    """Resolve a CLI --scale tier to a :class:`SimulationConfig`."""
+    if scale == "small":
+        from .sim.config import SimulationConfig
+
+        return SimulationConfig.small_scale()
+    from .experiments.common import config_for_scale
+
+    return config_for_scale(scale)
+
+
+def _cmd_solvers() -> int:
+    from .solvers import REGISTRY
+
+    for name in REGISTRY.names():
+        entry = REGISTRY.entry(name)
+        print(f"{name:22s} {entry.capabilities.summary()}")
+        if entry.defaults:
+            params = ", ".join(
+                f"{k}={'<auto>' if v is None else v}"
+                for k, v in sorted(entry.defaults.items())
+            )
+            print(f"{'':22s}   params: {params}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .solvers import Instance, get_solver, solve_instance
+
+    solver = get_solver(args.spec)  # validate spec before touching files
+    if args.instance:
+        instance = Instance.load(args.instance)
+        seed = args.seed  # None → replay with the instance's own seed
+    else:
+        instance = Instance.sample(
+            _cli_config(args.scale), args.seed if args.seed is not None else 0
+        )
+        seed = None
+    if args.save_instance:
+        instance.save(args.save_instance)
+    print(instance.describe())
+    artifact = solve_instance(solver.canonical(), instance, seed=seed)
+    print(artifact.summary())
+    if args.save_instance:
+        print(f"(instance written to {args.save_instance})")
+    if args.save_artifact:
+        artifact.save(args.save_artifact)
+        print(f"(artifact written to {args.save_artifact})")
+    return 0
+
+
+def _cmd_instance(args: argparse.Namespace) -> int:
+    from .solvers import Instance
+
+    if args.instance_command == "sample":
+        instance = Instance.sample(_cli_config(args.scale), args.seed)
+        instance.save(args.out)
+        print(instance.describe())
+        print(f"content hash: {instance.content_hash()}")
+        print(f"(instance written to {args.out})")
+        return 0
+    instance = Instance.load(args.path)
+    print(instance.describe())
+    print(f"content hash: {instance.content_hash()}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "describe":
@@ -208,12 +340,39 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "demo":
         return _cmd_demo()
+    if args.command == "solvers":
+        return _cmd_solvers()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "instance":
+        return _cmd_instance(args)
     if args.command == "bounds":
         from .analysis import certificate
 
         print(certificate(args.rho, args.colors).render())
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point (console script ``repro-haste``).
+
+    Bad ids — an unknown experiment, a malformed or unknown solver spec, a
+    missing instance file — exit with status 2 and a one-line message on
+    stderr instead of a traceback.
+    """
+    from .solvers import SolverError, SpecError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (SpecError, SolverError, FileNotFoundError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except KeyError as err:
+        # get_experiment signals unknown ids with a descriptive KeyError.
+        print(f"error: {err.args[0] if err.args else err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

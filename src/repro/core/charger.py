@@ -10,7 +10,7 @@ schedule execution — so it lives in :mod:`repro.sim.engine`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -19,10 +19,8 @@ import numpy as np
 
 from ..core.network import ChargerNetwork
 from ..core.power import AnisotropicPowerModel, PowerModel
-from ..offline.baselines import greedy_utility_schedule
-from ..offline.centralized import schedule_offline
-from ..sim.engine import execute_schedule
 from ..sim.workload import sample_network
+from ..solvers import get_solver
 from .common import (
     Experiment,
     ExperimentOutput,
@@ -44,6 +42,8 @@ def _with_model(network: ChargerNetwork, model: PowerModel) -> ChargerNetwork:
 
 def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
     base = config_for_scale(scale)
+    haste = get_solver("haste-offline:c=1,smooth=0")
+    greedy = get_solver("greedy-utility")
     kappas = [0.0, 1.0, 2.0, 4.0]
     haste_means, greedy_means = [], []
     kappa0_matches = True
@@ -63,15 +63,8 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
             rng = np.random.default_rng(
                 np.random.SeedSequence(entropy=(seed, trial, int(kappa * 10)))
             )
-            res = schedule_offline(net, 1, rng=rng)
-            h_row.append(
-                execute_schedule(net, res.schedule, rho=base.rho).total_utility
-            )
-            g_row.append(
-                execute_schedule(
-                    net, greedy_utility_schedule(net), rho=base.rho
-                ).total_utility
-            )
+            h_row.append(haste.solve(net, rng, base).total_utility)
+            g_row.append(greedy.solve(net, rng, base).total_utility)
         haste_means.append(h_row)
         greedy_means.append(g_row)
 

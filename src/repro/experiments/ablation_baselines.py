@@ -14,36 +14,17 @@ Expected ordering: HASTE ≥ GreedyUtility ≥ Static ≥ Random.
 
 from __future__ import annotations
 
-from ..offline.baselines import random_schedule, static_orientation_schedule
-from ..sim.engine import execute_schedule
 from ..sim.runner import run_sweep
-from .common import (
-    Experiment,
-    ExperimentOutput,
-    ShapeCheck,
-    config_for_scale,
-    haste_offline_c1,
-    offline_greedy_utility,
-)
-
-
-def _static(network, rng, config) -> float:
-    sched = static_orientation_schedule(network)
-    return execute_schedule(network, sched, rho=config.rho).total_utility
-
-
-def _random(network, rng, config) -> float:
-    sched = random_schedule(network, rng)
-    return execute_schedule(network, sched, rho=config.rho).total_utility
+from .common import Experiment, ExperimentOutput, ShapeCheck, config_for_scale
 
 
 def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
     base = config_for_scale(scale)
     algorithms = {
-        "HASTE(C=1)": haste_offline_c1,
-        "GreedyUtility": offline_greedy_utility,
-        "Static": _static,
-        "Random": _random,
+        "HASTE(C=1)": "haste-offline:c=1",
+        "GreedyUtility": "greedy-utility",
+        "Static": "static",
+        "Random": "random",
     }
     result = run_sweep(
         base,

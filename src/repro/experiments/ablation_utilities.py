@@ -10,56 +10,37 @@ machinery is genuinely utility-agnostic, not tuned to Eq. (1).
 
 from __future__ import annotations
 
-from ..core.utility import LinearBoundedUtility, LogUtility, PowerLawUtility
-from ..offline.baselines import greedy_utility_schedule
-from ..offline.centralized import schedule_offline
-from ..sim.engine import execute_schedule
 from ..sim.runner import run_sweep
 from .common import Experiment, ExperimentOutput, ShapeCheck, config_for_scale
 
+# Utility family → solver-spec parameter suffix.  The solvers build the
+# scoring utility from the network's tasks and use it for planning *and*
+# execution; spec strings cross process boundaries freely, so this sweep
+# parallelizes like any other (the closure-based adapters it replaces
+# forced processes=1).
 _FAMILIES = {
-    "linear-bounded": LinearBoundedUtility.for_tasks,
-    "log": LogUtility.for_tasks,
-    "powerlaw(γ=0.5)": lambda tasks: PowerLawUtility.for_tasks(tasks, gamma=0.5),
+    "linear-bounded": "utility=linear",
+    "log": "utility=log",
+    "powerlaw(γ=0.5)": "utility=powerlaw,gamma=0.5",
 }
-
-
-def _make_pair(factory):
-    """(HASTE, GreedyUtility) adapters planning *and* scored under ``factory``."""
-
-    def haste(network, rng, config) -> float:
-        utility = factory(network.tasks)
-        res = schedule_offline(network, 1, rng=rng, utility=utility)
-        return execute_schedule(
-            network, res.schedule, rho=config.rho, utility=utility
-        ).total_utility
-
-    def greedy(network, rng, config) -> float:
-        utility = factory(network.tasks)
-        sched = greedy_utility_schedule(network, utility=utility)
-        return execute_schedule(
-            network, sched, rho=config.rho, utility=utility
-        ).total_utility
-
-    return haste, greedy
 
 
 def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
     base = config_for_scale(scale)
     rows, checks = [], []
     data = {}
-    for name, factory in _FAMILIES.items():
-        haste, greedy = _make_pair(factory)
-        # The per-family adapters are closures over the utility factory
-        # and cannot cross process boundaries; this sweep runs inline.
+    for name, params in _FAMILIES.items():
         result = run_sweep(
             base,
             "num_chargers",
             [base.num_chargers],
-            {"HASTE": haste, "GreedyUtility": greedy},
+            {
+                "HASTE": f"haste-offline:c=1,smooth=0,{params}",
+                "GreedyUtility": f"greedy-utility:{params}",
+            },
             trials=trials,
             seed=seed,
-            processes=1,
+            processes=processes,
         )
         h = float(result.mean_series("HASTE")[0])
         g = float(result.mean_series("GreedyUtility")[0])

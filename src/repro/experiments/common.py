@@ -23,12 +23,8 @@ from typing import Callable
 
 import numpy as np
 
-from ..offline.baselines import greedy_cover_schedule, greedy_utility_schedule
-from ..offline.centralized import schedule_offline
-from ..offline.smoothing import smooth_switches
-from ..online.runtime import run_online_baseline, run_online_haste
 from ..sim.config import SimulationConfig
-from ..sim.engine import execute_schedule
+from ..solvers import get_solver
 
 __all__ = [
     "ShapeCheck",
@@ -118,75 +114,56 @@ def config_for_scale(scale: str) -> SimulationConfig:
 
 
 # ----------------------------------------------------------------------
-# Algorithm adapters: fn(network, rng, config) -> overall charging utility.
-# Module-level so sweeps can ship them across worker processes.
+# Legacy algorithm adapters: fn(network, rng, config) -> overall charging
+# utility.  Thin shims over the solver registry (kept because downstream
+# code and tests call them by name); new code should address solvers by
+# spec string — see repro.solvers and algorithms_for_setting().
 # ----------------------------------------------------------------------
 def haste_offline_c1(network, rng, config) -> float:
-    """Centralized Algorithm 2 with C = 1 (exact locally greedy).
+    """Centralized Algorithm 2 with C = 1 (``haste-offline:c=1``).
 
     The delay-aware switch-smoothing post-pass is applied, as in every
     HASTE adapter (it is a pure Pareto improvement — see
     :mod:`repro.offline.smoothing`).
     """
-    res = schedule_offline(network, 1, rng=rng)
-    sched = smooth_switches(network, res.schedule, rho=config.rho)
-    return execute_schedule(network, sched, rho=config.rho).total_utility
+    return get_solver("haste-offline:c=1").solve(network, rng, config).total_utility
 
 
 def haste_offline_c4(network, rng, config) -> float:
-    """Centralized Algorithm 2 with C = 4 (the paper's headline setting)."""
-    res = schedule_offline(
-        network, config.num_colors, num_samples=config.num_samples, rng=rng
-    )
-    sched = smooth_switches(network, res.schedule, rho=config.rho)
-    return execute_schedule(network, sched, rho=config.rho).total_utility
+    """Centralized Algorithm 2 at the config's C (``haste-offline``)."""
+    return get_solver("haste-offline").solve(network, rng, config).total_utility
 
 
 def offline_greedy_utility(network, rng, config) -> float:
-    """GreedyUtility baseline, offline setting."""
-    sched = greedy_utility_schedule(network)
-    return execute_schedule(network, sched, rho=config.rho).total_utility
+    """GreedyUtility baseline, offline setting (``greedy-utility``)."""
+    return get_solver("greedy-utility").solve(network, rng, config).total_utility
 
 
 def offline_greedy_cover(network, rng, config) -> float:
-    """GreedyCover baseline, offline setting."""
-    sched = greedy_cover_schedule(network)
-    return execute_schedule(network, sched, rho=config.rho).total_utility
+    """GreedyCover baseline, offline setting (``greedy-cover``)."""
+    return get_solver("greedy-cover").solve(network, rng, config).total_utility
 
 
 def haste_online_c1(network, rng, config) -> float:
-    """Distributed online Algorithm 3 with C = 1."""
-    run = run_online_haste(
-        network, num_colors=1, tau=config.tau, rho=config.rho, rng=rng
-    )
-    return run.total_utility
+    """Distributed online Algorithm 3 with C = 1 (``online-haste:c=1``)."""
+    return get_solver("online-haste:c=1").solve(network, rng, config).total_utility
 
 
 def haste_online_c4(network, rng, config) -> float:
-    """Distributed online Algorithm 3 with C = 4."""
-    run = run_online_haste(
-        network,
-        num_colors=config.num_colors,
-        num_samples=config.num_samples,
-        tau=config.tau,
-        rho=config.rho,
-        rng=rng,
-    )
-    return run.total_utility
+    """Distributed online Algorithm 3 at the config's C (``online-haste``)."""
+    return get_solver("online-haste").solve(network, rng, config).total_utility
 
 
 def online_greedy_utility(network, rng, config) -> float:
-    """GreedyUtility with τ-delayed knowledge (online setting)."""
-    return run_online_baseline(
-        network, "utility", tau=config.tau, rho=config.rho
-    ).total_utility
+    """GreedyUtility with τ-delayed knowledge (``online-greedy-utility``)."""
+    return (
+        get_solver("online-greedy-utility").solve(network, rng, config).total_utility
+    )
 
 
 def online_greedy_cover(network, rng, config) -> float:
-    """GreedyCover with τ-delayed knowledge (online setting)."""
-    return run_online_baseline(
-        network, "cover", tau=config.tau, rho=config.rho
-    ).total_utility
+    """GreedyCover with τ-delayed knowledge (``online-greedy-cover``)."""
+    return get_solver("online-greedy-cover").solve(network, rng, config).total_utility
 
 
 # ----------------------------------------------------------------------

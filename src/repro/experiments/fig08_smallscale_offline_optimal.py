@@ -15,11 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..offline.centralized import schedule_offline
-from ..offline.optimal import optimal_schedule
 from ..sim.config import SimulationConfig
-from ..sim.engine import execute_schedule
 from ..sim.workload import sample_network
+from ..solvers import get_solver
 from .common import Experiment, ExperimentOutput, ShapeCheck
 
 RATIO_BOUND = (1 - 1 / 12) * (1 - 1 / np.e)  # (1-ρ)(1-1/e) with the paper's ρ
@@ -32,6 +30,9 @@ def _angles(scale: str) -> list[float]:
 
 def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
     base = SimulationConfig.small_scale()
+    solver_opt = get_solver("offline-optimal")
+    solver_c1 = get_solver("haste-offline:c=1,smooth=0")
+    solver_c4 = get_solver("haste-offline:smooth=0")
     angles = _angles(scale)
     rows = ["    A_s    OPT(R)  HASTE(C=1)  HASTE(C=4)  worst-ratio"]
     worst_ratio = np.inf
@@ -44,14 +45,14 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
                 np.random.SeedSequence(entropy=(seed, trial))
             )
             net = sample_network(cfg, net_rng)
-            opt = optimal_schedule(net).objective_value
+            opt = solver_opt.solve(net, config=cfg).objective_value
+            # The C=1 and C=4 runs share one rng stream, consumed in
+            # sequence — same draws as the pre-registry implementation.
             alg_rng = np.random.default_rng(
                 np.random.SeedSequence(entropy=(seed, vi, trial, 1))
             )
-            c1 = schedule_offline(net, 1, rng=alg_rng)
-            c4 = schedule_offline(net, 4, num_samples=cfg.num_samples, rng=alg_rng)
-            u1 = execute_schedule(net, c1.schedule, rho=cfg.rho).total_utility
-            u4 = execute_schedule(net, c4.schedule, rho=cfg.rho).total_utility
+            u1 = solver_c1.solve(net, alg_rng, cfg).total_utility
+            u4 = solver_c4.solve(net, alg_rng, cfg).total_utility
             opt_vals.append(opt)
             c1_vals.append(u1)
             c4_vals.append(u4)

@@ -14,10 +14,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..offline.optimal import optimal_schedule
-from ..online.runtime import run_online_haste
 from ..sim.config import SimulationConfig
 from ..sim.workload import sample_network
+from ..solvers import get_solver
 from .common import Experiment, ExperimentOutput, ShapeCheck
 
 COMPETITIVE_BOUND = 0.5 * (1 - 1 / 12) * (1 - 1 / np.e)
@@ -30,6 +29,9 @@ def _angles(scale: str) -> list[float]:
 
 def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
     base = SimulationConfig.small_scale()
+    solver_opt = get_solver("offline-optimal")
+    solver_c1 = get_solver("online-haste:c=1")
+    solver_c4 = get_solver("online-haste")
     angles = _angles(scale)
     rows = ["    A_o    OPT(R)  HASTE-DO(C=1)  HASTE-DO(C=4)  worst-ratio"]
     worst_ratio = np.inf
@@ -42,21 +44,14 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
                 cfg,
                 np.random.default_rng(np.random.SeedSequence(entropy=(seed, trial))),
             )
-            opt = optimal_schedule(net).objective_value
+            opt = solver_opt.solve(net, config=cfg).objective_value
+            # C=1 and C=4 share one rng stream, consumed in sequence —
+            # same draws as the pre-registry implementation.
             rng = np.random.default_rng(
                 np.random.SeedSequence(entropy=(seed, vi, trial, 1))
             )
-            u1 = run_online_haste(
-                net, num_colors=1, tau=cfg.tau, rho=cfg.rho, rng=rng
-            ).total_utility
-            u4 = run_online_haste(
-                net,
-                num_colors=4,
-                num_samples=cfg.num_samples,
-                tau=cfg.tau,
-                rho=cfg.rho,
-                rng=rng,
-            ).total_utility
+            u1 = solver_c1.solve(net, rng, cfg).total_utility
+            u4 = solver_c4.solve(net, rng, cfg).total_utility
             opt_vals.append(opt)
             c1_vals.append(u1)
             c4_vals.append(u4)

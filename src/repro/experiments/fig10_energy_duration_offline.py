@@ -109,12 +109,6 @@ def energy_duration_grid(
     return run
 
 
-def _offline_algorithms():
-    from .common import haste_offline_c4
-
-    return {"HASTE(C=4)": haste_offline_c4}
-
-
 EXPERIMENT = Experiment(
     id="fig10",
     figure="Fig. 10",
@@ -124,7 +118,7 @@ EXPERIMENT = Experiment(
         "corner to corner) with diminishing gains."
     ),
     runner=energy_duration_grid(
-        _offline_algorithms(),
+        {"HASTE(C=4)": "haste-offline"},
         "fig10",
         "Required energy × task duration vs utility (centralized offline)",
         online=False,

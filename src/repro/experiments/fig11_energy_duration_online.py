@@ -7,7 +7,7 @@ Paper claims (§7.4.5): identical shape to Fig. 10 for HASTE-DO — utility
 
 from __future__ import annotations
 
-from .common import Experiment, haste_online_c4
+from .common import Experiment
 from .fig10_energy_duration_offline import energy_duration_grid
 
 EXPERIMENT = Experiment(
@@ -19,7 +19,7 @@ EXPERIMENT = Experiment(
         "corner to corner) with diminishing gains."
     ),
     runner=energy_duration_grid(
-        {"HASTE-DO(C=4)": haste_online_c4},
+        {"HASTE-DO(C=4)": "online-haste"},
         "fig11",
         "Required energy × task duration vs utility (distributed online)",
         online=True,

@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..online.runtime import run_online_haste
 from ..sim.workload import sample_network
+from ..solvers import get_solver
 from .common import Experiment, ExperimentOutput, ShapeCheck
 from .sweeps import online_config_for_scale
 
@@ -33,6 +33,7 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
         # The quadratic/linear split needs real neighbor density; the quick
         # field is shrunk so even small fleets overlap.
         base = base.replace(field_size=25.0)
+    solver = get_solver("online-haste:c=1")
     sizes = _fleet_sizes(scale)
     rows = ["     n   msgs/event   rounds/event   mean-degree"]
     msgs, rounds, degrees = [], [], []
@@ -44,18 +45,16 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
                 cfg,
                 np.random.default_rng(np.random.SeedSequence(entropy=(seed, vi, trial))),
             )
-            result = run_online_haste(
+            artifact = solver.solve(
                 net,
-                num_colors=1,
-                tau=cfg.tau,
-                rho=cfg.rho,
-                rng=np.random.default_rng(
+                np.random.default_rng(
                     np.random.SeedSequence(entropy=(seed, vi, trial, 1))
                 ),
+                cfg,
             )
-            events = max(result.events, 1)
-            m_vals.append(result.stats.messages / events)
-            r_vals.append(result.stats.rounds / events)
+            events = max(artifact.events, 1)
+            m_vals.append(artifact.message_stats["messages"] / events)
+            r_vals.append(artifact.message_stats["rounds"] / events)
             d_vals.append(float(np.mean([len(nb) for nb in net.neighbors])))
         msgs.append(float(np.mean(m_vals)))
         rounds.append(float(np.mean(r_vals)))

@@ -13,13 +13,8 @@ import numpy as np
 
 from ..sim.topology import gaussian_positions
 from ..sim.workload import sample_network
-from .common import (
-    Experiment,
-    ExperimentOutput,
-    ShapeCheck,
-    config_for_scale,
-    haste_offline_c4,
-)
+from ..solvers import get_solver
+from .common import Experiment, ExperimentOutput, ShapeCheck, config_for_scale
 
 
 def _sigmas(scale: str) -> list[float]:
@@ -32,6 +27,7 @@ def _sigmas(scale: str) -> list[float]:
 
 def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutput:
     base = config_for_scale(scale).replace(num_tasks=50)
+    solver = get_solver("haste-offline")
     sigmas = _sigmas(scale)
     means = np.zeros((len(sigmas), len(sigmas)))
     for xi, sx in enumerate(sigmas):
@@ -45,13 +41,13 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
                 )
                 net = sample_network(base, rng, task_positions=task_xy)
                 vals.append(
-                    haste_offline_c4(
+                    solver.solve(
                         net,
                         np.random.default_rng(
                             np.random.SeedSequence(entropy=(seed, xi, yi, trial, 1))
                         ),
                         base,
-                    )
+                    ).total_utility
                 )
             means[xi, yi] = float(np.mean(vals))
 

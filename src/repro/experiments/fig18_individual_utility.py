@@ -11,9 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..offline.centralized import schedule_offline
-from ..sim.engine import execute_schedule
 from ..sim.workload import sample_network
+from ..solvers import get_solver
 from .common import Experiment, ExperimentOutput, ShapeCheck, config_for_scale
 
 
@@ -25,6 +24,7 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
         base = base.replace(energy_min=500.0, energy_max=10_000.0)
     else:
         base = base.replace(energy_min=5_000.0, energy_max=100_000.0)
+    solver = get_solver("haste-offline:smooth=0")
     energies: list[float] = []
     utilities: list[float] = []
     for trial in range(trials):
@@ -32,15 +32,13 @@ def run(*, trials: int, seed: int, scale: str, processes: int) -> ExperimentOutp
             base,
             np.random.default_rng(np.random.SeedSequence(entropy=(seed, trial))),
         )
-        res = schedule_offline(
+        artifact = solver.solve(
             net,
-            base.num_colors,
-            num_samples=base.num_samples,
-            rng=np.random.default_rng(np.random.SeedSequence(entropy=(seed, trial, 1))),
+            np.random.default_rng(np.random.SeedSequence(entropy=(seed, trial, 1))),
+            base,
         )
-        ex = execute_schedule(net, res.schedule, rho=base.rho)
         energies.extend(net.required_energy.tolist())
-        utilities.extend(ex.task_utilities.tolist())
+        utilities.extend(artifact.task_utilities.tolist())
 
     e = np.asarray(energies)
     u = np.asarray(utilities)

@@ -20,14 +20,6 @@ from .common import (
     approx_nondecreasing,
     approx_nonincreasing,
     config_for_scale,
-    haste_offline_c1,
-    haste_offline_c4,
-    haste_online_c1,
-    haste_online_c4,
-    offline_greedy_cover,
-    offline_greedy_utility,
-    online_greedy_cover,
-    online_greedy_utility,
 )
 
 __all__ = [
@@ -60,20 +52,26 @@ def online_config_for_scale(scale: str) -> SimulationConfig:
 
 
 def algorithms_for_setting(setting: str) -> dict:
-    """The paper's three algorithms (HASTE at C = 1 and C = 4) per setting."""
+    """The paper's three algorithms (HASTE at C = 1 and C = 4) per setting.
+
+    Values are solver registry specs (see :mod:`repro.solvers`) — plain
+    strings the sweep workers resolve locally, so the tables pickle freely.
+    ``haste-offline`` / ``online-haste`` without an explicit ``c`` honour
+    the config's ``num_colors`` (the colors box plots vary it).
+    """
     if setting == "offline":
         return {
-            "HASTE(C=4)": haste_offline_c4,
-            "HASTE(C=1)": haste_offline_c1,
-            "GreedyUtility": offline_greedy_utility,
-            "GreedyCover": offline_greedy_cover,
+            "HASTE(C=4)": "haste-offline",
+            "HASTE(C=1)": "haste-offline:c=1",
+            "GreedyUtility": "greedy-utility",
+            "GreedyCover": "greedy-cover",
         }
     if setting == "online":
         return {
-            "HASTE(C=4)": haste_online_c4,
-            "HASTE(C=1)": haste_online_c1,
-            "GreedyUtility": online_greedy_utility,
-            "GreedyCover": online_greedy_cover,
+            "HASTE(C=4)": "online-haste",
+            "HASTE(C=1)": "online-haste:c=1",
+            "GreedyUtility": "online-greedy-utility",
+            "GreedyCover": "online-greedy-cover",
         }
     raise ValueError(f"setting must be 'offline' or 'online', got {setting!r}")
 
@@ -227,10 +225,8 @@ def colors_box_runner(setting: str, experiment_id: str, title: str):
             else online_config_for_scale(scale)
         )
         colors = [1, 2, 4] if scale == "quick" else [1, 2, 3, 4, 6, 8]
-        if setting == "offline":
-            alg = haste_offline_c4  # honours config.num_colors
-        else:
-            alg = haste_online_c4
+        # Specs without an explicit c honour config.num_colors.
+        alg = "haste-offline" if setting == "offline" else "online-haste"
         rows = []
         per_color = {}
         for c in colors:

@@ -15,7 +15,7 @@ accounting, not the fault model, is what Fig. 16 measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Message", "MessageStats", "MessageBus", "CMD_NULL", "CMD_UPDATE"]
 

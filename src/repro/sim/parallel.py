@@ -11,9 +11,12 @@ statistically independent child seeds via :class:`numpy.random.SeedSequence`
 spawning, so results are identical whether trials run serially or across
 any number of worker processes.
 
-Worker callables must be picklable (module-level functions) when
-``processes > 1``; with ``processes = 1`` everything runs inline, which is
-also the fallback when the platform cannot fork.
+The sweep runner ships *solver spec strings* (see :mod:`repro.solvers`)
+across the pool and resolves them registry-side in each worker, so the
+common path no longer needs picklable callables at all; only legacy
+callable algorithm tables still must be module-level functions when
+``processes > 1``.  With ``processes = 1`` everything runs inline, which
+is also the fallback when the platform cannot fork.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Sequence, TypeVar
 
 import numpy as np
 

@@ -10,29 +10,35 @@ shape out of the experiment modules:
   100 random topologies";
 * seeding is hierarchical (root seed → per-(value, trial) children) so any
   single cell can be reproduced in isolation;
-* trials fan out over processes via :mod:`repro.sim.parallel` when the
-  algorithm table is picklable (module-level functions).
+* trials fan out over processes via :mod:`repro.sim.parallel`.
 
-An *algorithm* is any callable ``fn(network, rng, config) -> float``
-returning the achieved overall charging utility.
+An *algorithm* is either a solver spec string (e.g. ``"haste-offline:c=1"``,
+resolved against :mod:`repro.solvers` **inside each worker**, so algorithm
+tables are always picklable and cross process boundaries as plain strings)
+or — legacy form — any callable ``fn(network, rng, config) -> float``
+returning the achieved overall charging utility.  Spec-string entries can
+additionally retain their full :class:`~repro.solvers.artifact.RunArtifact`
+per cell via ``keep_artifacts=True``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence, Union
 
 import numpy as np
 
 from ..core.network import ChargerNetwork
 from .config import SimulationConfig
 from .metrics import SeriesStats, summarize
-from .parallel import parallel_starmap, spawn_seeds
+from .parallel import parallel_starmap
 from .workload import sample_network
 
-__all__ = ["AlgorithmFn", "SweepResult", "run_sweep", "run_trials"]
+__all__ = ["AlgorithmFn", "AlgorithmSpec", "SweepResult", "run_sweep", "run_trials"]
 
 AlgorithmFn = Callable[[ChargerNetwork, np.random.Generator, SimulationConfig], float]
+#: A sweep algorithm: a solver spec string (preferred) or a legacy callable.
+AlgorithmSpec = Union[str, AlgorithmFn]
 
 
 @dataclass
@@ -45,6 +51,9 @@ class SweepResult:
     #: raw[alg] has shape (len(values), trials)
     raw: dict[str, np.ndarray] = field(repr=False)
     stats: dict[str, list[SeriesStats]] = field(repr=False)
+    #: artifacts[alg][value_index][trial] — RunArtifact for spec-string
+    #: algorithms when the sweep ran with ``keep_artifacts=True``, else None.
+    artifacts: dict[str, list[list]] | None = field(default=None, repr=False)
 
     def mean_series(self, algorithm: str) -> np.ndarray:
         """Per-value mean utility of one algorithm."""
@@ -87,46 +96,63 @@ class SweepResult:
 
 def _run_point(
     config: SimulationConfig,
-    algorithms: Mapping[str, AlgorithmFn],
+    algorithms: Mapping[str, AlgorithmSpec],
     seed: int,
     value_index: int,
     trial: int,
-) -> dict[str, float]:
+    keep_artifacts: bool = False,
+) -> tuple[dict[str, float], dict[str, object]]:
     """One (sweep value, trial) cell: sample a network, run every algorithm.
 
-    Module-level so the runner can ship it across processes.  The network
-    seed depends on the *trial only* — every sweep value reuses the same
-    trial topologies, pairing points along the curve exactly as the
-    algorithms are paired within a point; with few trials this is what
-    makes the paper's monotone trends visible above the sampling noise.
-    Each algorithm's rng additionally mixes in the value index and its own
+    Module-level so the runner can ship it across processes; spec strings
+    are resolved against the solver registry *here*, in the worker, so the
+    algorithm table itself never has to pickle code.  The network seed
+    depends on the *trial only* — every sweep value reuses the same trial
+    topologies, pairing points along the curve exactly as the algorithms
+    are paired within a point; with few trials this is what makes the
+    paper's monotone trends visible above the sampling noise.  Each
+    algorithm's rng additionally mixes in the value index and its own
     position so adding an algorithm never perturbs the others.
     """
+    from ..solvers import get_solver  # worker-side resolution
+
     net_seed = np.random.SeedSequence(entropy=(seed, trial))
     network = sample_network(config, np.random.default_rng(net_seed))
-    out: dict[str, float] = {}
-    for pos, (name, fn) in enumerate(algorithms.items()):
+    values: dict[str, float] = {}
+    artifacts: dict[str, object] = {}
+    for pos, (name, alg) in enumerate(algorithms.items()):
         alg_seed = np.random.SeedSequence(entropy=(seed, value_index, trial, pos + 1))
-        out[name] = float(fn(network, np.random.default_rng(alg_seed), config))
-    return out
+        rng = np.random.default_rng(alg_seed)
+        if callable(alg):
+            values[name] = float(alg(network, rng, config))
+            artifacts[name] = None
+        else:
+            artifact = get_solver(alg).solve(network, rng, config)
+            values[name] = float(artifact.total_utility)
+            artifacts[name] = artifact if keep_artifacts else None
+    return values, artifacts
 
 
 def run_sweep(
     base_config: SimulationConfig,
     param_name: str,
     values: Sequence,
-    algorithms: Mapping[str, AlgorithmFn],
+    algorithms: Mapping[str, AlgorithmSpec],
     *,
     trials: int = 5,
     seed: int = 0,
     config_builder: Callable[[SimulationConfig, object], SimulationConfig] | None = None,
     processes: int = 1,
+    keep_artifacts: bool = False,
 ) -> SweepResult:
     """Run a full sweep and aggregate.
 
     ``param_name`` must be a :class:`SimulationConfig` field unless a
     custom ``config_builder(base, value) -> config`` is supplied (used by
     sweeps that touch several fields at once, e.g. the Fig. 10 E×Δt grid).
+    ``keep_artifacts=True`` retains the per-cell
+    :class:`~repro.solvers.artifact.RunArtifact` of every spec-string
+    algorithm in ``SweepResult.artifacts``.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -140,18 +166,22 @@ def run_sweep(
         else:
             cfg = base_config.replace(**{param_name: v})
         for trial in range(trials):
-            args_list.append((cfg, dict(algorithms), seed, vi, trial))
+            args_list.append((cfg, dict(algorithms), seed, vi, trial, keep_artifacts))
 
     cells = parallel_starmap(_run_point, args_list, processes=processes)
 
     raw = {name: np.zeros((len(values), trials)) for name in names}
+    arts: dict[str, list[list]] = {name: [] for name in names}
     idx = 0
     for vi in range(len(values)):
+        for name in names:
+            arts[name].append([None] * trials)
         for trial in range(trials):
-            cell = cells[idx]
+            cell_values, cell_artifacts = cells[idx]
             idx += 1
             for name in names:
-                raw[name][vi, trial] = cell[name]
+                raw[name][vi, trial] = cell_values[name]
+                arts[name][vi][trial] = cell_artifacts[name]
     stats = {
         name: [summarize(raw[name][vi]) for vi in range(len(values))]
         for name in names
@@ -162,12 +192,13 @@ def run_sweep(
         algorithms=names,
         raw=raw,
         stats=stats,
+        artifacts=arts if keep_artifacts else None,
     )
 
 
 def run_trials(
     config: SimulationConfig,
-    algorithms: Mapping[str, AlgorithmFn],
+    algorithms: Mapping[str, AlgorithmSpec],
     *,
     trials: int = 5,
     seed: int = 0,

@@ -1,0 +1,64 @@
+"""Solver registry, serializable instances, and structured run artifacts.
+
+The uniform algorithm layer (see DESIGN.md §"Solver registry & artifact
+pipeline"): every scheduler in the repo is addressable by a spec string —
+
+>>> from repro.solvers import get_solver
+>>> solver = get_solver("haste-offline:c=4,lazy=1")
+>>> artifact = solver.solve(network, rng, config)   # -> RunArtifact
+
+Problem instances (:class:`Instance`) and results (:class:`RunArtifact`)
+serialize to JSON/NPZ and round-trip exactly, so scenarios can be saved,
+hashed, shipped to worker processes, and replayed:
+
+>>> from repro.solvers import Instance, solve_instance
+>>> inst = Instance.sample(SimulationConfig.quick(), seed=7)
+>>> inst.save("scenario.npz")
+>>> solve_instance("greedy-utility", Instance.load("scenario.npz"))
+
+Importing this package registers the built-in solvers
+(:mod:`repro.solvers.builtin`).
+"""
+
+from . import builtin as _builtin  # noqa: F401  (registers the built-in solvers)
+from .artifact import (
+    RunArtifact,
+    artifact_from_execution,
+    artifact_from_online_run,
+)
+from .instance import Instance
+from .registry import (
+    REGISTRY,
+    BoundSolver,
+    SolverCapabilities,
+    SolverEntry,
+    SolverError,
+    SolverLookupError,
+    SolverRegistry,
+    get_solver,
+    register,
+    solve_instance,
+    solver_names,
+)
+from .spec import SolverSpec, SpecError, parse_spec
+
+__all__ = [
+    "RunArtifact",
+    "artifact_from_execution",
+    "artifact_from_online_run",
+    "Instance",
+    "REGISTRY",
+    "BoundSolver",
+    "SolverCapabilities",
+    "SolverEntry",
+    "SolverError",
+    "SolverLookupError",
+    "SolverRegistry",
+    "get_solver",
+    "register",
+    "solve_instance",
+    "solver_names",
+    "SolverSpec",
+    "SpecError",
+    "parse_spec",
+]

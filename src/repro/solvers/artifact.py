@@ -1,0 +1,267 @@
+"""Structured solver results — the :class:`RunArtifact`.
+
+The pre-registry sweep contract was ``fn(network, rng, config) -> float``:
+every run threw away the schedule, per-task energies, switch counts,
+message statistics, and the obs counters the telemetry layer accumulates.
+A :class:`RunArtifact` keeps all of it, serializes to JSON or NPZ, and
+round-trips arrays *exactly* (dtype, shape, values) so an artifact written
+by one process compares bit-identical in another.
+
+Array encoding (JSON): every ndarray is tagged
+``{"__ndarray__": dtype_str, "shape": [...], "data": nested_lists}``.
+Python's ``repr``-based float serialization is exact for binary64, so the
+JSON path loses nothing; the NPZ path stores arrays natively and the scalar
+fields in a JSON header entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "RunArtifact",
+    "artifact_from_execution",
+    "artifact_from_online_run",
+    "encode_array",
+    "decode_array",
+]
+
+ARTIFACT_FORMAT = "repro-haste-artifact-v1"
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """JSON-exact encoding of an ndarray (dtype + shape + nested lists)."""
+    a = np.asarray(arr)
+    return {
+        "__ndarray__": a.dtype.str,
+        "shape": list(a.shape),
+        "data": a.tolist(),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Inverse of :func:`encode_array` (restores dtype and shape exactly)."""
+    arr = np.asarray(payload["data"], dtype=np.dtype(payload["__ndarray__"]))
+    return arr.reshape(tuple(payload["shape"]))
+
+
+def _maybe_encode(value):
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    return value
+
+
+def _maybe_decode(value):
+    if isinstance(value, dict) and "__ndarray__" in value:
+        return decode_array(value)
+    return value
+
+
+@dataclass
+class RunArtifact:
+    """Everything one solver run produced.
+
+    Attributes
+    ----------
+    solver:
+        Canonical solver spec string that produced this artifact
+        (stamped by :meth:`~repro.solvers.registry.BoundSolver.solve`).
+    total_utility:
+        Overall charging utility under the executed physical model
+        (switching delay applied) — the value the old bare-float
+        contract returned.
+    relaxed_utility:
+        The same schedule's HASTE-R value (``ρ = 0``).
+    objective_value:
+        The scheduler's own internal objective (e.g. the TabularGreedy
+        sampled value, or the MILP optimum), or ``None`` when the solver
+        has no separate objective.
+    energies, task_utilities:
+        Per-task harvested energy / utility, ``(m,)`` float64.
+    schedule_sel:
+        The executed schedule's selection matrix, ``(n, K)`` int32.
+    fingerprint:
+        :func:`~repro.core.policy.network_fingerprint` of the network the
+        schedule belongs to, so an artifact cannot silently be replayed
+        against the wrong topology.
+    switch_count:
+        Total charger rotations during execution.
+    events:
+        Online arrival events handled (0 for offline solvers).
+    message_stats:
+        :meth:`~repro.online.messaging.MessageStats.as_dict` of the
+        distributed negotiation, or ``None`` for offline solvers.
+    obs_counters:
+        Delta of :mod:`repro.obs` counters over the solve (empty when the
+        obs layer is disabled).
+    wall_time_s:
+        Wall-clock seconds of the whole solve (stamped by the registry).
+    meta:
+        Free-form extras (e.g. ``plan_s``, the scheduling-phase-only time
+        the benchmark harness reports).
+    """
+
+    solver: str = ""
+    total_utility: float = 0.0
+    relaxed_utility: float = 0.0
+    objective_value: float | None = None
+    energies: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    task_utilities: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    schedule_sel: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.int32)
+    )
+    fingerprint: str = ""
+    switch_count: int = 0
+    events: int = 0
+    message_stats: dict | None = None
+    obs_counters: dict = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "solver": self.solver,
+            "total_utility": float(self.total_utility),
+            "relaxed_utility": float(self.relaxed_utility),
+            "objective_value": (
+                None if self.objective_value is None else float(self.objective_value)
+            ),
+            "energies": encode_array(self.energies),
+            "task_utilities": encode_array(self.task_utilities),
+            "schedule_sel": encode_array(self.schedule_sel),
+            "fingerprint": self.fingerprint,
+            "switch_count": int(self.switch_count),
+            "events": int(self.events),
+            "message_stats": self.message_stats,
+            "obs_counters": dict(self.obs_counters),
+            "wall_time_s": float(self.wall_time_s),
+            "meta": {k: _maybe_encode(v) for k, v in self.meta.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunArtifact":
+        if payload.get("format") != ARTIFACT_FORMAT:
+            raise ValueError(f"unknown artifact format {payload.get('format')!r}")
+        return cls(
+            solver=payload["solver"],
+            total_utility=float(payload["total_utility"]),
+            relaxed_utility=float(payload["relaxed_utility"]),
+            objective_value=(
+                None
+                if payload.get("objective_value") is None
+                else float(payload["objective_value"])
+            ),
+            energies=decode_array(payload["energies"]),
+            task_utilities=decode_array(payload["task_utilities"]),
+            schedule_sel=decode_array(payload["schedule_sel"]),
+            fingerprint=payload.get("fingerprint", ""),
+            switch_count=int(payload.get("switch_count", 0)),
+            events=int(payload.get("events", 0)),
+            message_stats=payload.get("message_stats"),
+            obs_counters=dict(payload.get("obs_counters", {})),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            meta={k: _maybe_decode(v) for k, v in payload.get("meta", {}).items()},
+        )
+
+    def save(self, path) -> None:
+        """Write to ``path`` — JSON for ``.json``, NPZ for ``.npz``."""
+        path = str(path)
+        if path.endswith(".npz"):
+            header = self.to_dict()
+            arrays = {
+                "energies": self.energies,
+                "task_utilities": self.task_utilities,
+                "schedule_sel": self.schedule_sel,
+            }
+            for key in arrays:
+                del header[key]
+            np.savez(
+                path, __header__=np.frombuffer(
+                    json.dumps(header).encode(), dtype=np.uint8
+                ), **arrays
+            )
+        else:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path) -> "RunArtifact":
+        """Read an artifact written by :meth:`save` (suffix-dispatched)."""
+        path = str(path)
+        if path.endswith(".npz"):
+            with np.load(path) as data:
+                header = json.loads(bytes(data["__header__"]).decode())
+                if header.get("format") != ARTIFACT_FORMAT:
+                    raise ValueError(
+                        f"unknown artifact format {header.get('format')!r}"
+                    )
+                for key in ("energies", "task_utilities", "schedule_sel"):
+                    header[key] = encode_array(data[key])
+                return cls.from_dict(header)
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def content_hash(self) -> str:
+        """sha256 of the canonical JSON form (solver + results, not timing)."""
+        payload = self.to_dict()
+        # Timing and counters vary run to run; the hash covers the result.
+        for volatile in ("wall_time_s", "obs_counters", "meta"):
+            payload.pop(volatile, None)
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def summary(self) -> str:
+        parts = [
+            f"solver={self.solver or '?'}",
+            f"utility={self.total_utility:.6g}",
+            f"relaxed={self.relaxed_utility:.6g}",
+            f"switches={self.switch_count}",
+        ]
+        if self.objective_value is not None:
+            parts.insert(2, f"objective={self.objective_value:.6g}")
+        if self.message_stats is not None:
+            parts.append(f"messages={self.message_stats.get('messages', 0)}")
+        if self.events:
+            parts.append(f"events={self.events}")
+        parts.append(f"wall={self.wall_time_s:.3g}s")
+        return "RunArtifact(" + ", ".join(parts) + ")"
+
+
+def artifact_from_execution(
+    network,
+    schedule,
+    execution,
+    *,
+    objective_value: float | None = None,
+    meta: dict | None = None,
+) -> RunArtifact:
+    """Build an artifact from an offline schedule + its execution."""
+    from ..core.policy import network_fingerprint
+
+    return RunArtifact(
+        total_utility=float(execution.total_utility),
+        relaxed_utility=float(execution.relaxed_utility),
+        objective_value=objective_value,
+        energies=np.asarray(execution.energies, dtype=float),
+        task_utilities=np.asarray(execution.task_utilities, dtype=float),
+        schedule_sel=np.asarray(schedule.sel, dtype=np.int32),
+        fingerprint=network_fingerprint(network),
+        switch_count=int(execution.switch_count),
+        meta=dict(meta or {}),
+    )
+
+
+def artifact_from_online_run(network, run, *, meta: dict | None = None) -> RunArtifact:
+    """Build an artifact from an :class:`~repro.online.runtime.OnlineRunResult`."""
+    art = artifact_from_execution(network, run.schedule, run.execution, meta=meta)
+    art.events = int(run.events)
+    art.message_stats = run.stats.as_dict()
+    return art

@@ -1,0 +1,317 @@
+"""The built-in solvers: every algorithm in the repo, registered by name.
+
+Each body reproduces its pre-registry entry point *bit for bit* on the
+same rng — pinned by ``tests/test_solvers_registry.py``.  The mapping:
+
+=============================  =====================================================
+spec                           pre-refactor call
+=============================  =====================================================
+``haste-offline``              ``schedule_offline(net, cfg.num_colors,
+                               num_samples=cfg.num_samples, rng=rng)`` + smoothing
+``haste-offline:c=1``          ``schedule_offline(net, 1, rng=rng)`` + smoothing
+``haste-offline:smooth=0``     the raw Algorithm 2 schedule (Figs. 8/18 style)
+``greedy-utility``             ``greedy_utility_schedule`` + execution
+``greedy-cover``               ``greedy_cover_schedule`` + execution
+``static``                     ``static_orientation_schedule`` + execution
+``random``                     ``random_schedule(net, rng)`` + execution
+``offline-optimal``            ``optimal_schedule`` (HiGHS MILP)
+``online-haste``               ``run_online_haste(..., num_colors=cfg.num_colors)``
+``online-haste:c=1``           ``run_online_haste(..., num_colors=1)``
+``online-greedy-utility``      ``run_online_baseline(net, "utility")``
+``online-greedy-cover``        ``run_online_baseline(net, "cover")``
+=============================  =====================================================
+
+Parameter defaults of ``None`` resolve from the
+:class:`~repro.sim.config.SimulationConfig` at solve time (``c`` →
+``num_colors``, ``samples`` → ``num_samples``, ``tau`` → ``tau``); the
+switching delay ``ρ`` always comes from the config, as it did in the old
+adapters.  ``utility`` selects a scoring family for the §1.3 concave-
+utility extension: ``linear`` / ``log`` / ``powerlaw`` (with ``gamma``),
+planning *and* execution both scored under the chosen family.
+
+Note on ``c=1`` sampling: :class:`~repro.submodular.estimation.ColorSampler`
+forces a single sample when ``num_colors == 1`` (both the centralized
+scheduler and the online negotiation construct one), so the ``samples``
+parameter is inert at ``c=1`` and the rng stream matches the old adapters
+that left ``num_samples`` at its default.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.utility import LinearBoundedUtility, LogUtility, PowerLawUtility
+from ..offline.baselines import (
+    greedy_cover_schedule,
+    greedy_utility_schedule,
+    random_schedule,
+    static_orientation_schedule,
+)
+from ..offline.centralized import CentralizedScheduler
+from ..offline.optimal import optimal_schedule
+from ..offline.smoothing import smooth_switches
+from ..online.runtime import run_online_baseline, run_online_haste
+from ..sim.engine import execute_schedule
+from .artifact import RunArtifact, artifact_from_execution, artifact_from_online_run
+from .registry import SolverCapabilities, SolverError, register
+
+__all__: list[str] = []
+
+_UTILITY_FAMILIES = ("linear", "log", "powerlaw")
+
+
+def _resolve_utility(network, params):
+    """The scoring utility selected by the ``utility``/``gamma`` params.
+
+    ``None`` (the default) keeps the network's own utility — the exact
+    pre-refactor behaviour; a named family builds a fresh instance from
+    the tasks' required energies, as the §1.3 ablation closures did.
+    """
+    family = params.get("utility")
+    if family is None:
+        return None
+    if family == "linear":
+        return LinearBoundedUtility.for_tasks(network.tasks)
+    if family == "log":
+        return LogUtility.for_tasks(network.tasks)
+    if family == "powerlaw":
+        return PowerLawUtility.for_tasks(network.tasks, gamma=float(params["gamma"]))
+    raise SolverError(
+        f"unknown utility family {family!r}; known: {', '.join(_UTILITY_FAMILIES)}"
+    )
+
+
+def _solve_haste_offline(network, rng, config, params) -> RunArtifact:
+    util = _resolve_utility(network, params)
+    colors = params["c"] if params["c"] is not None else config.num_colors
+    samples = (
+        params["samples"] if params["samples"] is not None else config.num_samples
+    )
+    start = time.perf_counter()
+    result = CentralizedScheduler(
+        network, utility=util, use_sparse=bool(params["sparse"])
+    ).run(
+        int(colors),
+        num_samples=int(samples),
+        rng=rng,
+        final_draws=int(params["final_draws"]),
+        lazy=bool(params["lazy"]),
+    )
+    schedule = result.schedule
+    if params["smooth"]:
+        schedule = smooth_switches(network, schedule, rho=config.rho, utility=util)
+    plan_s = time.perf_counter() - start
+    execution = execute_schedule(network, schedule, rho=config.rho, utility=util)
+    return artifact_from_execution(
+        network,
+        schedule,
+        execution,
+        objective_value=float(result.objective_value),
+        meta={"plan_s": plan_s},
+    )
+
+
+def _solve_greedy_utility(network, rng, config, params) -> RunArtifact:
+    util = _resolve_utility(network, params)
+    start = time.perf_counter()
+    schedule = greedy_utility_schedule(network, utility=util)
+    plan_s = time.perf_counter() - start
+    execution = execute_schedule(network, schedule, rho=config.rho, utility=util)
+    return artifact_from_execution(
+        network, schedule, execution, meta={"plan_s": plan_s}
+    )
+
+
+def _solve_greedy_cover(network, rng, config, params) -> RunArtifact:
+    start = time.perf_counter()
+    schedule = greedy_cover_schedule(network)
+    plan_s = time.perf_counter() - start
+    execution = execute_schedule(network, schedule, rho=config.rho)
+    return artifact_from_execution(
+        network, schedule, execution, meta={"plan_s": plan_s}
+    )
+
+
+def _solve_static(network, rng, config, params) -> RunArtifact:
+    start = time.perf_counter()
+    schedule = static_orientation_schedule(network)
+    plan_s = time.perf_counter() - start
+    execution = execute_schedule(network, schedule, rho=config.rho)
+    return artifact_from_execution(
+        network, schedule, execution, meta={"plan_s": plan_s}
+    )
+
+
+def _solve_random(network, rng, config, params) -> RunArtifact:
+    start = time.perf_counter()
+    schedule = random_schedule(network, rng)
+    plan_s = time.perf_counter() - start
+    execution = execute_schedule(network, schedule, rho=config.rho)
+    return artifact_from_execution(
+        network, schedule, execution, meta={"plan_s": plan_s}
+    )
+
+
+def _solve_offline_optimal(network, rng, config, params) -> RunArtifact:
+    include_switching = bool(params["include_switching"])
+    start = time.perf_counter()
+    result = optimal_schedule(
+        network,
+        include_switching=include_switching,
+        rho=config.rho if include_switching else 0.0,
+        time_limit=params["time_limit"],
+    )
+    plan_s = time.perf_counter() - start
+    execution = execute_schedule(network, result.schedule, rho=config.rho)
+    return artifact_from_execution(
+        network,
+        result.schedule,
+        execution,
+        objective_value=float(result.objective_value),
+        meta={"plan_s": plan_s, "status": result.status},
+    )
+
+
+def _solve_online_haste(network, rng, config, params) -> RunArtifact:
+    colors = params["c"] if params["c"] is not None else config.num_colors
+    samples = (
+        params["samples"] if params["samples"] is not None else config.num_samples
+    )
+    tau = params["tau"] if params["tau"] is not None else config.tau
+    start = time.perf_counter()
+    run = run_online_haste(
+        network,
+        num_colors=int(colors),
+        num_samples=int(samples),
+        tau=int(tau),
+        rho=config.rho,
+        rng=rng,
+        final_draws=int(params["final_draws"]),
+        use_sparse=bool(params["sparse"]),
+    )
+    plan_s = time.perf_counter() - start
+    return artifact_from_online_run(network, run, meta={"plan_s": plan_s})
+
+
+def _make_online_baseline(kind: str):
+    def body(network, rng, config, params) -> RunArtifact:
+        tau = params["tau"] if params["tau"] is not None else config.tau
+        start = time.perf_counter()
+        run = run_online_baseline(network, kind, tau=int(tau), rho=config.rho)
+        plan_s = time.perf_counter() - start
+        return artifact_from_online_run(network, run, meta={"plan_s": plan_s})
+
+    return body
+
+
+register(
+    "haste-offline",
+    _solve_haste_offline,
+    SolverCapabilities(
+        setting="offline",
+        supports_colors=True,
+        supports_sparse=True,
+        supports_lazy=True,
+        supports_utility=True,
+        description=(
+            "Centralized TabularGreedy (Alg. 2) + delay-aware switch smoothing"
+        ),
+    ),
+    defaults={
+        "c": None,
+        "samples": None,
+        "smooth": True,
+        "lazy": True,
+        "sparse": True,
+        "final_draws": 8,
+        "utility": None,
+        "gamma": 0.5,
+    },
+)
+
+register(
+    "greedy-utility",
+    _solve_greedy_utility,
+    SolverCapabilities(
+        setting="offline",
+        deterministic=True,
+        supports_utility=True,
+        description="GreedyUtility baseline (paper §7.2): per-charger myopic gain",
+    ),
+    defaults={"utility": None, "gamma": 0.5},
+)
+
+register(
+    "greedy-cover",
+    _solve_greedy_cover,
+    SolverCapabilities(
+        setting="offline",
+        deterministic=True,
+        description="GreedyCover baseline (paper §7.2): maximize covered tasks",
+    ),
+)
+
+register(
+    "static",
+    _solve_static,
+    SolverCapabilities(
+        setting="offline",
+        deterministic=True,
+        description="Best single fixed orientation per charger (ablation)",
+    ),
+)
+
+register(
+    "random",
+    _solve_random,
+    SolverCapabilities(
+        setting="offline",
+        description="Uniformly random non-idle policies (ablation sanity floor)",
+    ),
+)
+
+register(
+    "offline-optimal",
+    _solve_offline_optimal,
+    SolverCapabilities(
+        setting="offline",
+        deterministic=True,
+        max_tasks=16,
+        description="Exact HASTE-R optimum via the HiGHS MILP (small instances)",
+    ),
+    defaults={"include_switching": False, "time_limit": None},
+)
+
+register(
+    "online-haste",
+    _solve_online_haste,
+    SolverCapabilities(
+        setting="online",
+        supports_colors=True,
+        supports_sparse=True,
+        description="Distributed online negotiation (Alg. 3) with τ-delayed replans",
+    ),
+    defaults={"c": None, "samples": None, "tau": None, "final_draws": 4, "sparse": True},
+)
+
+register(
+    "online-greedy-utility",
+    _make_online_baseline("utility"),
+    SolverCapabilities(
+        setting="online",
+        deterministic=True,
+        description="GreedyUtility with τ-delayed knowledge of arrivals",
+    ),
+    defaults={"tau": None},
+)
+
+register(
+    "online-greedy-cover",
+    _make_online_baseline("cover"),
+    SolverCapabilities(
+        setting="online",
+        deterministic=True,
+        description="GreedyCover with τ-delayed knowledge of arrivals",
+    ),
+    defaults={"tau": None},
+)

@@ -1,0 +1,252 @@
+"""The solver registry: every scheduling algorithm, addressable by spec.
+
+A *solver* is a named, parameterizable scheduling algorithm with a uniform
+contract::
+
+    solve(network, rng, config) -> RunArtifact
+
+Solvers register once (module import time, see :mod:`repro.solvers.builtin`)
+with capability metadata; consumers address them by spec string —
+``haste-offline:c=4,lazy=1``, ``greedy-utility``, ``online-haste:tau=2`` —
+and get back a :class:`BoundSolver` that validates the parameters against
+the solver's declared set and stamps each result with the canonical spec,
+wall time, and (when enabled) the :mod:`repro.obs` counter delta.
+
+Because specs are strings and the registry is rebuilt by ``import`` in
+every process, sweep workers resolve solvers locally instead of unpickling
+closures — the seam that freed :mod:`repro.sim.parallel` from its
+module-level-picklable-callable constraint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from .. import obs
+from ..sim.config import SimulationConfig
+from .artifact import RunArtifact
+from .instance import Instance
+from .spec import SolverSpec, SpecError, parse_spec
+
+__all__ = [
+    "SpecError",
+    "SolverError",
+    "SolverLookupError",
+    "SolverCapabilities",
+    "SolverEntry",
+    "BoundSolver",
+    "SolverRegistry",
+    "REGISTRY",
+    "register",
+    "get_solver",
+    "solver_names",
+    "solve_instance",
+]
+
+#: A registered solver body: ``fn(network, rng, config, params) -> RunArtifact``.
+SolverBody = Callable[..., RunArtifact]
+
+
+class SolverError(Exception):
+    """A solver spec that names an unknown solver or invalid parameters."""
+
+
+class SolverLookupError(SolverError, KeyError):
+    """An unknown solver name (KeyError for legacy ``except`` clauses)."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message flat
+        return Exception.__str__(self)
+
+
+@dataclass(frozen=True)
+class SolverCapabilities:
+    """What a solver can do — the metadata behind ``repro-haste solvers``.
+
+    ``max_tasks`` is an advisory scale limit (the exact MILP explodes
+    combinatorially); ``deterministic`` means the result is independent of
+    the ``rng`` argument.
+    """
+
+    setting: str  # "offline" | "online"
+    deterministic: bool = False
+    supports_colors: bool = False
+    supports_sparse: bool = False
+    supports_lazy: bool = False
+    supports_utility: bool = False
+    max_tasks: int | None = None
+    description: str = ""
+
+    def summary(self) -> str:
+        flags = [self.setting]
+        if self.deterministic:
+            flags.append("deterministic")
+        for attr, tag in (
+            ("supports_colors", "colors"),
+            ("supports_sparse", "sparse"),
+            ("supports_lazy", "lazy"),
+            ("supports_utility", "utility"),
+        ):
+            if getattr(self, attr):
+                flags.append(tag)
+        if self.max_tasks is not None:
+            flags.append(f"max_tasks={self.max_tasks}")
+        return ",".join(flags)
+
+
+@dataclass(frozen=True)
+class SolverEntry:
+    """One registered solver: body + capabilities + parameter schema."""
+
+    name: str
+    fn: SolverBody
+    capabilities: SolverCapabilities
+    #: parameter name → default value; ``None`` defaults mean "taken from
+    #: the SimulationConfig at solve time" (resolved inside the body).
+    defaults: Mapping = field(default_factory=dict)
+
+
+class BoundSolver:
+    """A solver entry bound to one validated parameter set."""
+
+    __slots__ = ("entry", "spec", "params")
+
+    def __init__(self, entry: SolverEntry, spec: SolverSpec) -> None:
+        unknown = sorted(set(spec.params) - set(entry.defaults))
+        if unknown:
+            allowed = ", ".join(sorted(entry.defaults)) or "(none)"
+            raise SolverError(
+                f"solver {entry.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; allowed: {allowed}"
+            )
+        self.entry = entry
+        self.spec = spec
+        self.params = dict(entry.defaults)
+        self.params.update(spec.params)
+
+    @property
+    def name(self) -> str:
+        return self.entry.name
+
+    @property
+    def capabilities(self) -> SolverCapabilities:
+        return self.entry.capabilities
+
+    def canonical(self) -> str:
+        """The canonical spec string (only non-default params rendered)."""
+        return self.spec.canonical()
+
+    def solve(
+        self,
+        network,
+        rng: np.random.Generator | None = None,
+        config: SimulationConfig | None = None,
+    ) -> RunArtifact:
+        """Run the solver and stamp the artifact with provenance + timing."""
+        rng = rng if rng is not None else np.random.default_rng()
+        config = config if config is not None else SimulationConfig()
+        before = (
+            dict(obs.get_registry().snapshot().get("counters", {}))
+            if obs.enabled()
+            else None
+        )
+        start = time.perf_counter()
+        artifact = self.entry.fn(network, rng, config, self.params)
+        artifact.wall_time_s = time.perf_counter() - start
+        artifact.solver = self.canonical()
+        if before is not None:
+            after = obs.get_registry().snapshot().get("counters", {})
+            artifact.obs_counters = {
+                key: after[key] - before.get(key, 0)
+                for key in after
+                if after[key] != before.get(key, 0)
+            }
+        return artifact
+
+
+class SolverRegistry:
+    """Name → :class:`SolverEntry` mapping with spec-string lookup."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, SolverEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        fn: SolverBody,
+        capabilities: SolverCapabilities,
+        defaults: Mapping | None = None,
+    ) -> SolverEntry:
+        if name in self._entries:
+            raise ValueError(f"solver {name!r} is already registered")
+        entry = SolverEntry(
+            name=name,
+            fn=fn,
+            capabilities=capabilities,
+            defaults=dict(defaults or {}),
+        )
+        self._entries[name] = entry
+        return entry
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> SolverEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none registered)"
+            raise SolverLookupError(
+                f"unknown solver {name!r}; known: {known}"
+            ) from None
+
+    def get(self, spec) -> BoundSolver:
+        """Resolve a spec string / :class:`SolverSpec` to a bound solver."""
+        parsed = parse_spec(spec)
+        return BoundSolver(self.entry(parsed.name), parsed)
+
+
+#: The process-global registry the builtin solvers populate on import.
+REGISTRY = SolverRegistry()
+
+
+def register(
+    name: str,
+    fn: SolverBody,
+    capabilities: SolverCapabilities,
+    defaults: Mapping | None = None,
+) -> SolverEntry:
+    """Register a solver in the global registry."""
+    return REGISTRY.register(name, fn, capabilities, defaults)
+
+
+def get_solver(spec) -> BoundSolver:
+    """Resolve a spec against the global registry (raises SolverError)."""
+    return REGISTRY.get(spec)
+
+
+def solver_names() -> list[str]:
+    """All registered solver names, sorted."""
+    return REGISTRY.names()
+
+
+def solve_instance(
+    spec,
+    instance: Instance,
+    *,
+    seed: int | None = None,
+) -> RunArtifact:
+    """Run a solver on a saved/sampled instance — the CLI ``solve`` path.
+
+    The rng seed defaults to the instance's own provenance seed, so
+    ``repro-haste solve <spec> --instance saved.npz`` reproduces the
+    artifact an in-process ``solve_instance(spec, instance)`` produced,
+    bit for bit.
+    """
+    solver = get_solver(spec)
+    effective = seed if seed is not None else instance.seed
+    rng = np.random.default_rng(effective)
+    return solver.solve(instance.network(), rng, instance.config)

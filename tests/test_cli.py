@@ -55,9 +55,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "paper claim" in out
 
-    def test_describe_unknown(self):
-        with pytest.raises(KeyError):
-            main(["describe", "figXX"])
+    def test_describe_unknown_exits_2(self, capsys):
+        assert main(["describe", "figXX"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown experiment")
+        assert "\n" == err[err.index("\n") :]  # one line, no traceback
+
+    def test_run_unknown_exits_2(self, capsys):
+        assert main(["run", "figXX"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_solve_unknown_solver_exits_2(self, capsys):
+        assert main(["solve", "no-such-solver"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown solver")
+
+    def test_solve_bad_param_exits_2(self, capsys):
+        assert main(["solve", "haste-offline:bogus=1"]) == 2
+        assert "does not accept parameter" in capsys.readouterr().err
+
+    def test_solve_malformed_spec_exits_2(self, capsys):
+        assert main(["solve", "haste-offline:"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_solve_missing_instance_exits_2(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.npz")
+        assert main(["solve", "greedy-utility", "--instance", missing]) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
     def test_run_quick_experiment(self, capsys):
         code = main(["run", "fig21", "--scale", "quick", "--trials", "2"])
@@ -111,6 +135,73 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "centralized offline" in out
         assert "distributed online" in out
+
+
+class TestSolverCommands:
+    def test_solvers_lists_registry(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("haste-offline", "online-haste", "greedy-utility"):
+            assert name in out
+        assert "offline" in out and "online" in out
+
+    def test_solve_sampled_instance(self, capsys):
+        assert main(["solve", "greedy-utility", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Instance(" in out
+        assert "RunArtifact(solver=greedy-utility" in out
+
+    def test_instance_sample_solve_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "inst.npz")
+        assert main(
+            ["instance", "sample", "--scale", "quick", "--seed", "7",
+             "--out", path]
+        ) == 0
+        sampled = capsys.readouterr().out
+
+        assert main(["instance", "inspect", path]) == 0
+        inspected = capsys.readouterr().out
+        # the hash survives the save/load round trip
+        sampled_hash = [
+            ln for ln in sampled.splitlines() if ln.startswith("content hash")
+        ]
+        inspected_hash = [
+            ln for ln in inspected.splitlines() if ln.startswith("content hash")
+        ]
+        assert sampled_hash == inspected_hash
+
+        # solving the saved instance reproduces the in-process artifact
+        from repro.experiments.common import config_for_scale
+        from repro.solvers import Instance, solve_instance
+
+        expected = solve_instance(
+            "haste-offline:c=1", Instance.sample(config_for_scale("quick"), 7)
+        )
+        art_path = str(tmp_path / "art.json")
+        assert main(
+            ["solve", "haste-offline:c=1", "--instance", path,
+             "--save-artifact", art_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"{expected.total_utility:.6f}" in out
+
+        from repro.solvers import RunArtifact
+
+        saved = RunArtifact.load(art_path)
+        assert saved.total_utility == expected.total_utility
+        assert saved.content_hash() == expected.content_hash()
+
+    def test_solve_save_instance_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "saved.json")
+        assert main(
+            ["solve", "static", "--scale", "quick", "--seed", "3",
+             "--save-instance", path]
+        ) == 0
+        capsys.readouterr()
+        from repro.solvers import Instance
+
+        inst = Instance.load(path)
+        assert inst.seed == 3
 
 
 class TestBoundsCommand:

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.core.geometry import (
-    ANGLE_EPS,
     TWO_PI,
     Arc,
     angle_diff,

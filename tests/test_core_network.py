@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import Charger, ChargerNetwork, ChargingTask, PowerModel, Schedule
+from repro.core import Charger, ChargerNetwork, ChargingTask, Schedule
 from repro.core.network import IDLE_POLICY
 
 

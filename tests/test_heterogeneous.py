@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import Charger, ChargerNetwork, ChargingTask, Schedule
+from repro.core import Charger, ChargerNetwork, ChargingTask
 from repro.offline import schedule_offline
 from repro.sim.engine import execute_schedule
 

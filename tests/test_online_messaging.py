@@ -10,7 +10,6 @@ from repro.objective import HasteObjective
 from repro.offline import schedule_offline
 from repro.online import (
     CMD_NULL,
-    CMD_UPDATE,
     Message,
     MessageBus,
     MessageStats,

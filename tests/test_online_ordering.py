@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 import networkx as nx
-import pytest
 
 from repro.objective import HasteObjective
 from repro.online import negotiate_window

@@ -10,7 +10,6 @@ from repro.objective import HasteObjective
 from repro.offline import schedule_offline
 from repro.sim.engine import execute_schedule, orientation_trace
 
-from conftest import build_network
 
 
 def single_charger_net():

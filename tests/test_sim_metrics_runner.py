@@ -199,6 +199,46 @@ class TestParallel:
         )
         assert np.allclose(serial.raw["s"], par.raw["s"])
 
+    def test_sweep_solver_specs_parallel_bit_identical(self):
+        # Spec strings resolve inside the worker, so the table needs no
+        # module-level callables — and the result must not depend on the
+        # process count at all (bit-identical, not just close).
+        cfg = SimulationConfig.quick()
+        algs = {"HASTE": "haste-offline:c=1", "Greedy": "greedy-utility"}
+        kwargs = dict(trials=2, seed=3)
+        serial = run_sweep(
+            cfg, "num_tasks", [8, 12], algs, processes=1, **kwargs
+        )
+        par = run_sweep(cfg, "num_tasks", [8, 12], algs, processes=2, **kwargs)
+        for name in algs:
+            assert np.array_equal(serial.raw[name], par.raw[name])
+
+    def test_sweep_solver_specs_keep_artifacts(self):
+        cfg = SimulationConfig.quick()
+        res = run_sweep(
+            cfg,
+            "num_tasks",
+            [8],
+            {"HASTE": "haste-offline:c=1"},
+            trials=2,
+            seed=3,
+            keep_artifacts=True,
+        )
+        arts = res.artifacts["HASTE"][0]
+        assert len(arts) == 2
+        for trial, art in enumerate(arts):
+            assert art.solver == "haste-offline:c=1"
+            assert art.total_utility == res.raw["HASTE"][0, trial]
+
+    def test_sweep_unknown_spec_raises_lookup(self):
+        from repro.solvers import SolverLookupError
+
+        cfg = SimulationConfig.quick()
+        with pytest.raises(SolverLookupError):
+            run_sweep(
+                cfg, "num_tasks", [8], {"X": "no-such-solver"}, trials=1, seed=0
+            )
+
 
 class TestSweepCsvExport:
     def test_csv_round_trips(self, tmp_path):
