@@ -26,6 +26,7 @@ from .fig18_individual_utility import EXPERIMENT as FIG18
 from .ablation_anisotropic import EXPERIMENT as ABLATION_ANISOTROPIC
 from .ablation_baselines import EXPERIMENT as ABLATION_BASELINES
 from .ablation_complexity import EXPERIMENT as ABLATION_COMPLEXITY
+from .ablation_fault_tolerance import EXPERIMENT as ABLATION_FAULT_TOLERANCE
 from .ablation_online_gap import EXPERIMENT as ABLATION_ONLINE_GAP
 from .ablation_utilities import EXPERIMENT as ABLATION_UTILITIES
 from .testbed_experiments import (
@@ -62,6 +63,7 @@ _ALL: list[Experiment] = [
     ABLATION_UTILITIES,
     ABLATION_ANISOTROPIC,
     ABLATION_COMPLEXITY,
+    ABLATION_FAULT_TOLERANCE,
 ]
 
 EXPERIMENTS: dict[str, Experiment] = {exp.id: exp for exp in _ALL}

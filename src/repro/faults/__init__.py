@@ -1,0 +1,33 @@
+"""repro.faults — seeded, replayable fault injection for the negotiation.
+
+The lossless :class:`~repro.online.messaging.MessageBus` is the paper's
+idealized radio; this package is everything it refuses to model: per-link
+message loss, duplication and delay, charger crash/recover windows, and
+the staleness timeouts the degraded protocol needs to stay live.  See
+:class:`FaultModel` for the value object, :class:`LossyMessageBus` for
+the transport, and :func:`repro.online.distributed.negotiate_window` for
+the degradation-hardened protocol variant the injector activates.
+"""
+
+from .bus import FaultStats, LossyMessageBus
+from .model import (
+    CrashWindow,
+    FaultInjector,
+    FaultModel,
+    FaultTrace,
+    LinkOutcome,
+    ReplayDivergence,
+    ReplayInjector,
+)
+
+__all__ = [
+    "CrashWindow",
+    "FaultInjector",
+    "FaultModel",
+    "FaultStats",
+    "FaultTrace",
+    "LinkOutcome",
+    "LossyMessageBus",
+    "ReplayDivergence",
+    "ReplayInjector",
+]

@@ -1,0 +1,150 @@
+"""The lossy bus: :class:`~repro.online.messaging.MessageBus` under faults.
+
+Where the base bus delivers every queued message to every neighbor at the
+next round boundary, :class:`LossyMessageBus` routes each unicast attempt
+through a :class:`~repro.faults.model.FaultInjector`: the attempt may be
+dropped, duplicated, or delayed by extra rounds, and deliveries due while
+the receiver is crashed are lost.  The Fig. 16 accounting of the base
+class is unchanged — ``stats.messages`` still counts *attempted* unicast
+deliveries (the radio transmissions paid for), while everything the fault
+layer did to them lands in :class:`FaultStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..online.messaging import Message, MessageBus
+from .model import FaultInjector
+
+__all__ = ["FaultStats", "LossyMessageBus"]
+
+
+@dataclass
+class FaultStats:
+    """Fault-layer accounting for one run (complements ``MessageStats``).
+
+    ``drops`` counts link losses, ``crash_drops`` deliveries lost because
+    the receiver was down, ``duplicates`` extra copies delivered,
+    ``delayed`` deliveries that arrived late, ``retransmits`` UPD
+    rebroadcasts, ``acks`` acknowledgement unicasts sent, ``giveups``
+    receivers abandoned after the retransmit budget ran out,
+    ``expiries`` stale standing advertisements discarded, ``aborts``
+    negotiations cut off at the round cap, and ``crashed_skips``
+    agent-rounds lost to outages.
+    """
+
+    drops: int = 0
+    crash_drops: int = 0
+    duplicates: int = 0
+    delayed: int = 0
+    retransmits: int = 0
+    acks: int = 0
+    giveups: int = 0
+    expiries: int = 0
+    aborts: int = 0
+    crashed_skips: int = 0
+
+    def merge(self, other: "FaultStats") -> None:
+        """Accumulate another stats block into this one."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict — the unit the obs registry folds
+        (``faults.drops`` etc.) and the shape stored in artifact meta."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def total_faults(self) -> int:
+        """Every injected disruption (not the protocol's own reactions)."""
+        return self.drops + self.crash_drops + self.duplicates + self.delayed
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"FaultStats({parts or 'clean'})"
+
+
+class LossyMessageBus(MessageBus):
+    """Neighbor broadcast where every unicast leg can fail.
+
+    The injector is shared across the buses of one run (one per
+    replanning window), so the fault stream and the global round clock
+    are continuous; the per-bus :class:`~repro.online.messaging.MessageStats`
+    keeps the paper's transmission accounting exactly as the lossless bus
+    does.  Delivery order is deterministic: queued order, with delayed
+    messages interleaved by their due round — replaying the same fault
+    trace reproduces every inbox byte for byte.
+    """
+
+    def __init__(
+        self, neighbors: list[frozenset[int]], injector: FaultInjector
+    ) -> None:
+        super().__init__(neighbors)
+        self.injector = injector
+        self.fault_stats = injector.stats
+        #: per-receiver (due_round, msg) queues on the *local* round clock.
+        self._due: list[list[tuple[int, Message]]] = [[] for _ in neighbors]
+        self._local_round = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def broadcast(self, msg: Message) -> None:
+        """Queue ``msg`` for (faulty) delivery to the sender's neighbors."""
+        nbrs = self.neighbors[msg.sender]
+        self.stats.broadcasts += 1
+        self.stats.messages += len(nbrs)
+        for j in nbrs:
+            self._route(msg, j)
+
+    def unicast(self, msg: Message, receiver: int) -> None:
+        """One addressed transmission (ACKs) — same fault exposure."""
+        self.stats.broadcasts += 1
+        self.stats.messages += 1
+        self._route(msg, receiver)
+
+    def _route(self, msg: Message, receiver: int) -> None:
+        out = self.injector.link(msg.sender, receiver)
+        fs = self.fault_stats
+        if out.dropped:
+            fs.drops += 1
+            return
+        if out.copies > 1:
+            fs.duplicates += out.copies - 1
+        if out.delay:
+            fs.delayed += 1
+        due = self._local_round + 1 + out.delay
+        queue = self._due[receiver]
+        for _ in range(out.copies):
+            queue.append((due, msg))
+
+    # ------------------------------------------------------------------
+    # Round boundary
+    # ------------------------------------------------------------------
+    def advance_round(self) -> None:
+        """Tick both clocks and deliver everything that matured.
+
+        A delivery due while its receiver is crashed is lost for good —
+        the radio does not buffer for a dead node.
+        """
+        self.stats.rounds += 1
+        self._local_round += 1
+        self.injector.tick()
+        now = self._local_round
+        fs = self.fault_stats
+        for j, queue in enumerate(self._due):
+            if not queue:
+                self._inboxes[j] = []
+                continue
+            mature = [m for due, m in queue if due <= now]
+            if mature:
+                self._due[j] = [(due, m) for due, m in queue if due > now]
+                if self.injector.crashed(j):
+                    fs.crash_drops += len(mature)
+                    mature = []
+            self._inboxes[j] = mature
+
+    def reset_inboxes(self) -> None:
+        """Drop delivered *and* in-flight messages (between negotiations)."""
+        super().reset_inboxes()
+        self._due = [[] for _ in self.neighbors]

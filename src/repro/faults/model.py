@@ -1,0 +1,363 @@
+"""The fault model: seeded, replayable radio and charger failures.
+
+The paper's Algorithm 3 assumes reliable neighbor communication; real
+deployments (the Powercast testbed of the TMC version, Figs. 19-25) have
+anything but.  A :class:`FaultModel` describes what the radio and the
+fleet may do wrong — per-delivery message loss / duplication / delay,
+per-charger crash windows, staleness timeouts — as a small frozen value
+object that travels through solver spec strings
+(``online-haste:loss=0.1,crash=2``).
+
+Replayability contract
+----------------------
+All fault randomness comes from one dedicated generator seeded by
+``FaultModel.seed`` and consumed in protocol order, **never** from the
+negotiation's own rng (whose stream must stay byte-identical to the
+lossless run so color sampling and final draws are unaffected by the
+fault layer).  The protocol is deterministic given the fault decisions,
+so the same ``(network, model)`` pair replays the same run bit for bit;
+every decision is additionally recorded in a :class:`FaultTrace` whose
+:class:`ReplayInjector` re-serves it positionally — and *verifies* the
+query context, so a divergent replay fails loudly instead of silently
+drifting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "CrashWindow",
+    "FaultModel",
+    "LinkOutcome",
+    "FaultTrace",
+    "FaultInjector",
+    "ReplayInjector",
+    "ReplayDivergence",
+]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One charger outage: crashed during rounds ``[start, end)``.
+
+    Rounds are the *global* bus-round clock of a run (monotone across
+    negotiations and replanning windows), so a crash can span several
+    negotiations — the recovering charger resumes with whatever state it
+    had, and its neighbors' stale knowledge of it expires meanwhile.
+    """
+
+    charger: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.charger < 0:
+            raise ValueError(f"charger must be >= 0, got {self.charger}")
+        if not (0 <= self.start < self.end):
+            raise ValueError(
+                f"need 0 <= start < end, got [{self.start}, {self.end})"
+            )
+
+    def covers(self, round_index: int) -> bool:
+        return self.start <= round_index < self.end
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Everything the radio and the fleet may do wrong, as one value.
+
+    ``loss`` / ``duplicate`` / ``delay`` are per-unicast-delivery
+    probabilities (a broadcast to ``d`` neighbors makes ``d`` independent
+    draws); a delayed delivery arrives ``1..max_delay`` rounds late.
+    ``crash`` chargers get a seeded outage window of ``crash_len`` rounds
+    each (starting uniformly in ``[1, crash_horizon)``); explicit
+    ``crashes`` windows are honored verbatim on top.  ``timeout`` is the
+    stale-advertisement expiry (rounds a standing advertisement is
+    trusted without being refreshed), ``retry`` the UPD retransmit
+    budget, ``max_rounds`` the per-negotiation round cap that guarantees
+    termination no matter what the injector does.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 3
+    crash: int = 0
+    crash_len: int = 12
+    crash_horizon: int = 120
+    crashes: tuple[CrashWindow, ...] = ()
+    timeout: int = 6
+    retry: int = 3
+    max_rounds: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_prob("loss", self.loss)
+        _check_prob("duplicate", self.duplicate)
+        _check_prob("delay", self.delay)
+        if self.max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {self.max_delay}")
+        if self.crash < 0:
+            raise ValueError(f"crash must be >= 0, got {self.crash}")
+        if self.crash_len < 1:
+            raise ValueError(f"crash_len must be >= 1, got {self.crash_len}")
+        if self.crash_horizon < 2:
+            raise ValueError(
+                f"crash_horizon must be >= 2, got {self.crash_horizon}"
+            )
+        if self.timeout < 1:
+            raise ValueError(f"timeout must be >= 1, got {self.timeout}")
+        if self.retry < 0:
+            raise ValueError(f"retry must be >= 0, got {self.retry}")
+        if self.max_rounds < 4:
+            raise ValueError(f"max_rounds must be >= 4, got {self.max_rounds}")
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    def is_null(self) -> bool:
+        """True when this model injects no fault at all.
+
+        A null model is the contract behind the bit-identity guarantee:
+        the negotiation routes through the untouched lossless fast path,
+        so ``FaultModel()`` is indistinguishable — byte for byte — from
+        not having a fault layer.
+        """
+        return (
+            self.loss == 0.0
+            and self.duplicate == 0.0
+            and self.delay == 0.0
+            and self.crash == 0
+            and not self.crashes
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-scalar form (spec-parameter shaped; crashes as triples)."""
+        return {
+            "loss": self.loss,
+            "duplicate": self.duplicate,
+            "delay": self.delay,
+            "max_delay": self.max_delay,
+            "crash": self.crash,
+            "crash_len": self.crash_len,
+            "crash_horizon": self.crash_horizon,
+            "crashes": [(w.charger, w.start, w.end) for w in self.crashes],
+            "timeout": self.timeout,
+            "retry": self.retry,
+            "max_rounds": self.max_rounds,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultModel":
+        payload = dict(payload)
+        payload["crashes"] = tuple(
+            CrashWindow(*triple) for triple in payload.get("crashes", ())
+        )
+        return cls(**payload)
+
+    def injector(self, num_chargers: int) -> "FaultInjector":
+        """A fresh injector for one run over ``num_chargers`` chargers."""
+        return FaultInjector(self, num_chargers)
+
+
+class LinkOutcome(NamedTuple):
+    """What the injector decided for one unicast delivery attempt."""
+
+    dropped: bool
+    delay: int  # extra rounds past the usual next-round delivery
+    copies: int  # 1, or 2 when duplicated
+
+
+#: A recorded decision: (round, kind, a, b, dropped, delay, copies).
+#: ``kind`` is "link" or "crash"; crash events record (charger, start, end).
+TraceEvent = tuple
+
+
+@dataclass
+class FaultTrace:
+    """The complete, ordered record of one injector's decisions.
+
+    Two runs are *the same run* iff their traces are equal — the chaos
+    suite pins that equality (and the resulting artifact equality) for
+    seeded reruns, and replays a recorded trace through
+    :class:`ReplayInjector` to prove the run is a pure function of it.
+    """
+
+    crash_windows: tuple[CrashWindow, ...] = ()
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def digest(self) -> str:
+        """sha256 over the canonical rendering (stable across processes)."""
+        h = hashlib.sha256()
+        for w in self.crash_windows:
+            h.update(f"crash:{w.charger}:{w.start}:{w.end};".encode())
+        for ev in self.events:
+            h.update((":".join(map(repr, ev)) + ";").encode())
+        return h.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultTrace):
+            return NotImplemented
+        return (
+            self.crash_windows == other.crash_windows
+            and self.events == other.events
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class ReplayDivergence(RuntimeError):
+    """A replayed run queried the injector differently than the recording."""
+
+
+class FaultInjector:
+    """Draws fault decisions from the model's dedicated seeded stream.
+
+    Owns the run-global round clock (ticked by the bus), the sampled
+    crash windows, the run-level :class:`~repro.faults.bus.FaultStats`,
+    and the :class:`FaultTrace` recording.  One injector serves a whole
+    online run — every replanning window's bus shares it, so the fault
+    stream, the crash clock, and the accounting are continuous across
+    arrival events.
+    """
+
+    def __init__(self, model: FaultModel, num_chargers: int) -> None:
+        from .bus import FaultStats  # local import: bus imports this module
+
+        if num_chargers < 1:
+            raise ValueError(f"num_chargers must be >= 1, got {num_chargers}")
+        self.model = model
+        self.num_chargers = num_chargers
+        self._rng = np.random.default_rng(model.seed)
+        self.round = 0
+        self.stats = FaultStats()
+        windows = list(self._sample_crash_windows())
+        windows.extend(model.crashes)
+        for w in windows:
+            if w.charger >= num_chargers:
+                raise ValueError(
+                    f"crash window for charger {w.charger} but only "
+                    f"{num_chargers} chargers"
+                )
+        self.crash_windows: tuple[CrashWindow, ...] = tuple(windows)
+        self.trace = FaultTrace(crash_windows=self.crash_windows)
+        for w in self.crash_windows:
+            self.trace.record(("crash", w.charger, w.start, w.end))
+        self._crashed_of: dict[int, list[CrashWindow]] = {}
+        for w in self.crash_windows:
+            self._crashed_of.setdefault(w.charger, []).append(w)
+
+    def _sample_crash_windows(self):
+        m = self.model
+        for _ in range(m.crash):
+            charger = int(self._rng.integers(0, self.num_chargers))
+            start = int(self._rng.integers(1, m.crash_horizon))
+            yield CrashWindow(charger, start, start + m.crash_len)
+
+    # ------------------------------------------------------------------
+    # Queries the bus / protocol makes
+    # ------------------------------------------------------------------
+    def tick(self) -> int:
+        """Advance the run-global round clock (called by the bus)."""
+        self.round += 1
+        return self.round
+
+    def crashed(self, charger: int) -> bool:
+        """Whether ``charger`` is down in the current global round."""
+        windows = self._crashed_of.get(charger)
+        if not windows:
+            return False
+        r = self.round
+        return any(w.covers(r) for w in windows)
+
+    def link(self, sender: int, receiver: int) -> LinkOutcome:
+        """Decide the fate of one unicast delivery attempt (recorded)."""
+        m = self.model
+        rng = self._rng
+        dropped = m.loss > 0.0 and bool(rng.random() < m.loss)
+        delay = 0
+        copies = 1
+        if not dropped:
+            if m.duplicate > 0.0 and bool(rng.random() < m.duplicate):
+                copies = 2
+            if m.delay > 0.0 and bool(rng.random() < m.delay):
+                delay = int(rng.integers(1, m.max_delay + 1))
+        out = LinkOutcome(dropped, delay, copies)
+        self.trace.record(
+            ("link", self.round, sender, receiver, dropped, delay, copies)
+        )
+        return out
+
+
+class ReplayInjector:
+    """Re-serves a recorded :class:`FaultTrace`, verifying every query.
+
+    Proves (and the chaos tests assert) that a faulty run is a pure
+    function of its trace: feeding the recording back produces the
+    bit-identical schedule.  Any mismatch between the live query and the
+    recorded one raises :class:`ReplayDivergence` immediately.
+    """
+
+    def __init__(self, model: FaultModel, trace: FaultTrace) -> None:
+        from .bus import FaultStats
+
+        self.model = model
+        self.crash_windows = trace.crash_windows
+        self.stats = FaultStats()
+        self.round = 0
+        self._events = [ev for ev in trace.events if ev[0] == "link"]
+        self._cursor = 0
+        self.trace = FaultTrace(crash_windows=trace.crash_windows)
+        for w in trace.crash_windows:
+            self.trace.record(("crash", w.charger, w.start, w.end))
+        self._crashed_of: dict[int, list[CrashWindow]] = {}
+        for w in trace.crash_windows:
+            self._crashed_of.setdefault(w.charger, []).append(w)
+
+    def tick(self) -> int:
+        self.round += 1
+        return self.round
+
+    def crashed(self, charger: int) -> bool:
+        windows = self._crashed_of.get(charger)
+        if not windows:
+            return False
+        r = self.round
+        return any(w.covers(r) for w in windows)
+
+    def link(self, sender: int, receiver: int) -> LinkOutcome:
+        if self._cursor >= len(self._events):
+            raise ReplayDivergence(
+                f"replay exhausted after {self._cursor} link events but the "
+                f"run queried link({sender}, {receiver}) at round {self.round}"
+            )
+        _kind, rnd, s, r, dropped, delay, copies = self._events[self._cursor]
+        if (rnd, s, r) != (self.round, sender, receiver):
+            raise ReplayDivergence(
+                f"replay divergence at event {self._cursor}: recorded "
+                f"(round={rnd}, {s}->{r}) but live query is "
+                f"(round={self.round}, {sender}->{receiver})"
+            )
+        self._cursor += 1
+        out = LinkOutcome(bool(dropped), int(delay), int(copies))
+        self.trace.record(
+            ("link", self.round, sender, receiver, out.dropped, out.delay, out.copies)
+        )
+        return out
+
+    def exhausted(self) -> bool:
+        """Whether every recorded link event has been consumed."""
+        return self._cursor == len(self._events)

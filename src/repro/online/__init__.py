@@ -1,13 +1,27 @@
 """Distributed online scheduling: message bus, Algorithm 3, runtime."""
 
-from .distributed import ChargerAgent, NegotiationResult, negotiate_window
-from .messaging import CMD_NULL, CMD_UPDATE, Message, MessageBus, MessageStats
+from .distributed import (
+    ChargerAgent,
+    MatroidViolationError,
+    NegotiationResult,
+    negotiate_window,
+)
+from .messaging import (
+    CMD_ACK,
+    CMD_NULL,
+    CMD_UPDATE,
+    Message,
+    MessageBus,
+    MessageStats,
+)
 from .ordering import CommitEvent, commit_order_graph, linearize_commits
 from .runtime import OnlineRunResult, run_online_baseline, run_online_haste
 
 __all__ = [
+    "CMD_ACK",
     "CMD_NULL",
     "CMD_UPDATE",
+    "MatroidViolationError",
     "ChargerAgent",
     "CommitEvent",
     "Message",

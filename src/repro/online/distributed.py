@@ -48,13 +48,27 @@ import numpy as np
 
 from .. import obs
 from ..core.network import IDLE_POLICY, ChargerNetwork
+from ..faults.bus import FaultStats, LossyMessageBus
 from ..objective.haste import HasteObjective
 from ..submodular.estimation import ColorSampler
 from . import _ckernel
-from .messaging import MessageBus, MessageStats
+from .messaging import CMD_ACK, CMD_NULL, CMD_UPDATE, Message, MessageBus, MessageStats
 from .ordering import CommitEvent
 
-__all__ = ["ChargerAgent", "NegotiationResult", "negotiate_window"]
+__all__ = [
+    "ChargerAgent",
+    "MatroidViolationError",
+    "NegotiationResult",
+    "negotiate_window",
+]
+
+
+class MatroidViolationError(RuntimeError):
+    """The hard safety invariant tripped: a per-slot partition was about
+    to receive a second policy.  Structurally unreachable — each agent
+    owns its ``(charger, slot)`` partition and leaves the race after
+    committing, no matter how divergent the views get — and the chaos
+    suite asserts it never fires under any injected fault trace."""
 
 MIN_GAIN: float = 1e-12
 
@@ -313,6 +327,11 @@ class NegotiationResult:
     #: incremental runtime's dominant saving, surfaced for the registry.
     proposal_evals: int = 0
     proposal_cache_hits: int = 0
+    #: Fault-layer accounting (the run-level totals of the shared
+    #: injector) when the window negotiated under an active
+    #: :class:`~repro.faults.model.FaultModel`; ``None`` on the lossless
+    #: path, which is also what a null fault model routes to.
+    fault_stats: FaultStats | None = field(repr=False, default=None)
 
 
 def negotiate_window(
@@ -327,6 +346,7 @@ def negotiate_window(
     bus: MessageBus | None = None,
     async_dropout: float = 0.0,
     async_rng: np.random.Generator | None = None,
+    fault_injector=None,
 ) -> NegotiationResult:
     """Run the distributed negotiation for every slot in ``slots``.
 
@@ -348,27 +368,66 @@ def negotiate_window(
     the schedule is the caller's job (the runtime shares draws between
     events to keep unchanged partitions stable).
 
+    ``fault_injector`` (a :class:`~repro.faults.model.FaultInjector`)
+    switches the window to the fault-tolerant protocol variant
+    (:func:`_negotiate_window_faulty`): advertisements and UPD commits are
+    materialized as per-receiver deliveries through a
+    :class:`~repro.faults.bus.LossyMessageBus`, with stale-advertisement
+    expiry, ack/retransmit for commits, and a per-negotiation round cap.
+    An injector whose model :meth:`~repro.faults.model.FaultModel.is_null`
+    routes straight through the lossless path — a zero-fault model is
+    byte-identical to not having a fault layer at all (pinned by the
+    chaos suite).  The negotiation ``rng`` stream is consumed identically
+    on both paths (only the color sampler reads it); all fault
+    randomness lives in the injector's own seeded stream.
+
     When :mod:`repro.obs` is enabled the window is traced as a
     ``negotiation.window`` span and the window's message/round/broadcast
     deltas — exactly this window's contribution to the returned
     :class:`~repro.online.messaging.MessageStats` — plus commit and
     proposal-cache counts are folded into the registry once, after the
-    protocol finishes (nothing is recorded inside the round loop).
+    protocol finishes (nothing is recorded inside the round loop).  An
+    active fault injector additionally folds its ``faults.*`` deltas
+    (drops, retransmits, expiries, …) the same way.
     """
+    faulty = fault_injector is not None and not fault_injector.model.is_null()
     base = bus.stats.as_dict() if bus is not None else None
+    fault_base = fault_injector.stats.as_dict() if faulty else None
     with obs.span("negotiation.window", slots=len(slots), colors=num_colors):
-        result = _negotiate_window(
-            network,
-            objective,
-            slots,
-            num_colors,
-            rng=rng,
-            num_samples=num_samples,
-            initial_energies=initial_energies,
-            bus=bus,
-            async_dropout=async_dropout,
-            async_rng=async_rng,
-        )
+        if faulty:
+            if bus is not None:
+                raise ValueError(
+                    "fault_injector and an explicit bus are mutually "
+                    "exclusive (the faulty path builds its own LossyMessageBus)"
+                )
+            if async_dropout != 0.0:
+                raise ValueError(
+                    "async_dropout is a lossless-path model; use the fault "
+                    "model's crash schedule instead"
+                )
+            result = _negotiate_window_faulty(
+                network,
+                objective,
+                slots,
+                num_colors,
+                rng=rng,
+                num_samples=num_samples,
+                initial_energies=initial_energies,
+                injector=fault_injector,
+            )
+        else:
+            result = _negotiate_window(
+                network,
+                objective,
+                slots,
+                num_colors,
+                rng=rng,
+                num_samples=num_samples,
+                initial_energies=initial_energies,
+                bus=bus,
+                async_dropout=async_dropout,
+                async_rng=async_rng,
+            )
     if obs.enabled():
         obs.inc("negotiation.windows")
         for name, total in result.stats.as_dict().items():
@@ -376,6 +435,9 @@ def negotiate_window(
         obs.inc("negotiation.commits", len(result.table))
         obs.inc("negotiation.proposal_evals", result.proposal_evals)
         obs.inc("negotiation.proposal_cache_hits", result.proposal_cache_hits)
+        if faulty:
+            for name, total in fault_injector.stats.as_dict().items():
+                obs.inc(f"faults.{name}", total - fault_base[name])
     return result
 
 
@@ -666,4 +728,306 @@ def _negotiate_window(
         commit_trace=commit_trace,
         proposal_evals=prop_evals,
         proposal_cache_hits=prop_hits,
+    )
+
+
+def _negotiate_window_faulty(
+    network: ChargerNetwork,
+    objective: HasteObjective,
+    slots: list[int],
+    num_colors: int,
+    *,
+    rng: np.random.Generator,
+    num_samples: int = 24,
+    initial_energies: np.ndarray | None = None,
+    injector,
+) -> NegotiationResult:
+    """Algorithm 3 hardened for lossy radios and crashing chargers.
+
+    Unlike :func:`_negotiate_window` — where a single shared table of
+    standing advertisements reproduces every inbox exactly because
+    delivery is guaranteed — this variant materializes each agent's
+    knowledge from the messages it actually received through a
+    :class:`~repro.faults.bus.LossyMessageBus`:
+
+    * **Advertisements** (``NULL``) are rebroadcast every round by every
+      awake undecided agent, stamped with a sequence number so delayed
+      or duplicated copies cannot roll knowledge backwards.  Entries not
+      refreshed within ``model.timeout`` rounds expire — a crashed or
+      silently-withdrawn neighbor's high bid cannot block the
+      neighborhood forever.
+    * **Commits** (``UPD``) are acknowledged per receiver; the committer
+      retransmits to unacked neighbors for up to ``model.retry`` rounds
+      before giving up, so a lost commit degrades a neighbor's *view*
+      (it keeps planning against stale task energies) without stalling
+      the protocol.  Folds are idempotent — duplicates cannot double
+      apply energy.
+    * **Safety**: each agent owns its ``(charger, slot)`` partition and
+      leaves the race the moment it commits, so the per-slot partition
+      matroid holds *by construction* no matter how far views diverge;
+      :class:`MatroidViolationError` guards the invariant anyway.
+    * **Liveness**: the globally best awake bidder always commits once
+      stale blockers expire, and ``model.max_rounds`` caps every
+      negotiation outright (an abort keeps whatever committed so far).
+
+    The negotiation ``rng`` is consumed exactly as on the lossless path
+    (the color sampler only); every fault decision comes from the
+    injector's own seeded stream, which also makes whole runs replayable
+    bit for bit from a recorded :class:`~repro.faults.model.FaultTrace`.
+    """
+    model = injector.model
+    participants = [
+        i
+        for i in range(network.n)
+        if network.policy_count(i) > 1 and objective.relevant_slots(i).size > 0
+    ]
+    relevant = {
+        i: set(int(k) for k in objective.relevant_slots(i)) for i in participants
+    }
+    part_keys = [
+        (i, int(k)) for k in slots for i in participants if int(k) in relevant[i]
+    ]
+    sampler = ColorSampler(part_keys, num_colors, num_samples, rng)
+    S = sampler.num_samples
+    group_index = {key: g for g, key in enumerate(part_keys)}
+    all_matches = [
+        [np.ascontiguousarray(rows, dtype=np.intp) for rows in per_color]
+        for per_color in sampler.matches_by_color()
+    ]
+    row_lists = [
+        [[int(r) for r in rows] for rows in per_color]
+        for per_color in all_matches
+    ]
+    row_bits = [
+        [sum(1 << r for r in rl) for rl in per_color]
+        for per_color in row_lists
+    ]
+
+    if initial_energies is not None:
+        if initial_energies.ndim == 1:
+            initial_energies = initial_energies[None, None, :]
+        else:
+            initial_energies = initial_energies[None, :, :]
+        views = np.broadcast_to(
+            initial_energies, (network.n, S, network.m)
+        ).copy()
+    else:
+        views = objective.zero_energy((network.n, S))
+    agents = {i: ChargerAgent(i, objective, S, views[i]) for i in participants}
+    use_sparse = objective.use_sparse
+    sparse_cols = objective._cols if use_sparse else None
+    changed_bits_cache: dict[tuple[int, int, int], int] = {}
+    bus = LossyMessageBus(list(network.neighbors), injector)
+    stats = bus.stats
+    fs = injector.stats
+    neighbors = network.neighbors
+
+    table: dict[tuple[int, int, int], int] = {}
+    commit_trace: list[CommitEvent] = []
+    prop_evals = 0
+    prop_hits = 0
+
+    def fold(receiver: int, w: int, k: int, policy: int, rows_w, adds_k) -> None:
+        """Apply ``w``'s committed energy to one receiver's view."""
+        if use_sparse:
+            views[receiver][rows_w[:, None], sparse_cols[w][None, :]] += (
+                adds_k[w][policy]
+            )
+        else:
+            views[receiver][rows_w] += objective.added_energy(w, k)[policy]
+
+    for k in slots:
+        k = int(k)
+        active_agents = [i for i in participants if k in relevant[i]]
+        if not active_agents:
+            continue
+        active_set = set(active_agents)
+        gidx = [(i, group_index[(i, k)]) for i in active_agents]
+        adds_k = (
+            {i: objective.added_energy_cols(i, k) for i in active_agents}
+            if use_sparse
+            else None
+        )
+        for c in range(num_colors):
+            stats.negotiations += 1
+            bus.reset_inboxes()
+            rows_c, lists_c, bits_c = all_matches[c], row_lists[c], row_bits[c]
+            match = {}
+            match_bits = {}
+            for i, g in gidx:
+                match[i] = rows_c[g]
+                match_bits[i] = bits_c[g]
+                agents[i].reset_negotiation(
+                    k, bits_c[g], rows_c[g], lists_c[g],
+                    adds_k[i] if adds_k is not None else None,
+                )
+            undecided = set(active_agents)
+            #: per-receiver knowledge: i -> {j: (gain, policy, stamp)}.
+            known: dict[int, dict[int, tuple[float, int, int]]] = {
+                i: {} for i in active_agents
+            }
+            #: newest advertisement sequence seen per (receiver, sender).
+            last_seq: dict[int, dict[int, int]] = {i: {} for i in active_agents}
+            #: (receiver, committer) pairs already folded — idempotence.
+            folded: set[tuple[int, int]] = set()
+            #: committer -> neighbors still owing an ACK / retry budget.
+            pending: dict[int, set[int]] = {}
+            retries: dict[int, int] = {}
+            upd_msg: dict[int, Message] = {}
+
+            rnd = 0
+            while undecided or pending:
+                rnd += 1
+                if rnd > model.max_rounds:
+                    fs.aborts += 1
+                    break
+                bus.advance_round()
+
+                # -- receive phase: fold commits, refresh knowledge, ack.
+                for i in active_agents:
+                    inbox = bus.inbox(i)
+                    if not inbox:
+                        continue
+                    know_i = known[i]
+                    seq_i = last_seq[i]
+                    for msg in inbox:
+                        j = msg.sender
+                        if msg.command == CMD_NULL:
+                            if msg.seq <= seq_i.get(j, -1):
+                                continue  # delayed/duplicated stale copy
+                            seq_i[j] = msg.seq
+                            if msg.gain > MIN_GAIN:
+                                know_i[j] = (msg.gain, msg.policy, rnd)
+                            else:
+                                know_i.pop(j, None)  # withdrawal
+                        elif msg.command == CMD_UPDATE:
+                            fs.acks += 1
+                            bus.unicast(
+                                Message(i, k, c, CMD_ACK, 0.0, msg.policy, rnd),
+                                j,
+                            )
+                            know_i.pop(j, None)  # j left the race
+                            if msg.seq > seq_i.get(j, -1):
+                                seq_i[j] = msg.seq
+                            if (i, j) in folded:
+                                continue  # duplicate UPD — fold once
+                            folded.add((i, j))
+                            fold(i, j, k, msg.policy, match[j], adds_k)
+                            key = (j, k, msg.policy)
+                            cb = changed_bits_cache.get(key)
+                            if cb is None:
+                                cb = 0
+                                for t in objective.changed_tasks(
+                                    j, k, msg.policy
+                                ):
+                                    cb |= 1 << int(t)
+                                changed_bits_cache[key] = cb
+                            agents[i].note_commit(match_bits[j], cb)
+                        else:  # CMD_ACK — i committed earlier, j confirms
+                            acked = pending.get(i)
+                            if acked is not None:
+                                acked.discard(j)
+
+                # -- retransmit phase: chase unacked UPD receivers.
+                for w in sorted(pending):
+                    if not pending[w]:
+                        del pending[w], retries[w], upd_msg[w]
+                        continue
+                    if injector.crashed(w):
+                        continue  # a down committer cannot retransmit
+                    if retries[w] <= 0:
+                        fs.giveups += len(pending[w])
+                        del pending[w], retries[w], upd_msg[w]
+                        continue
+                    retries[w] -= 1
+                    fs.retransmits += 1
+                    bus.broadcast(upd_msg[w])
+
+                if not undecided:
+                    continue  # draining acks/retransmits only
+
+                # -- advertise phase: every awake undecided agent bids.
+                awake = []
+                for i in sorted(undecided):
+                    if injector.crashed(i):
+                        fs.crashed_skips += 1
+                    else:
+                        awake.append(i)
+                proposals: dict[int, tuple[float, int]] = {}
+                for i in awake:
+                    agent = agents[i]
+                    prop = agent._proposal
+                    if prop is None:
+                        prop = agent.best_candidate(k, match[i], S)
+                        prop_evals += 1
+                    else:
+                        prop_hits += 1
+                    proposals[i] = prop
+                    gain = prop[0] if prop[0] > MIN_GAIN else 0.0
+                    bus.broadcast(Message(i, k, c, CMD_NULL, gain, prop[1], rnd))
+                for i in awake:
+                    if proposals[i][0] <= MIN_GAIN:
+                        undecided.discard(i)  # permanent withdrawal
+
+                # -- commit phase: needs one delivery round of knowledge.
+                if rnd < 2:
+                    continue
+                for i in awake:
+                    if i not in undecided:
+                        continue
+                    gain_i = proposals[i][0]
+                    know_i = known[i]
+                    beaten = False
+                    for j in list(know_i):
+                        gain_j, _pol, stamp = know_i[j]
+                        if rnd - stamp > model.timeout:
+                            del know_i[j]
+                            fs.expiries += 1
+                            continue
+                        if (gain_j, -j) >= (gain_i, -i):
+                            beaten = True
+                            break
+                    if beaten:
+                        continue
+                    key = (i, k, c)
+                    if key in table:
+                        raise MatroidViolationError(
+                            f"partition (charger={i}, slot={k}, color={c}) "
+                            "was committed twice"
+                        )
+                    policy = proposals[i][1]
+                    table[key] = policy
+                    commit_trace.append(
+                        CommitEvent(
+                            charger=i,
+                            slot=k,
+                            color=c,
+                            round_index=rnd,
+                            policy=policy,
+                        )
+                    )
+                    undecided.discard(i)
+                    folded.add((i, i))
+                    fold(i, i, k, policy, match[i], adds_k)
+                    upd = Message(i, k, c, CMD_UPDATE, gain_i, policy, rnd)
+                    bus.broadcast(upd)
+                    targets = {j for j in neighbors[i] if j in active_set}
+                    if targets:
+                        pending[i] = targets
+                        retries[i] = model.retry
+                        upd_msg[i] = upd
+
+            # Receivers the committer never reached keep a diverged view;
+            # that is the graceful part of the degradation — count them.
+            for w, missing in pending.items():
+                fs.giveups += len(missing)
+
+    return NegotiationResult(
+        table=table,
+        stats=bus.stats,
+        sampler=sampler,
+        commit_trace=commit_trace,
+        proposal_evals=prop_evals,
+        proposal_cache_hits=prop_hits,
+        fault_stats=fs,
     )

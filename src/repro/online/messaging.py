@@ -17,26 +17,47 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Message", "MessageStats", "MessageBus", "CMD_NULL", "CMD_UPDATE"]
+__all__ = [
+    "Message",
+    "MessageStats",
+    "MessageBus",
+    "CMD_NULL",
+    "CMD_UPDATE",
+    "CMD_ACK",
+]
 
 CMD_NULL = "NULL"
 CMD_UPDATE = "UPD"
+#: Acknowledgement of a received UPD — only the fault-tolerant protocol
+#: (:mod:`repro.faults`) sends these; the lossless synchronous model never
+#: needs them because delivery is guaranteed.
+CMD_ACK = "ACK"
 
 
 @dataclass(frozen=True, slots=True)
 class Message:
-    """One control message, mirroring the paper's six fields."""
+    """One control message, mirroring the paper's six fields.
+
+    ``seq`` is a sender-local sequence number (the broadcast round) the
+    lossy transport uses to discard reordered stale advertisements; the
+    lossless bus never reorders, so it stays at its default there.
+    """
 
     sender: int  # ID
     slot: int  # TIM
     color: int  # COL
-    command: str  # CMD: NULL (gain advertisement) or UPD (commit)
+    command: str  # CMD: NULL (advertisement), UPD (commit), ACK (receipt)
     gain: float  # ΔF*_i(Q_i)
     policy: int  # e*_i — the policy index being advertised/committed
+    seq: int = 0  # sender-local sequence number (reorder protection)
 
     def __post_init__(self) -> None:
-        if self.command not in (CMD_NULL, CMD_UPDATE):
+        if self.command not in (CMD_NULL, CMD_UPDATE, CMD_ACK):
             raise ValueError(f"unknown command {self.command!r}")
+        if self.sender < 0:
+            raise ValueError(f"sender must be >= 0, got {self.sender}")
+        if self.slot < 0:
+            raise ValueError(f"slot must be >= 0, got {self.slot}")
 
 
 @dataclass

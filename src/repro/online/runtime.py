@@ -29,6 +29,8 @@ import numpy as np
 from .. import obs
 from ..core.network import IDLE_POLICY, ChargerNetwork
 from ..core.policy import Schedule
+from ..faults.bus import FaultStats
+from ..faults.model import FaultModel
 from ..objective.haste import HasteObjective
 from ..offline.smoothing import smooth_switches
 from ..sim.engine import ExecutionResult, execute_schedule
@@ -48,6 +50,11 @@ class OnlineRunResult:
     execution: ExecutionResult
     stats: MessageStats
     events: int
+    #: Fault-layer totals when the run negotiated under an active
+    #: :class:`~repro.faults.model.FaultModel` (``None`` otherwise), and
+    #: the injector's recorded trace for replay/forensics.
+    fault_stats: FaultStats | None = None
+    fault_trace: object | None = None
 
     @property
     def total_utility(self) -> float:
@@ -71,8 +78,17 @@ def run_online_haste(
     rng: np.random.Generator | None = None,
     final_draws: int = 4,
     use_sparse: bool = True,
+    fault_model: FaultModel | None = None,
 ) -> OnlineRunResult:
     """HASTE-DO: the distributed online algorithm end to end.
+
+    ``fault_model`` activates the fault-injected negotiation
+    (:mod:`repro.faults`): one seeded injector serves every replanning
+    window, so the fault stream, the crash clock, and the counters are
+    continuous across arrival events and the whole run replays bit for
+    bit from the model alone.  A ``None`` or null model is byte-identical
+    to the lossless run — the negotiation ``rng`` stream never sees the
+    fault layer.
 
     Every distinct release slot is an arrival event: the fleet renegotiates
     all policies for slots ``≥ event + τ`` against the energy already
@@ -104,6 +120,9 @@ def run_online_haste(
     if final_draws < 1:
         raise ValueError(f"final_draws must be >= 1, got {final_draws}")
     rng = rng if rng is not None else np.random.default_rng()
+    injector = None
+    if fault_model is not None and not fault_model.is_null():
+        injector = fault_model.injector(network.n)
 
     K = network.num_slots
     committed = Schedule(network)
@@ -143,6 +162,7 @@ def run_online_haste(
                     rng=rng,
                     num_samples=num_samples,
                     initial_energies=banked,
+                    fault_injector=injector,
                 )
                 stats.merge(result.stats)
 
@@ -180,14 +200,24 @@ def run_online_haste(
     if obs.enabled():
         obs.inc("online.runs")
         obs.inc("online.events", events)
+        fields = dict(stats.as_dict())
+        if injector is not None:
+            fields.update(
+                {f"faults_{k}": v for k, v in injector.stats.as_dict().items()}
+            )
         obs.event(
             "online.run",
             events=events,
             utility=execution.total_utility,
-            **stats.as_dict(),
+            **fields,
         )
     return OnlineRunResult(
-        schedule=committed, execution=execution, stats=stats, events=events
+        schedule=committed,
+        execution=execution,
+        stats=stats,
+        events=events,
+        fault_stats=injector.stats if injector is not None else None,
+        fault_trace=injector.trace if injector is not None else None,
     )
 
 

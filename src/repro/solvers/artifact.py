@@ -260,8 +260,16 @@ def artifact_from_execution(
 
 
 def artifact_from_online_run(network, run, *, meta: dict | None = None) -> RunArtifact:
-    """Build an artifact from an :class:`~repro.online.runtime.OnlineRunResult`."""
+    """Build an artifact from an :class:`~repro.online.runtime.OnlineRunResult`.
+
+    Fault-injected runs additionally carry the fault-layer counters in
+    ``meta["faults"]`` (plain ints — JSON/NPZ round-trip safe); lossless
+    runs stay byte-identical to the pre-fault-layer artifact shape.
+    """
     art = artifact_from_execution(network, run.schedule, run.execution, meta=meta)
     art.events = int(run.events)
     art.message_stats = run.stats.as_dict()
+    fault_stats = getattr(run, "fault_stats", None)
+    if fault_stats is not None:
+        art.meta["faults"] = fault_stats.as_dict()
     return art

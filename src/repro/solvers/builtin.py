@@ -47,6 +47,7 @@ from ..offline.baselines import (
     random_schedule,
     static_orientation_schedule,
 )
+from ..faults.model import FaultModel
 from ..offline.centralized import CentralizedScheduler
 from ..offline.optimal import optimal_schedule
 from ..offline.smoothing import smooth_switches
@@ -172,12 +173,34 @@ def _solve_offline_optimal(network, rng, config, params) -> RunArtifact:
     )
 
 
+def _fault_model_from_params(params) -> FaultModel | None:
+    """The :class:`FaultModel` a spec's ``loss=``/``crash=``/… params select.
+
+    Returns ``None`` when every fault knob sits at its default — the solver
+    then takes the untouched lossless path, so ``online-haste`` and
+    ``online-haste:loss=0.0`` stay bit-identical by construction.
+    """
+    model = FaultModel(
+        loss=float(params["loss"]),
+        duplicate=float(params["dup"]),
+        delay=float(params["delay"]),
+        crash=int(params["crash"]),
+        crash_len=int(params["crash_len"]),
+        timeout=int(params["fault_timeout"]),
+        retry=int(params["fault_retry"]),
+        max_rounds=int(params["fault_rounds"]),
+        seed=int(params["fault_seed"]),
+    )
+    return None if model.is_null() else model
+
+
 def _solve_online_haste(network, rng, config, params) -> RunArtifact:
     colors = params["c"] if params["c"] is not None else config.num_colors
     samples = (
         params["samples"] if params["samples"] is not None else config.num_samples
     )
     tau = params["tau"] if params["tau"] is not None else config.tau
+    fault_model = _fault_model_from_params(params)
     start = time.perf_counter()
     run = run_online_haste(
         network,
@@ -188,6 +211,7 @@ def _solve_online_haste(network, rng, config, params) -> RunArtifact:
         rng=rng,
         final_draws=int(params["final_draws"]),
         use_sparse=bool(params["sparse"]),
+        fault_model=fault_model,
     )
     plan_s = time.perf_counter() - start
     return artifact_from_online_run(network, run, meta={"plan_s": plan_s})
@@ -291,7 +315,23 @@ register(
         supports_sparse=True,
         description="Distributed online negotiation (Alg. 3) with τ-delayed replans",
     ),
-    defaults={"c": None, "samples": None, "tau": None, "final_draws": 4, "sparse": True},
+    defaults={
+        "c": None,
+        "samples": None,
+        "tau": None,
+        "final_draws": 4,
+        "sparse": True,
+        # Fault-injection knobs (repro.faults): all-defaults == lossless.
+        "loss": 0.0,
+        "dup": 0.0,
+        "delay": 0.0,
+        "crash": 0,
+        "crash_len": 12,
+        "fault_timeout": 6,
+        "fault_retry": 3,
+        "fault_rounds": 64,
+        "fault_seed": 0,
+    },
 )
 
 register(

@@ -1,0 +1,298 @@
+"""Chaos suite: seeded fault traces, bit-identical replay, differential checks.
+
+Marked ``chaos`` and excluded from the tier-1 run (``addopts`` carries
+``-m "not chaos"``); CI runs it as its own job over several base seeds via
+``REPRO_CHAOS_SEED`` and both kernel modes.  Every test is deterministic
+given the base seed — "chaos" is in the inputs, never in the assertions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultModel, ReplayInjector
+from repro.objective import HasteObjective
+from repro.online import negotiate_window
+from repro.online.runtime import run_online_haste
+from repro.sim import SimulationConfig, sample_network
+from repro.solvers import REGISTRY, get_solver, solver_names
+from repro.submodular.matroid import haste_policy_matroid
+
+from conftest import build_network
+
+pytestmark = pytest.mark.chaos
+
+#: CI varies this (0/1/2) to run the same suite over different fault seeds.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+SEEDS = [CHAOS_SEED * 100 + off for off in (7, 19, 123)]
+
+FAULT_CONFIGS = {
+    "lossy": FaultModel(loss=0.25, seed=CHAOS_SEED),
+    "noisy": FaultModel(
+        loss=0.15, duplicate=0.1, delay=0.2, max_delay=2, seed=CHAOS_SEED + 1
+    ),
+    "crashy": FaultModel(loss=0.1, crash=2, crash_len=8, seed=CHAOS_SEED + 2),
+    "brutal": FaultModel(
+        loss=0.4, duplicate=0.2, delay=0.3, crash=3, crash_len=10,
+        retry=2, timeout=4, seed=CHAOS_SEED + 3,
+    ),
+}
+
+
+def _quick_net(seed):
+    return sample_network(SimulationConfig.quick(), np.random.default_rng(seed))
+
+
+def _online_solver_names():
+    return [
+        name
+        for name in solver_names()
+        if REGISTRY.entry(name).capabilities.setting == "online"
+    ]
+
+
+def _result_payload(artifact) -> dict:
+    """Artifact fields that must match for two runs to count as identical
+    (everything except the spec string, timing, and counters)."""
+    payload = artifact.to_dict()
+    for key in ("solver", "wall_time_s", "obs_counters", "meta"):
+        payload.pop(key, None)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Zero-fault bit-identity: the null model routes through the lossless bus
+# ----------------------------------------------------------------------
+class TestZeroFaultBitIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", ["online-haste", "online-haste:c=1"])
+    def test_null_spec_identical_to_lossless(self, spec, seed):
+        net = _quick_net(seed)
+        cfg = SimulationConfig.quick()
+        base = get_solver(spec).solve(net, np.random.default_rng(seed), cfg)
+        null = get_solver(spec + ",loss=0.0" if ":" in spec else spec + ":loss=0.0")
+        art = null.solve(net, np.random.default_rng(seed), cfg)
+        assert _result_payload(art) == _result_payload(base)
+        assert "faults" not in art.meta
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("colors", [1, 2])
+    def test_null_model_identical_at_runtime_level(self, colors, seed):
+        net = _quick_net(seed)
+        runs = [
+            run_online_haste(
+                net,
+                num_colors=colors,
+                tau=1,
+                rng=np.random.default_rng(seed),
+                fault_model=model,
+            )
+            for model in (None, FaultModel())
+        ]
+        assert (runs[0].schedule.sel == runs[1].schedule.sel).all()
+        assert runs[0].total_utility == runs[1].total_utility
+        assert runs[0].stats.as_dict() == runs[1].stats.as_dict()
+        assert runs[1].fault_stats is None and runs[1].fault_trace is None
+
+    @pytest.mark.parametrize("name", sorted(set(_online_solver_names())))
+    def test_every_online_solver_deterministic_under_null_faults(self, name):
+        """Registry-wide guard: every online solver yields an identical
+        artifact on a seeded rerun, with or without the fault layer in the
+        process (the layer must be invisible unless switched on)."""
+        net = _quick_net(SEEDS[0])
+        cfg = SimulationConfig.quick()
+        arts = [
+            get_solver(name).solve(net, np.random.default_rng(3), cfg)
+            for _ in range(2)
+        ]
+        assert arts[0].content_hash() == arts[1].content_hash()
+        assert "faults" not in arts[0].meta
+
+
+# ----------------------------------------------------------------------
+# Seeded fault runs: bit-identical rerun + bit-identical trace replay
+# ----------------------------------------------------------------------
+class TestSeededReplay:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("config", sorted(FAULT_CONFIGS))
+    def test_rerun_bit_identical(self, config, seed):
+        model = FAULT_CONFIGS[config]
+        net = _quick_net(seed)
+        runs = [
+            run_online_haste(
+                net,
+                num_colors=2,
+                tau=1,
+                rng=np.random.default_rng(seed),
+                fault_model=model,
+            )
+            for _ in range(2)
+        ]
+        assert (runs[0].schedule.sel == runs[1].schedule.sel).all()
+        assert runs[0].total_utility == runs[1].total_utility
+        assert runs[0].fault_stats == runs[1].fault_stats
+        assert runs[0].fault_trace == runs[1].fault_trace
+        assert runs[0].fault_trace.digest() == runs[1].fault_trace.digest()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("config", ["lossy", "noisy", "crashy"])
+    def test_trace_replay_reproduces_negotiation(self, config, seed):
+        """A faulty negotiation is a pure function of its fault trace:
+        replaying the recording produces the bit-identical table."""
+        model = FAULT_CONFIGS[config]
+        net = build_network(seed, n=5, m=12, horizon=6)
+        obj = HasteObjective(net)
+        slots = list(range(net.num_slots))
+
+        live = model.injector(net.n)
+        res = negotiate_window(
+            net, obj, slots, 2, rng=np.random.default_rng(seed),
+            fault_injector=live,
+        )
+        replay = ReplayInjector(model, live.trace)
+        res2 = negotiate_window(
+            net, obj, slots, 2, rng=np.random.default_rng(seed),
+            fault_injector=replay,
+        )
+        assert res2.table == res.table
+        assert res2.stats.as_dict() == res.stats.as_dict()
+        assert replay.exhausted()
+        assert replay.trace == live.trace
+
+    @pytest.mark.parametrize("config", ["lossy", "brutal"])
+    def test_solver_artifact_rerun_identical(self, config):
+        model = FAULT_CONFIGS[config]
+        spec = (
+            f"online-haste:c=2,loss={model.loss},dup={model.duplicate},"
+            f"delay={model.delay},crash={model.crash},"
+            f"fault_retry={model.retry},fault_timeout={model.timeout},"
+            f"fault_seed={model.seed}"
+        )
+        net = _quick_net(SEEDS[1])
+        cfg = SimulationConfig.quick()
+        arts = [
+            get_solver(spec).solve(net, np.random.default_rng(5), cfg)
+            for _ in range(2)
+        ]
+        assert arts[0].content_hash() == arts[1].content_hash()
+        assert arts[0].meta["faults"] == arts[1].meta["faults"]
+        assert arts[0].meta["faults"]["drops"] > 0
+
+
+# ----------------------------------------------------------------------
+# Safety invariants under arbitrary seeded faults
+# ----------------------------------------------------------------------
+class TestSafetyInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("config", sorted(FAULT_CONFIGS))
+    def test_committed_table_matroid_feasible(self, config, seed):
+        """The per-slot partition matroid is never violated, no matter what
+        the injector does — at most one policy per (charger, slot) per
+        color, every item in the matroid's ground set."""
+        model = FAULT_CONFIGS[config]
+        net = build_network(seed, n=5, m=12, horizon=6)
+        obj = HasteObjective(net)
+        res = negotiate_window(
+            net, obj, list(range(net.num_slots)), 2,
+            rng=np.random.default_rng(seed),
+            fault_injector=model.injector(net.n),
+        )
+        matroid = haste_policy_matroid(net)
+        colors = {c for (_i, _k, c) in res.table}
+        for c in colors:
+            items = [
+                (i, k, p) for (i, k, cc), p in res.table.items() if cc == c
+            ]
+            assert matroid.is_independent(items), (
+                f"color {c} committed a dependent set under config "
+                f"{config!r}, seed {seed}"
+            )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("config", sorted(FAULT_CONFIGS))
+    def test_utilities_finite_and_bounded(self, config, seed):
+        """Faulty runs always finish with finite utility ≤ the total task
+        weight (the objective's absolute ceiling)."""
+        model = FAULT_CONFIGS[config]
+        net = _quick_net(seed)
+        run = run_online_haste(
+            net, num_colors=2, tau=1,
+            rng=np.random.default_rng(seed), fault_model=model,
+        )
+        ceiling = float(sum(t.weight for t in net.tasks))
+        assert np.isfinite(run.total_utility)
+        assert 0.0 <= run.total_utility <= ceiling + 1e-9
+        assert np.isfinite(run.execution.energies).all()
+
+    @pytest.mark.parametrize("config", sorted(FAULT_CONFIGS))
+    def test_fault_counters_consistent(self, config):
+        """MessageStats/FaultStats cross-checks: every counter non-negative,
+        drops never exceed attempted deliveries, ack/retransmit machinery
+        only runs when something was committed."""
+        model = FAULT_CONFIGS[config]
+        net = _quick_net(SEEDS[2])
+        run = run_online_haste(
+            net, num_colors=2, tau=1,
+            rng=np.random.default_rng(SEEDS[2]), fault_model=model,
+        )
+        ms = run.stats.as_dict()
+        fs = run.fault_stats.as_dict()
+        assert all(v >= 0 for v in ms.values())
+        assert all(v >= 0 for v in fs.values())
+        # Attempted unicast deliveries bound everything the radio can lose.
+        assert fs["drops"] + fs["crash_drops"] <= ms["messages"]
+        assert fs["duplicates"] <= ms["messages"]
+        assert run.fault_stats.total_faults() == (
+            fs["drops"] + fs["crash_drops"] + fs["duplicates"] + fs["delayed"]
+        )
+
+    def test_total_blackout_still_terminates(self):
+        """loss=1.0: no message ever arrives.  Chargers *with* neighbors can
+        never learn they won, so the round cap must cut their negotiations
+        off; isolated chargers (no neighbors to hear from) still commit
+        alone.  Either way, every negotiation terminates."""
+        net = build_network(4, n=4, m=8, horizon=4)
+        obj = HasteObjective(net)
+        model = FaultModel(loss=1.0, max_rounds=12, seed=0)
+        inj = model.injector(net.n)
+        res = negotiate_window(
+            net, obj, list(range(net.num_slots)), 1,
+            rng=np.random.default_rng(0), fault_injector=inj,
+        )
+        for (i, _k, _c) in res.table:
+            assert not net.neighbors[i], (
+                f"charger {i} has neighbors but committed under total "
+                "blackout — it can never have observed that it won"
+            )
+        # Rounds are bounded by the cap on every negotiation.
+        assert res.stats.rounds <= model.max_rounds * res.stats.negotiations
+
+
+# ----------------------------------------------------------------------
+# Degradation: faulty utility vs the lossless baseline
+# ----------------------------------------------------------------------
+class TestDegradation:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_faulty_never_beats_lossless_materially(self, seed):
+        net = _quick_net(seed)
+        rng = lambda: np.random.default_rng(seed)  # noqa: E731
+        lossless = run_online_haste(net, num_colors=2, tau=1, rng=rng())
+        faulty = run_online_haste(
+            net, num_colors=2, tau=1, rng=rng(),
+            fault_model=FAULT_CONFIGS["brutal"],
+        )
+        assert faulty.total_utility <= lossless.total_utility * 1.05 + 1e-9
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mild_loss_stays_close_to_lossless(self, seed):
+        net = _quick_net(seed)
+        rng = lambda: np.random.default_rng(seed)  # noqa: E731
+        lossless = run_online_haste(net, num_colors=1, tau=1, rng=rng())
+        mild = run_online_haste(
+            net, num_colors=1, tau=1, rng=rng(),
+            fault_model=FaultModel(loss=0.05, seed=CHAOS_SEED),
+        )
+        assert mild.total_utility >= 0.5 * lossless.total_utility - 1e-9

@@ -1,0 +1,322 @@
+"""Unit tests for the fault model, injector, trace replay, and lossy bus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CrashWindow,
+    FaultModel,
+    FaultStats,
+    LossyMessageBus,
+    ReplayDivergence,
+    ReplayInjector,
+)
+from repro.online import CMD_ACK, CMD_NULL, CMD_UPDATE, Message, MessageBus
+
+
+class TestCrashWindow:
+    def test_covers(self):
+        w = CrashWindow(0, 3, 7)
+        assert not w.covers(2)
+        assert w.covers(3) and w.covers(6)
+        assert not w.covers(7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashWindow(-1, 0, 1)
+        with pytest.raises(ValueError):
+            CrashWindow(0, 5, 5)
+        with pytest.raises(ValueError):
+            CrashWindow(0, 7, 3)
+
+
+class TestFaultModel:
+    def test_defaults_are_null(self):
+        assert FaultModel().is_null()
+        assert FaultModel(loss=0.0, crash=0).is_null()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss": 0.1},
+            {"duplicate": 0.2},
+            {"delay": 0.3},
+            {"crash": 1},
+            {"crashes": (CrashWindow(0, 1, 5),)},
+        ],
+    )
+    def test_any_fault_knob_breaks_null(self, kwargs):
+        assert not FaultModel(**kwargs).is_null()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss": 1.5},
+            {"loss": -0.1},
+            {"duplicate": 2.0},
+            {"delay": -1.0},
+            {"max_delay": 0},
+            {"crash": -1},
+            {"crash_len": 0},
+            {"crash_horizon": 1},
+            {"timeout": 0},
+            {"retry": -1},
+            {"max_rounds": 3},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultModel(**kwargs)
+
+    def test_dict_round_trip(self):
+        model = FaultModel(
+            loss=0.2,
+            duplicate=0.1,
+            delay=0.05,
+            crash=2,
+            crashes=(CrashWindow(1, 4, 9),),
+            timeout=4,
+            retry=2,
+            seed=7,
+        )
+        assert FaultModel.from_dict(model.as_dict()) == model
+
+
+class TestFaultInjector:
+    def test_same_seed_same_trace(self):
+        model = FaultModel(loss=0.3, duplicate=0.1, delay=0.2, crash=1, seed=5)
+        runs = []
+        for _ in range(2):
+            inj = model.injector(4)
+            for r in range(10):
+                inj.tick()
+                inj.link(0, 1)
+                inj.link(1, 2)
+            runs.append(inj.trace)
+        assert runs[0] == runs[1]
+        assert runs[0].digest() == runs[1].digest()
+
+    def test_different_seed_different_digest(self):
+        traces = []
+        for seed in (0, 1):
+            inj = FaultModel(loss=0.5, seed=seed).injector(3)
+            for _ in range(20):
+                inj.tick()
+                inj.link(0, 1)
+            traces.append(inj.trace)
+        assert traces[0].digest() != traces[1].digest()
+
+    def test_crash_windows_sampled(self):
+        model = FaultModel(crash=2, crash_len=5, seed=3)
+        inj = model.injector(6)
+        assert len(inj.crash_windows) == 2
+        for w in inj.crash_windows:
+            assert 0 <= w.charger < 6
+            assert w.end - w.start == 5
+
+    def test_explicit_crash_windows_honored(self):
+        model = FaultModel(crashes=(CrashWindow(1, 2, 4),))
+        inj = model.injector(3)
+        assert not inj.crashed(1)  # round 0
+        inj.tick()
+        inj.tick()
+        assert inj.crashed(1)
+        assert not inj.crashed(0)
+        inj.tick()
+        inj.tick()
+        assert not inj.crashed(1)  # recovered at round 4
+
+    def test_crash_window_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel(crashes=(CrashWindow(5, 1, 3),)).injector(3)
+
+    def test_loss_one_drops_everything(self):
+        inj = FaultModel(loss=1.0).injector(2)
+        for _ in range(10):
+            out = inj.link(0, 1)
+            assert out.dropped
+        assert len(inj.trace) == 10
+
+
+class TestReplayInjector:
+    def _recorded(self):
+        model = FaultModel(loss=0.4, duplicate=0.2, delay=0.3, seed=11)
+        inj = model.injector(3)
+        queries = []
+        for _ in range(8):
+            inj.tick()
+            for (s, r) in ((0, 1), (1, 2), (2, 0)):
+                queries.append((inj.round, s, r, inj.link(s, r)))
+        return model, inj.trace, queries
+
+    def test_replay_reserves_identical_outcomes(self):
+        model, trace, queries = self._recorded()
+        rep = ReplayInjector(model, trace)
+        for rnd, s, r, out in queries:
+            while rep.round < rnd:
+                rep.tick()
+            assert rep.link(s, r) == out
+        assert rep.exhausted()
+        assert rep.trace == trace
+
+    def test_divergent_query_raises(self):
+        model, trace, _ = self._recorded()
+        rep = ReplayInjector(model, trace)
+        rep.tick()
+        with pytest.raises(ReplayDivergence):
+            rep.link(2, 1)  # recording starts with 0 -> 1
+
+    def test_exhausted_replay_raises(self):
+        model, trace, queries = self._recorded()
+        rep = ReplayInjector(model, trace)
+        for rnd, s, r, _out in queries:
+            while rep.round < rnd:
+                rep.tick()
+            rep.link(s, r)
+        with pytest.raises(ReplayDivergence):
+            rep.link(0, 1)
+
+
+class TestFaultStats:
+    def test_merge_and_as_dict_round_trip(self):
+        a = FaultStats(drops=3, retransmits=2, acks=5)
+        b = FaultStats(drops=1, crash_drops=4, expiries=1)
+        a.merge(b)
+        d = a.as_dict()
+        assert d["drops"] == 4 and d["crash_drops"] == 4 and d["acks"] == 5
+        assert FaultStats(**d) == a
+
+    def test_total_faults_counts_injected_only(self):
+        s = FaultStats(drops=2, crash_drops=1, duplicates=3, delayed=4,
+                       retransmits=100, acks=100)
+        assert s.total_faults() == 10
+
+    def test_summary(self):
+        assert "clean" in FaultStats().summary()
+        assert "drops=2" in FaultStats(drops=2).summary()
+
+
+class TestLossyMessageBus:
+    def _neighbors(self):
+        return [frozenset({1, 2}), frozenset({0, 2}), frozenset({0, 1})]
+
+    def _msg(self, sender=0):
+        return Message(sender, 0, 0, CMD_NULL, 1.0, 1)
+
+    def test_loss_zero_matches_base_bus(self):
+        inj = FaultModel(loss=0.0).injector(3)
+        lossy = LossyMessageBus(self._neighbors(), inj)
+        base = MessageBus(self._neighbors())
+        for bus in (lossy, base):
+            bus.broadcast(self._msg(0))
+            bus.advance_round()
+        assert [len(lossy.inbox(j)) for j in range(3)] == [
+            len(base.inbox(j)) for j in range(3)
+        ]
+        assert lossy.stats.as_dict() == base.stats.as_dict()
+        assert inj.stats == FaultStats()
+
+    def test_loss_one_drops_all_but_accounting_unchanged(self):
+        inj = FaultModel(loss=1.0).injector(3)
+        bus = LossyMessageBus(self._neighbors(), inj)
+        bus.broadcast(self._msg(0))
+        bus.advance_round()
+        assert all(bus.inbox(j) == [] for j in range(3))
+        # Fig. 16 accounting counts attempted deliveries, not arrivals.
+        assert bus.stats.messages == 2
+        assert inj.stats.drops == 2
+
+    def test_duplicates_delivered_twice(self):
+        inj = FaultModel(duplicate=1.0).injector(3)
+        bus = LossyMessageBus(self._neighbors(), inj)
+        bus.broadcast(self._msg(0))
+        bus.advance_round()
+        assert len(bus.inbox(1)) == 2 and len(bus.inbox(2)) == 2
+        assert inj.stats.duplicates == 2
+
+    def test_delay_postpones_delivery(self):
+        inj = FaultModel(delay=1.0, max_delay=1).injector(3)
+        bus = LossyMessageBus(self._neighbors(), inj)
+        bus.broadcast(self._msg(0))
+        bus.advance_round()
+        assert bus.inbox(1) == [] and bus.inbox(2) == []
+        bus.advance_round()
+        assert len(bus.inbox(1)) == 1 and len(bus.inbox(2)) == 1
+        assert inj.stats.delayed == 2
+
+    def test_crashed_receiver_loses_delivery(self):
+        inj = FaultModel(crashes=(CrashWindow(1, 1, 3),)).injector(3)
+        bus = LossyMessageBus(self._neighbors(), inj)
+        bus.broadcast(self._msg(0))
+        bus.advance_round()  # round 1: charger 1 down
+        assert bus.inbox(1) == []
+        assert len(bus.inbox(2)) == 1
+        assert inj.stats.crash_drops == 1
+
+    def test_unicast_accounting(self):
+        inj = FaultModel(loss=0.0).injector(3)
+        bus = LossyMessageBus(self._neighbors(), inj)
+        bus.unicast(Message(0, 0, 0, CMD_ACK, 0.0, 0), 2)
+        bus.advance_round()
+        assert len(bus.inbox(2)) == 1
+        assert bus.inbox(1) == []
+        assert bus.stats.broadcasts == 1 and bus.stats.messages == 1
+
+    def test_reset_inboxes_clears_in_flight(self):
+        inj = FaultModel(delay=1.0, max_delay=3).injector(3)
+        bus = LossyMessageBus(self._neighbors(), inj)
+        bus.broadcast(self._msg(0))
+        bus.reset_inboxes()
+        for _ in range(5):
+            bus.advance_round()
+            assert all(bus.inbox(j) == [] for j in range(3))
+
+
+class TestMessageValidationRegression:
+    """``Message.__post_init__`` must reject negative ids/slots (regression:
+    it used to accept any int, letting a corrupted header propagate)."""
+
+    def test_negative_sender_rejected(self):
+        with pytest.raises(ValueError, match="sender"):
+            Message(-1, 0, 0, CMD_NULL, 0.0, 1)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError, match="slot"):
+            Message(0, -2, 0, CMD_NULL, 0.0, 1)
+
+    def test_ack_command_accepted(self):
+        msg = Message(0, 1, 0, CMD_ACK, 0.0, 0, seq=3)
+        assert msg.command == CMD_ACK and msg.seq == 3
+
+    def test_upd_still_accepted(self):
+        assert Message(0, 1, 0, CMD_UPDATE, 0.5, 2).command == CMD_UPDATE
+
+
+class TestRegistrySpecValidation:
+    def test_unknown_fault_param_rejected(self):
+        from repro.solvers import get_solver
+
+        with pytest.raises(Exception):
+            get_solver("online-haste:lolss=0.1")
+
+    def test_fault_params_accepted(self):
+        from repro.solvers import get_solver
+
+        solver = get_solver("online-haste:loss=0.1,crash=1,fault_seed=3")
+        assert solver.params["loss"] == 0.1
+        assert solver.params["crash"] == 1
+
+
+def test_negotiation_rng_untouched_by_fault_layer():
+    """The fault stream must come from the injector's own generator: drawing
+    faults never consumes the negotiation rng (replayability contract)."""
+    model = FaultModel(loss=0.5, duplicate=0.5, delay=0.5, seed=1)
+    inj = model.injector(4)
+    rng = np.random.default_rng(0)
+    before = rng.bit_generator.state
+    for _ in range(50):
+        inj.tick()
+        inj.link(0, 1)
+    assert rng.bit_generator.state == before

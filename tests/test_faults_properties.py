@@ -1,0 +1,122 @@
+"""Property-based tests: safety of the negotiation under *arbitrary* faults.
+
+Hypothesis draws fault models across the whole parameter space (loss,
+duplication, delay, crashes, tight retry/timeout budgets) and asserts the
+invariants the chaos suite spot-checks at fixed seeds: committed schedules
+are always matroid-feasible, utilities are finite and below the objective's
+ceiling, the message/fault counters stay internally consistent, and every
+negotiation terminates within its round cap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Schedule
+from repro.faults import FaultModel
+from repro.objective import HasteObjective
+from repro.online import negotiate_window
+from repro.submodular.matroid import haste_policy_matroid
+
+from conftest import build_network
+
+#: One fixed small instance: the properties quantify over *fault models*,
+#: not topologies (the topology space is covered by the other property
+#: suites; reusing one network keeps objective setup out of the hot loop).
+NET = build_network(2, n=4, m=8, horizon=4)
+OBJ = HasteObjective(NET)
+MATROID = haste_policy_matroid(NET)
+SLOTS = list(range(NET.num_slots))
+CEILING = float(sum(t.weight for t in NET.tasks))
+
+
+@st.composite
+def fault_models(draw):
+    return FaultModel(
+        loss=draw(st.floats(min_value=0.0, max_value=0.7)),
+        duplicate=draw(st.floats(min_value=0.0, max_value=0.4)),
+        delay=draw(st.floats(min_value=0.0, max_value=0.5)),
+        max_delay=draw(st.integers(1, 4)),
+        crash=draw(st.integers(0, 2)),
+        crash_len=draw(st.integers(1, 20)),
+        crash_horizon=draw(st.integers(2, 60)),
+        timeout=draw(st.integers(1, 8)),
+        retry=draw(st.integers(0, 3)),
+        max_rounds=draw(st.integers(8, 48)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+def _negotiate(model, *, colors=1, rng_seed=0):
+    injector = model.injector(NET.n)
+    result = negotiate_window(
+        NET,
+        OBJ,
+        SLOTS,
+        colors,
+        rng=np.random.default_rng(rng_seed),
+        fault_injector=injector,
+    )
+    return result, injector
+
+
+class TestArbitraryFaultTraces:
+    @settings(max_examples=30, deadline=None)
+    @given(fault_models(), st.integers(1, 2))
+    def test_committed_table_always_matroid_feasible(self, model, colors):
+        result, _ = _negotiate(model, colors=colors)
+        for c in range(colors):
+            items = [
+                (i, k, p) for (i, k, cc), p in result.table.items() if cc == c
+            ]
+            assert MATROID.is_independent(items)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fault_models())
+    def test_utility_finite_and_below_ceiling(self, model):
+        result, _ = _negotiate(model)
+        sched = Schedule(NET)
+        for (i, k, _c), p in result.table.items():
+            sched.set(i, k, p)
+        value = OBJ.value_of_schedule(sched)
+        assert np.isfinite(value)
+        assert 0.0 <= value <= CEILING + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(fault_models())
+    def test_counters_internally_consistent(self, model):
+        result, injector = _negotiate(model)
+        ms = result.stats.as_dict()
+        fs = injector.stats.as_dict()
+        assert all(v >= 0 for v in ms.values())
+        assert all(v >= 0 for v in fs.values())
+        # The radio can only lose/duplicate deliveries that were attempted.
+        assert fs["drops"] + fs["crash_drops"] <= ms["messages"]
+        assert injector.stats.total_faults() == (
+            fs["drops"] + fs["crash_drops"] + fs["duplicates"] + fs["delayed"]
+        )
+        # Termination: the round cap bounds every (slot, color) negotiation.
+        assert ms["rounds"] <= model.max_rounds * max(ms["negotiations"], 1)
+        assert ms["negotiations"] <= len(SLOTS)
+
+    @settings(max_examples=20, deadline=None)
+    @given(fault_models(), st.integers(0, 50))
+    def test_negotiation_rng_stream_fault_independent(self, model, rng_seed):
+        """The schedule rng is consumed identically whatever the faults do:
+        two different fault models leave the generator in the same state."""
+        rng_a = np.random.default_rng(rng_seed)
+        rng_b = np.random.default_rng(rng_seed)
+        negotiate_window(
+            NET, OBJ, SLOTS, 2, rng=rng_a, fault_injector=model.injector(NET.n)
+        )
+        heavier = FaultModel(
+            loss=min(model.loss + 0.2, 1.0), seed=model.seed + 1,
+            timeout=model.timeout, retry=model.retry,
+            max_rounds=model.max_rounds,
+        )
+        negotiate_window(
+            NET, OBJ, SLOTS, 2, rng=rng_b, fault_injector=heavier.injector(NET.n)
+        )
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state

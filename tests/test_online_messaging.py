@@ -39,6 +39,20 @@ class TestMessageStats:
     def test_summary(self):
         assert "messages=0" in MessageStats().summary()
 
+    def test_as_dict_round_trip(self):
+        a = MessageStats(messages=7, broadcasts=3, rounds=5, negotiations=2)
+        assert MessageStats(**a.as_dict()) == a
+        assert list(a.as_dict()) == [
+            "messages", "broadcasts", "rounds", "negotiations",
+        ]
+
+    def test_merge_equals_fieldwise_sum_of_dicts(self):
+        a = MessageStats(messages=1, broadcasts=2, rounds=3, negotiations=4)
+        b = MessageStats(messages=10, broadcasts=20, rounds=30, negotiations=40)
+        expect = {k: a.as_dict()[k] + b.as_dict()[k] for k in a.as_dict()}
+        a.merge(b)
+        assert a.as_dict() == expect
+
 
 class TestMessageBus:
     def _bus(self):
@@ -168,3 +182,70 @@ class TestNegotiateWindow:
         )
         colors = {c for (_i, _k, c) in res.table}
         assert colors <= {0, 1, 2}
+
+
+class TestNegotiateWindowObsDeltas:
+    """``negotiate_window`` folds only *its own* contribution into the obs
+    registry: with a pre-populated shared bus, the folded counters are the
+    window's deltas, not the bus's running totals."""
+
+    def _net(self, seed=0):
+        return build_network(seed, n=4, m=10, horizon=5)
+
+    def test_deltas_not_totals_with_prepopulated_bus(self):
+        from repro import obs
+        from repro.online import MessageBus
+
+        net = self._net(6)
+        obj = HasteObjective(net)
+        bus = MessageBus(list(net.neighbors))
+        # Pre-populate: traffic from "an earlier window" on the same bus.
+        sender = max(range(net.n), key=lambda i: len(net.neighbors[i]))
+        for _ in range(3):
+            bus.broadcast(Message(sender, 0, 0, CMD_NULL, 1.0, 1))
+            bus.advance_round()
+        base = bus.stats.as_dict()
+        assert base["rounds"] == 3
+
+        obs.configure()
+        try:
+            negotiate_window(
+                net, obj, list(range(net.num_slots)), 1,
+                rng=np.random.default_rng(0), bus=bus,
+            )
+            snap = obs.get_registry().snapshot()["counters"]
+        finally:
+            obs.shutdown()
+            obs.get_registry().reset()
+        final = bus.stats.as_dict()
+        for name in ("messages", "broadcasts", "rounds", "negotiations"):
+            assert snap[f"negotiation.{name}"] == final[name] - base[name]
+
+    def test_fault_deltas_sum_to_injector_totals(self):
+        """Two faulty windows sharing one injector: the obs ``faults.*``
+        counters accumulate exactly the injector's run-level totals."""
+        from repro import obs
+        from repro.faults import FaultModel
+
+        net = self._net(7)
+        obj = HasteObjective(net)
+        injector = FaultModel(loss=0.3, duplicate=0.1, seed=4).injector(net.n)
+        slots = list(range(net.num_slots))
+        mid = len(slots) // 2
+
+        obs.configure()
+        try:
+            negotiate_window(
+                net, obj, slots[:mid], 1,
+                rng=np.random.default_rng(0), fault_injector=injector,
+            )
+            negotiate_window(
+                net, obj, slots[mid:], 1,
+                rng=np.random.default_rng(1), fault_injector=injector,
+            )
+            snap = obs.get_registry().snapshot()["counters"]
+        finally:
+            obs.shutdown()
+            obs.get_registry().reset()
+        for name, total in injector.stats.as_dict().items():
+            assert snap.get(f"faults.{name}", 0) == total
