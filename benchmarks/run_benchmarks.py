@@ -25,6 +25,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py            # paper scale
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI-sized
     PYTHONPATH=src python benchmarks/run_benchmarks.py --obs      # BENCH_obs.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --shard    # BENCH_shard.json
 
 The default output path is ``BENCH_kernels.json`` next to the repo root;
 ``--skip-seed`` falls back to flags-reference for the end-to-end rows
@@ -372,10 +373,27 @@ def main() -> None:
     parser.add_argument("--obs", action="store_true",
                         help="measure the observability layer instead "
                              "(writes BENCH_obs.json)")
+    parser.add_argument("--shard", action="store_true",
+                        help="measure the sharded solver instead "
+                             "(delegates to bench_shard.py → "
+                             "BENCH_shard.json)")
     parser.add_argument("--obs-baseline", default="HEAD",
                         help="git rev of the pre-instrumentation tree the "
                              "--obs disabled-path rows compare against")
     args = parser.parse_args()
+
+    if args.shard:
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import bench_shard
+
+        argv = [sys.argv[0]]
+        if args.quick:
+            argv.append("--quick")
+        if args.output:
+            argv.extend(["--output", args.output])
+        sys.argv = argv
+        bench_shard.main()
+        return
 
     scale = "quick" if args.quick else "paper"
     rep_c = args.repeats_centralized or (3 if args.quick else 5)

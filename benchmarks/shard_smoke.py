@@ -1,0 +1,111 @@
+"""CI smoke test for the sharded solver path (exit 0 = pass).
+
+Two assertions, both run under whichever kernel mode the environment
+selects (``REPRO_DISABLE_CKERNEL``):
+
+1. **shards=1 equivalence** — the ``shards=1`` spec must be bit-identical
+   to the unsharded solver (schedule, energies, utility, fingerprint) on
+   a quick instance, offline and online.
+2. **sharding wins at n=500** — at paper density the sharded offline
+   C=4 solve must beat the unsharded one.  On a multi-core runner the
+   comparison is measured wall against measured wall (the tile solves
+   and reconciliation stages actually fan out over the pool); on a
+   single-core host the pool degrades to inline execution, so the run's
+   measured parallel critical path (per-tile + per-stage-group timers)
+   stands in for the sharded side and the fact is printed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/shard_smoke.py
+    PYTHONPATH=src python benchmarks/shard_smoke.py --n 200   # smaller field
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def check_shards_one_equivalence() -> None:
+    import numpy as np
+    from repro.sim.config import SimulationConfig
+    from repro.solvers import Instance, solve_instance
+
+    inst = Instance.sample(SimulationConfig.quick(), seed=7)
+    for base in ("haste-offline:c=2", "online-haste:c=2,tau=1"):
+        ref = solve_instance(base, inst)
+        one = solve_instance(f"{base},shards=1", inst)
+        assert np.array_equal(ref.schedule_sel, one.schedule_sel), base
+        assert np.array_equal(ref.energies, one.energies), base
+        assert ref.total_utility == one.total_utility, base
+        assert ref.fingerprint == one.fingerprint, base
+        print(f"  shards=1 bit-identical: {base}")
+
+
+def check_sharded_beats_unsharded(n: int, shards: int) -> None:
+    from repro.sim.config import SimulationConfig
+    from repro.solvers import Instance, solve_instance
+
+    cfg = SimulationConfig(
+        field_size=50.0 * math.sqrt(n / 50.0),
+        num_chargers=n,
+        num_tasks=4 * n,
+    )
+    inst = Instance.sample(cfg, seed=1)
+
+    t0 = time.perf_counter()
+    base = solve_instance("haste-offline:c=4", inst)
+    base_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = solve_instance(f"haste-offline:c=4,shards={shards}", inst)
+    sharded_wall_s = time.perf_counter() - t0
+    path_s = sharded.meta["shard"]["critical_path_s"]
+
+    cpus = os.cpu_count() or 1
+    print(f"  n={n} unsharded {base_s:.2f}s | sharded wall "
+          f"{sharded_wall_s:.2f}s, critical path {path_s:.2f}s "
+          f"({cpus} cpu)")
+    if cpus > 1:
+        assert sharded_wall_s < base_s, (
+            f"sharded wall {sharded_wall_s:.2f}s did not beat unsharded "
+            f"{base_s:.2f}s on a {cpus}-cpu host"
+        )
+        print("  sharded measured wall beats unsharded")
+    else:
+        assert path_s < base_s, (
+            f"sharded critical path {path_s:.2f}s did not beat unsharded "
+            f"{base_s:.2f}s"
+        )
+        print("  single-core host: sharded critical path beats unsharded "
+              "(pool is inline here)")
+    # Decomposition must not trade the answer away wholesale.
+    assert sharded.total_utility > 0.8 * base.total_utility, (
+        f"sharded utility {sharded.total_utility:.4f} collapsed vs "
+        f"unsharded {base.total_utility:.4f}"
+    )
+    print(f"  utility: unsharded {base.total_utility:.4f}, "
+          f"sharded {sharded.total_utility:.4f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=500)
+    parser.add_argument("--shards", type=int, default=16)
+    args = parser.parse_args()
+
+    kernel = "numpy" if os.environ.get("REPRO_DISABLE_CKERNEL") else "compiled"
+    print(f"shard smoke (kernel mode: {kernel})")
+    check_shards_one_equivalence()
+    check_sharded_beats_unsharded(args.n, args.shards)
+    print("shard smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

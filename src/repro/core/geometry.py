@@ -35,6 +35,8 @@ __all__ = [
     "pairwise_azimuths",
     "in_angular_interval",
     "sector_contains",
+    "rect_distances",
+    "rect_halo_mask",
     "Arc",
     "arc_intersection_nonempty",
     "common_orientation",
@@ -214,6 +216,33 @@ def arc_intersection_nonempty(arcs: Iterable[Arc], *, eps: float = ANGLE_EPS) ->
         if all(a.contains(theta, eps=eps) for a in finite):
             return True
     return False
+
+
+def rect_distances(points, x0: float, x1: float, y0: float, y1: float) -> np.ndarray:
+    """Euclidean distance from each point to an axis-aligned rectangle.
+
+    Points inside (or on the edge of) ``[x0, x1] × [y0, y1]`` are at
+    distance 0.  Accepts an ``(N, 2)`` array; returns ``(N,)`` floats.
+    The spatial sharding layer uses this as the halo-membership metric:
+    a charger interacts with a tile iff its charging range reaches the
+    tile's rectangle, i.e. iff this distance is at most ``D``.
+    """
+    pts = np.asarray(points, dtype=float).reshape(-1, 2)
+    dx = np.maximum(np.maximum(x0 - pts[:, 0], pts[:, 0] - x1), 0.0)
+    dy = np.maximum(np.maximum(y0 - pts[:, 1], pts[:, 1] - y1), 0.0)
+    return np.hypot(dx, dy)
+
+
+def rect_halo_mask(
+    points, x0: float, x1: float, y0: float, y1: float, halo: float
+) -> np.ndarray:
+    """Boolean mask of points within ``halo`` of an axis-aligned rectangle.
+
+    The tolerance matches the power model's in-range comparison
+    (``dist <= radius + 1e-12``), so a task exactly at charging range of a
+    tile-edge charger is never dropped from the tile's halo by rounding.
+    """
+    return rect_distances(points, x0, x1, y0, y1) <= float(halo) + 1e-12
 
 
 def common_orientation(arcs: Iterable[Arc], *, eps: float = ANGLE_EPS) -> float | None:

@@ -1,0 +1,93 @@
+"""Tile subproblems: slicing an :class:`Instance` into sub-instances.
+
+A tile solve operates on a sub-instance holding only the tile's owned
+chargers and halo tasks.  Slicing keeps ids sorted in global order, so the
+rebuilt sub-network's per-charger receivable index lists are the global
+ones re-expressed in local positions — the property that makes tile-local
+dominant-set (policy) indices equal to the global indices (DESIGN.md §10).
+
+Everything here is plain array slicing; the expensive part (network
+precomputation) happens tile-locally, never on the global instance, which
+is what keeps ``n = 10⁴–10⁶`` fields within memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.utility import (
+    LinearBoundedUtility,
+    LogUtility,
+    PowerLawUtility,
+    UtilityFunction,
+)
+from ..solvers.instance import Instance
+
+__all__ = [
+    "slice_instance",
+    "activity_matrix_from_arrays",
+    "utility_from_arrays",
+]
+
+
+def slice_instance(
+    instance: Instance,
+    charger_ids: np.ndarray,
+    task_ids: np.ndarray,
+) -> Instance:
+    """A sub-instance over the given (sorted ascending) entity ids.
+
+    The slice shares the parent's config and power-model scalars; ``seed``
+    is dropped (a slice is derived, not sampled).
+    """
+    c = np.asarray(charger_ids, dtype=int)
+    t = np.asarray(task_ids, dtype=int)
+    return Instance(
+        config=instance.config,
+        seed=None,
+        charger_xy=instance.charger_xy[c],
+        charger_angle=instance.charger_angle[c],
+        charger_radius=instance.charger_radius[c],
+        task_xy=instance.task_xy[t],
+        task_orientation=instance.task_orientation[t],
+        release_slots=instance.release_slots[t],
+        end_slots=instance.end_slots[t],
+        required_energy=instance.required_energy[t],
+        receiving_angle=instance.receiving_angle[t],
+        weights=instance.weights[t],
+        alpha=instance.alpha,
+        beta=instance.beta,
+        gain_exponent=instance.gain_exponent,
+        slot_seconds=instance.slot_seconds,
+    )
+
+
+def activity_matrix_from_arrays(
+    release_slots: np.ndarray, end_slots: np.ndarray, num_slots: int
+) -> np.ndarray:
+    """Boolean ``(m, K)`` activity matrix straight from instance arrays.
+
+    Identical to :meth:`~repro.core.timeline.SlotGrid.activity_matrix`
+    without materializing task objects — the sharded path's global
+    accounting needs activity for all ``m`` tasks but never builds the
+    global network.
+    """
+    m = int(release_slots.shape[0])
+    act = np.zeros((m, num_slots), dtype=bool)
+    for j in range(m):
+        act[j, int(release_slots[j]) : min(int(end_slots[j]), num_slots)] = True
+    return act
+
+
+def utility_from_arrays(
+    required_energy: np.ndarray, family: str | None, gamma: float
+) -> UtilityFunction:
+    """The scoring utility a solver's ``utility``/``gamma`` params select,
+    built from a required-energy array (no task objects needed)."""
+    if family is None or family == "linear":
+        return LinearBoundedUtility(required_energy)
+    if family == "log":
+        return LogUtility(required_energy)
+    if family == "powerlaw":
+        return PowerLawUtility(required_energy, gamma=float(gamma))
+    raise ValueError(f"unknown utility family {family!r}")

@@ -1,0 +1,209 @@
+"""Spatial tiling of the charging field — the partition behind sharded solves.
+
+The negotiation structure of the paper is local by construction: a charger
+only ever interacts with tasks within its charging range ``D``, and with
+other chargers through such shared tasks.  A ``gx × gy`` grid of tiles over
+the field therefore decomposes the problem into near-independent pieces,
+provided each tile also sees a *halo* of width at least ``D`` around its
+rectangle:
+
+* every charger is **owned** by exactly one tile (the one containing its
+  position; chargers exactly on an interior edge go to the higher-index
+  tile, so ownership is deterministic and total),
+* a tile's **task set** is every task within ``halo`` of its rectangle —
+  with ``halo ≥ D`` this contains the complete receivable set of every
+  owned charger, which is what makes tile-local dominant-set (policy)
+  indices *equal* to the global ones (see DESIGN.md §10).
+
+The halo width is clamped to at least the maximum charging radius: a
+narrower halo could truncate a charger's receivable set, silently changing
+its policy space and making tile-local schedules meaningless globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.geometry import rect_halo_mask
+
+__all__ = ["Tile", "TilePartition", "factor_grid", "resolve_halo", "make_partition"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One grid cell: integer coordinates plus its rectangle."""
+
+    ix: int
+    iy: int
+    x0: float
+    x1: float
+    y0: float
+    y1: float
+
+
+def factor_grid(shards: int) -> tuple[int, int]:
+    """Factor ``shards`` into the most square ``gx × gy`` grid (exact).
+
+    Deterministic: picks the divisor pair minimizing ``|gx − gy|`` with
+    ``gx ≤ gy``.  Prime counts degrade to ``1 × shards`` strips, which is
+    still a valid (if elongated) decomposition.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    best = (1, shards)
+    for gx in range(1, int(np.sqrt(shards)) + 1):
+        if shards % gx == 0:
+            best = (gx, shards // gx)
+    return best
+
+
+def resolve_halo(halo, charger_radius: np.ndarray) -> float:
+    """Effective halo width for a requested ``halo`` spec value.
+
+    ``"auto"`` (the spec default) resolves to the maximum charging radius
+    ``D`` — the minimum width that keeps tile-local policy spaces exact.
+    Numeric requests are accepted but floored at ``D`` for the same reason;
+    wider halos only add context, narrower ones would corrupt the policy
+    index mapping.
+    """
+    radii = np.asarray(charger_radius, dtype=float)
+    d_max = float(radii.max()) if radii.size else 0.0
+    if isinstance(halo, str):
+        if halo != "auto":
+            raise ValueError(f"halo must be a width in metres or 'auto', got {halo!r}")
+        return d_max
+    width = float(halo)
+    if not np.isfinite(width) or width < 0:
+        raise ValueError(f"halo must be a finite non-negative width, got {halo!r}")
+    return max(width, d_max)
+
+
+@dataclass
+class TilePartition:
+    """A complete assignment of chargers and tasks to tiles.
+
+    ``owner`` maps each charger to exactly one tile; ``tile_chargers[t]``
+    and ``tile_tasks[t]`` are sorted global-id arrays (tasks are halo
+    membership: everything within ``halo`` of the tile rectangle).
+    """
+
+    grid: tuple[int, int]
+    tiles: list[Tile]
+    halo: float
+    owner: np.ndarray  # (n,) int — owning tile per charger
+    tile_chargers: list[np.ndarray] = field(default_factory=list)
+    tile_tasks: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    def empty_tiles(self) -> list[int]:
+        """Tiles owning no charger (they contribute nothing to a solve)."""
+        return [
+            t
+            for t in range(self.num_tiles)
+            if self.tile_chargers[t].size == 0
+        ]
+
+    def summary(self) -> str:
+        gx, gy = self.grid
+        sizes = [int(c.size) for c in self.tile_chargers]
+        return (
+            f"TilePartition({gx}x{gy} tiles, halo={self.halo:g}m, "
+            f"chargers/tile min={min(sizes) if sizes else 0} "
+            f"max={max(sizes) if sizes else 0}, "
+            f"empty={len(self.empty_tiles())})"
+        )
+
+
+def _axis_index(coords: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Tile index along one axis: half-open cells, last edge closed.
+
+    ``searchsorted(side="right")`` on the interior edges puts a point
+    exactly on an edge into the higher cell — the deterministic ownership
+    rule for boundary chargers — and clamping is unnecessary because only
+    interior edges participate.
+    """
+    return np.searchsorted(edges[1:-1], coords, side="right")
+
+
+def make_partition(
+    charger_xy: np.ndarray,
+    task_xy: np.ndarray,
+    charger_radius: np.ndarray,
+    *,
+    shards: int,
+    halo,
+) -> TilePartition:
+    """Partition a field into ``shards`` tiles with halo membership.
+
+    The grid spans the bounding box of all chargers and tasks (degenerate
+    boxes — empty or single-point fields — are widened to unit size so the
+    edges stay strictly increasing).  Every charger gets exactly one owner
+    tile; clustered workloads simply leave some tiles empty.
+    """
+    charger_xy = np.asarray(charger_xy, dtype=float).reshape(-1, 2)
+    task_xy = np.asarray(task_xy, dtype=float).reshape(-1, 2)
+    gx, gy = factor_grid(int(shards))
+    width = resolve_halo(halo, charger_radius)
+
+    pts = (
+        np.concatenate([charger_xy, task_xy], axis=0)
+        if charger_xy.size or task_xy.size
+        else np.zeros((0, 2))
+    )
+    if pts.size:
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+    else:
+        lo = np.zeros(2)
+        hi = np.ones(2)
+    span = np.maximum(hi - lo, 1e-9)
+    x_edges = lo[0] + np.linspace(0.0, span[0], gx + 1)
+    y_edges = lo[1] + np.linspace(0.0, span[1], gy + 1)
+
+    tiles: list[Tile] = []
+    for iy in range(gy):
+        for ix in range(gx):
+            tiles.append(
+                Tile(
+                    ix=ix,
+                    iy=iy,
+                    x0=float(x_edges[ix]),
+                    x1=float(x_edges[ix + 1]),
+                    y0=float(y_edges[iy]),
+                    y1=float(y_edges[iy + 1]),
+                )
+            )
+
+    if charger_xy.shape[0]:
+        cx = _axis_index(charger_xy[:, 0], x_edges)
+        cy = _axis_index(charger_xy[:, 1], y_edges)
+        owner = (cy * gx + cx).astype(np.int64)
+    else:
+        owner = np.zeros(0, dtype=np.int64)
+
+    tile_chargers = [
+        np.flatnonzero(owner == t).astype(np.int64) for t in range(len(tiles))
+    ]
+    tile_tasks = []
+    for tile in tiles:
+        if task_xy.shape[0]:
+            mask = rect_halo_mask(
+                task_xy, tile.x0, tile.x1, tile.y0, tile.y1, width
+            )
+            tile_tasks.append(np.flatnonzero(mask).astype(np.int64))
+        else:
+            tile_tasks.append(np.zeros(0, dtype=np.int64))
+
+    return TilePartition(
+        grid=(gx, gy),
+        tiles=tiles,
+        halo=width,
+        owner=owner,
+        tile_chargers=tile_chargers,
+        tile_tasks=tile_tasks,
+    )

@@ -12,13 +12,20 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.charger import Charger
+from ..core.geometry import wrap_angle
 from ..core.network import ChargerNetwork
 from ..core.power import PowerModel
 from ..core.task import ChargingTask
 from .config import SimulationConfig
 from .topology import uniform_positions
 
-__all__ = ["make_chargers", "make_tasks", "sample_network"]
+__all__ = [
+    "make_chargers",
+    "make_tasks",
+    "sample_task_fields",
+    "sample_entities",
+    "sample_network",
+]
 
 
 def make_chargers(
@@ -55,6 +62,45 @@ def make_tasks(
     sweeps, which vary exactly these two knobs.
     """
     positions = np.asarray(positions, dtype=float)
+    fields = sample_task_fields(
+        config,
+        positions.shape[0],
+        rng,
+        energy_range=energy_range,
+        duration_range=duration_range,
+    )
+    return [
+        ChargingTask(
+            id=j,
+            x=float(positions[j, 0]),
+            y=float(positions[j, 1]),
+            orientation=float(fields["task_orientation"][j]),
+            release_slot=int(fields["release_slots"][j]),
+            end_slot=int(fields["end_slots"][j]),
+            required_energy=float(fields["required_energy"][j]),
+            receiving_angle=config.receiving_angle,
+            weight=config.weight,
+        )
+        for j in range(positions.shape[0])
+    ]
+
+
+def sample_task_fields(
+    config: SimulationConfig,
+    num_tasks: int,
+    rng: np.random.Generator,
+    *,
+    energy_range: tuple[float, float] | None = None,
+    duration_range: tuple[int, int] | None = None,
+) -> dict[str, np.ndarray]:
+    """The sampled per-task fields of :func:`make_tasks`, as plain arrays.
+
+    This is the single sampling code path: :func:`make_tasks` builds its
+    task objects from these arrays, so arrays and objects cannot drift.
+    Draw order is per task — duration, release, orientation, energy — and
+    must stay exactly this (the seed ↦ scenario mapping is pinned by the
+    repro tests).
+    """
     e_lo, e_hi = energy_range if energy_range is not None else (
         config.energy_min,
         config.energy_max,
@@ -65,25 +111,68 @@ def make_tasks(
     )
     d_hi = min(d_hi, config.horizon_slots)
     d_lo = min(d_lo, d_hi)
-    tasks = []
-    for j, xy in enumerate(positions):
+    release = np.zeros(num_tasks, dtype=np.int64)
+    end = np.zeros(num_tasks, dtype=np.int64)
+    orientation = np.zeros(num_tasks, dtype=float)
+    energy = np.zeros(num_tasks, dtype=float)
+    for j in range(num_tasks):
         duration = int(rng.integers(d_lo, d_hi + 1))
         latest_release = config.horizon_slots - duration
-        release = int(rng.integers(0, latest_release + 1)) if latest_release > 0 else 0
-        tasks.append(
-            ChargingTask(
-                id=j,
-                x=float(xy[0]),
-                y=float(xy[1]),
-                orientation=float(rng.uniform(0.0, 2.0 * np.pi)),
-                release_slot=release,
-                end_slot=release + duration,
-                required_energy=float(rng.uniform(e_lo, e_hi)),
-                receiving_angle=config.receiving_angle,
-                weight=config.weight,
-            )
+        rel = int(rng.integers(0, latest_release + 1)) if latest_release > 0 else 0
+        release[j] = rel
+        end[j] = rel + duration
+        # ChargingTask wraps orientation on construction; wrap here too so
+        # the arrays match the objects bit for bit (idempotent in-range).
+        orientation[j] = float(wrap_angle(rng.uniform(0.0, 2.0 * np.pi)))
+        energy[j] = float(rng.uniform(e_lo, e_hi))
+    return {
+        "task_orientation": orientation,
+        "release_slots": release,
+        "end_slots": end,
+        "required_energy": energy,
+    }
+
+
+def sample_entities(
+    config: SimulationConfig,
+    rng: np.random.Generator,
+    *,
+    charger_positions: np.ndarray | None = None,
+    task_positions: np.ndarray | None = None,
+    energy_range: tuple[float, float] | None = None,
+    duration_range: tuple[int, int] | None = None,
+) -> dict[str, np.ndarray]:
+    """Sample a scenario as plain entity arrays — **no network is built**.
+
+    Consumes the rng in exactly :func:`sample_network`'s order (charger
+    positions, task positions, per-task fields), so the same seed yields
+    the same scenario whichever entry point is used.  This is how huge
+    instances (``n = 10⁴–10⁶``, sharded solving) come into existence: the
+    global ``(n, m)`` network precomputation would not fit in memory, but
+    the arrays are a few MB.
+    """
+    if charger_positions is None:
+        charger_positions = uniform_positions(
+            rng, config.num_chargers, config.field_size
         )
-    return tasks
+    if task_positions is None:
+        task_positions = uniform_positions(rng, config.num_tasks, config.field_size)
+    charger_xy = np.asarray(charger_positions, dtype=float).reshape(-1, 2)
+    task_xy = np.asarray(task_positions, dtype=float).reshape(-1, 2)
+    n = charger_xy.shape[0]
+    m = task_xy.shape[0]
+    fields = sample_task_fields(
+        config, m, rng, energy_range=energy_range, duration_range=duration_range
+    )
+    return {
+        "charger_xy": charger_xy,
+        "charger_angle": np.full(n, float(config.charging_angle)),
+        "charger_radius": np.full(n, float(config.radius)),
+        "task_xy": task_xy,
+        "receiving_angle": np.full(m, float(config.receiving_angle)),
+        "weights": np.full(m, float(config.weight)),
+        **fields,
+    }
 
 
 def sample_network(

@@ -26,7 +26,7 @@ from .artifact import (
     artifact_from_execution,
     artifact_from_online_run,
 )
-from .instance import Instance
+from .instance import Instance, clear_network_cache, network_cache_info
 from .registry import (
     REGISTRY,
     BoundSolver,
@@ -47,6 +47,8 @@ __all__ = [
     "artifact_from_execution",
     "artifact_from_online_run",
     "Instance",
+    "clear_network_cache",
+    "network_cache_info",
     "REGISTRY",
     "BoundSolver",
     "SolverCapabilities",

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from ..core.utility import LinearBoundedUtility, LogUtility, PowerLawUtility
 from ..offline.baselines import (
     greedy_cover_schedule,
@@ -82,7 +84,46 @@ def _resolve_utility(network, params):
     )
 
 
+def _shard_count(params) -> int:
+    """Validated ``shards`` parameter (spec values may be any literal)."""
+    shards = params["shards"]
+    if isinstance(shards, bool) or not isinstance(shards, (int, np.integer)):
+        raise SolverError(f"shards must be a positive integer, got {shards!r}")
+    if shards < 1:
+        raise SolverError(f"shards must be >= 1, got {shards}")
+    return int(shards)
+
+
+def _sharded_from_network(setting, network, rng, config, params) -> RunArtifact:
+    """Route a ``shards > 1`` solve taken through the network path.
+
+    The network path exists for callers that already hold a built network
+    (sweep runner, tests); at true sharded scale use
+    :meth:`~repro.solvers.registry.BoundSolver.solve_from_instance`, which
+    never builds the global network.  A custom utility *object* on the
+    network cannot cross the instance conversion — reject it loudly rather
+    than silently scoring with the default (the ``utility=`` spec param is
+    the supported way to pick a family).
+    """
+    from ..shard.solver import solve_sharded
+    from .instance import Instance
+
+    util = network.utility
+    if util is not None and not (
+        type(util) is LinearBoundedUtility
+        and np.array_equal(util.required_energy, network.required_energy)
+    ):
+        raise SolverError(
+            "shards>1 cannot preserve a custom network utility object; "
+            "select a scoring family with the utility=/gamma= parameters"
+        )
+    instance = Instance.from_network(network, config=config)
+    return solve_sharded(setting, instance, params, rng, config)
+
+
 def _solve_haste_offline(network, rng, config, params) -> RunArtifact:
+    if _shard_count(params) > 1:
+        return _sharded_from_network("offline", network, rng, config, params)
     util = _resolve_utility(network, params)
     colors = params["c"] if params["c"] is not None else config.num_colors
     samples = (
@@ -195,6 +236,8 @@ def _fault_model_from_params(params) -> FaultModel | None:
 
 
 def _solve_online_haste(network, rng, config, params) -> RunArtifact:
+    if _shard_count(params) > 1:
+        return _sharded_from_network("online", network, rng, config, params)
     colors = params["c"] if params["c"] is not None else config.num_colors
     samples = (
         params["samples"] if params["samples"] is not None else config.num_samples
@@ -237,6 +280,7 @@ register(
         supports_sparse=True,
         supports_lazy=True,
         supports_utility=True,
+        supports_shards=True,
         description=(
             "Centralized TabularGreedy (Alg. 2) + delay-aware switch smoothing"
         ),
@@ -250,6 +294,11 @@ register(
         "final_draws": 8,
         "utility": None,
         "gamma": 0.5,
+        # Spatial decomposition (repro.shard): shards=1 == the unsharded
+        # path above, bit for bit; halo defaults to the charging range D.
+        "shards": 1,
+        "halo": "auto",
+        "shard_procs": 0,
     },
 )
 
@@ -313,6 +362,7 @@ register(
         setting="online",
         supports_colors=True,
         supports_sparse=True,
+        supports_shards=True,
         description="Distributed online negotiation (Alg. 3) with τ-delayed replans",
     ),
     defaults={
@@ -331,6 +381,10 @@ register(
         "fault_retry": 3,
         "fault_rounds": 64,
         "fault_seed": 0,
+        # Spatial decomposition (repro.shard): shards=1 == unsharded.
+        "shards": 1,
+        "halo": "auto",
+        "shard_procs": 0,
     },
 )
 

@@ -21,21 +21,42 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.charger import Charger
 from ..core.network import ChargerNetwork
 from ..core.power import AnisotropicPowerModel, PowerModel
 from ..core.task import ChargingTask
 from ..sim.config import SimulationConfig
-from ..sim.workload import sample_network
+from ..sim.workload import sample_entities
 from .artifact import decode_array, encode_array
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "clear_network_cache", "network_cache_info"]
 
 INSTANCE_FORMAT = "repro-haste-instance-v1"
+
+#: LRU of built networks keyed by :meth:`Instance.content_hash`.  Network
+#: precomputation is deterministic in the entity arrays (the round-trip
+#: guarantee above), so equal hashes mean interchangeable networks; the
+#: cache removes the rebuild cost when the same instance is solved by many
+#: specs (benchmarks, equivalence tests, the shards=1 pins).  Capacity is
+#: small on purpose — networks dominate memory at large n.
+_NETWORK_CACHE: OrderedDict[str, ChargerNetwork] = OrderedDict()
+_NETWORK_CACHE_CAPACITY = 8
+
+
+def clear_network_cache() -> None:
+    """Drop every cached network (tests; memory pressure at large n)."""
+    _NETWORK_CACHE.clear()
+
+
+def network_cache_info() -> dict:
+    """Current cache occupancy — ``{"size": ..., "capacity": ...}``."""
+    return {"size": len(_NETWORK_CACHE), "capacity": _NETWORK_CACHE_CAPACITY}
 
 _ARRAY_FIELDS = (
     "charger_xy",
@@ -96,11 +117,24 @@ class Instance:
         """Sample a fresh scenario from ``config`` with a pinned seed.
 
         ``sample_kwargs`` pass through to
-        :func:`~repro.sim.workload.sample_network` (position overrides,
-        energy/duration ranges).
+        :func:`~repro.sim.workload.sample_entities` (position overrides,
+        energy/duration ranges).  Sampling is network-free: the entity
+        arrays are built directly, so instances far beyond global-network
+        memory limits (``n = 10⁴–10⁶``, sharded solving) can be sampled,
+        saved, and solved.  The rng stream matches
+        :func:`~repro.sim.workload.sample_network`, so the same seed still
+        denotes the same scenario (pinned by the instance tests).
         """
-        network = sample_network(config, np.random.default_rng(seed), **sample_kwargs)
-        return cls.from_network(network, config=config, seed=seed)
+        entities = sample_entities(config, np.random.default_rng(seed), **sample_kwargs)
+        return cls(
+            config=config,
+            seed=seed,
+            alpha=float(config.alpha),
+            beta=float(config.beta),
+            gain_exponent=None,
+            slot_seconds=float(config.slot_seconds),
+            **entities,
+        )
 
     @classmethod
     def from_network(
@@ -146,14 +180,34 @@ class Instance:
             slot_seconds=float(network.slot_seconds),
         )
 
-    def network(self) -> ChargerNetwork:
+    def network(self, *, cached: bool = False) -> ChargerNetwork:
         """Rebuild the charger network (deterministic in the stored arrays).
 
         Task orientations were wrapped into ``[0, 2π)`` at original
         construction and ``wrap_angle`` is idempotent there, so the rebuilt
         entities carry bit-identical floats and every precomputed matrix
         matches the original network's.
+
+        ``cached=True`` consults the process-wide LRU keyed by
+        :meth:`content_hash` — callers share the returned network, so the
+        cached path is for read-only consumers (every solver; nothing in
+        the repo mutates a built network).
         """
+        if cached:
+            key = self.content_hash()
+            hit = _NETWORK_CACHE.get(key)
+            if hit is not None:
+                _NETWORK_CACHE.move_to_end(key)
+                if obs.enabled():
+                    obs.inc("instance.network_cache_hits")
+                return hit
+            if obs.enabled():
+                obs.inc("instance.network_cache_misses")
+            network = self.network(cached=False)
+            _NETWORK_CACHE[key] = network
+            while len(_NETWORK_CACHE) > _NETWORK_CACHE_CAPACITY:
+                _NETWORK_CACHE.popitem(last=False)
+            return network
         chargers = [
             Charger(
                 id=i,

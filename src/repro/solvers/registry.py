@@ -77,6 +77,7 @@ class SolverCapabilities:
     supports_sparse: bool = False
     supports_lazy: bool = False
     supports_utility: bool = False
+    supports_shards: bool = False
     max_tasks: int | None = None
     description: str = ""
 
@@ -89,6 +90,7 @@ class SolverCapabilities:
             ("supports_sparse", "sparse"),
             ("supports_lazy", "lazy"),
             ("supports_utility", "utility"),
+            ("supports_shards", "shards"),
         ):
             if getattr(self, attr):
                 flags.append(tag)
@@ -139,13 +141,8 @@ class BoundSolver:
         """The canonical spec string (only non-default params rendered)."""
         return self.spec.canonical()
 
-    def solve(
-        self,
-        network,
-        rng: np.random.Generator | None = None,
-        config: SimulationConfig | None = None,
-    ) -> RunArtifact:
-        """Run the solver and stamp the artifact with provenance + timing."""
+    def _stamped(self, run, rng, config) -> RunArtifact:
+        """Run ``run(rng, config)`` and stamp provenance + timing."""
         rng = rng if rng is not None else np.random.default_rng()
         config = config if config is not None else SimulationConfig()
         before = (
@@ -154,7 +151,7 @@ class BoundSolver:
             else None
         )
         start = time.perf_counter()
-        artifact = self.entry.fn(network, rng, config, self.params)
+        artifact = run(rng, config)
         artifact.wall_time_s = time.perf_counter() - start
         artifact.solver = self.canonical()
         if before is not None:
@@ -165,6 +162,52 @@ class BoundSolver:
                 if after[key] != before.get(key, 0)
             }
         return artifact
+
+    def solve(
+        self,
+        network,
+        rng: np.random.Generator | None = None,
+        config: SimulationConfig | None = None,
+    ) -> RunArtifact:
+        """Run the solver and stamp the artifact with provenance + timing."""
+        return self._stamped(
+            lambda r, c: self.entry.fn(network, r, c, self.params), rng, config
+        )
+
+    def solve_from_instance(
+        self,
+        instance: Instance,
+        rng: np.random.Generator | None = None,
+        config: SimulationConfig | None = None,
+    ) -> RunArtifact:
+        """Solve directly from an :class:`Instance`.
+
+        When the spec requests ``shards > 1`` on a shard-capable solver the
+        sharded path runs straight off the instance arrays — the global
+        network is **never built**, which is the point of sharding at
+        ``n = 10⁴–10⁶`` scale.  Otherwise the (cached) network is rebuilt
+        and the ordinary network path runs, bit-identically to before.
+        """
+        config = config if config is not None else instance.config
+        shards = self.params.get("shards", 1)
+        # Invalid (non-integer) shard values fall through to the network
+        # path, whose validation raises a proper SolverError.
+        sharded = (
+            self.capabilities.supports_shards
+            and isinstance(shards, int)
+            and not isinstance(shards, bool)
+            and shards > 1
+        )
+        if sharded:
+            from ..shard.solver import solve_sharded
+
+            setting = self.capabilities.setting
+            return self._stamped(
+                lambda r, c: solve_sharded(setting, instance, self.params, r, c),
+                rng,
+                config,
+            )
+        return self.solve(instance.network(cached=True), rng, config)
 
 
 class SolverRegistry:
@@ -249,4 +292,4 @@ def solve_instance(
     solver = get_solver(spec)
     effective = seed if seed is not None else instance.seed
     rng = np.random.default_rng(effective)
-    return solver.solve(instance.network(), rng, instance.config)
+    return solver.solve_from_instance(instance, rng, instance.config)

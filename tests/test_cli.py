@@ -74,6 +74,22 @@ class TestCommands:
         assert main(["solve", "haste-offline:bogus=1"]) == 2
         assert "does not accept parameter" in capsys.readouterr().err
 
+    def test_solve_shards_on_wrong_solver_exits_2(self, capsys):
+        assert main(["solve", "greedy-utility:shards=4"]) == 2
+        err = capsys.readouterr().err
+        assert "does not accept parameter" in err
+        assert err.count("\n") == 1  # single line
+
+    def test_solve_bad_shard_value_exits_2(self, capsys):
+        assert main(["solve", "haste-offline:shards=nope", "--scale", "quick"]) == 2
+        assert "shards must be a positive integer" in capsys.readouterr().err
+
+    def test_solve_bad_halo_exits_2(self, capsys):
+        assert main(
+            ["solve", "haste-offline:shards=4,halo=wide", "--scale", "quick"]
+        ) == 2
+        assert "halo" in capsys.readouterr().err
+
     def test_solve_malformed_spec_exits_2(self, capsys):
         assert main(["solve", "haste-offline:"]) == 2
         assert capsys.readouterr().err.startswith("error:")

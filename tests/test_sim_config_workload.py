@@ -175,3 +175,40 @@ class TestWorkload:
         task_xy = np.full((quick_config.num_tasks, 2), 25.0)
         net = sample_network(quick_config, rng, task_positions=task_xy)
         assert np.allclose(net.task_xy, 25.0)
+
+
+class TestSampleEntities:
+    """The network-free sampling path must mirror sample_network exactly."""
+
+    def test_same_seed_same_scenario_as_sample_network(self, quick_config):
+        from repro.sim.workload import sample_entities
+
+        for seed in (0, 5, 123):
+            net = sample_network(quick_config, np.random.default_rng(seed))
+            ent = sample_entities(quick_config, np.random.default_rng(seed))
+            assert np.array_equal(ent["charger_xy"], net.charger_xy)
+            assert np.array_equal(ent["task_xy"], net.task_xy)
+            assert np.array_equal(
+                ent["task_orientation"],
+                np.array([t.orientation for t in net.tasks]),
+            )
+            assert np.array_equal(
+                ent["release_slots"], np.array([t.release_slot for t in net.tasks])
+            )
+            assert np.array_equal(
+                ent["end_slots"], np.array([t.end_slot for t in net.tasks])
+            )
+            assert np.array_equal(ent["required_energy"], net.required_energy)
+
+    def test_instance_sample_is_network_free_but_equivalent(self, quick_config):
+        from repro.solvers import Instance
+
+        for seed in (0, 7):
+            via_arrays = Instance.sample(quick_config, seed)
+            via_network = Instance.from_network(
+                sample_network(quick_config, np.random.default_rng(seed)),
+                config=quick_config,
+                seed=seed,
+            )
+            assert via_arrays == via_network
+            assert via_arrays.content_hash() == via_network.content_hash()

@@ -64,6 +64,34 @@ class TestSpecParsing:
         spec = parse_spec("haste-offline:samples=8,c=2")
         assert parse_spec(spec.canonical()).canonical() == spec.canonical()
 
+    def test_shard_params_canonicalize(self):
+        a = parse_spec("haste-offline:shards=16,halo=auto,c=4")
+        b = parse_spec("haste-offline:c=4,halo=auto,shards=16")
+        assert a.canonical() == b.canonical()
+        assert a.canonical() == "haste-offline:c=4,halo=auto,shards=16"
+        assert a.params["shards"] == 16 and isinstance(a.params["shards"], int)
+        assert a.params["halo"] == "auto"
+        # Numeric halos stay numeric and round-trip through the canon form.
+        c = parse_spec("online-haste:shards=8,halo=25.5")
+        assert c.params["halo"] == 25.5
+        assert parse_spec(c.canonical()).canonical() == c.canonical()
+
+    def test_shard_params_bound_on_shard_capable_solvers(self):
+        solver = get_solver("haste-offline:shards=16,halo=auto")
+        assert solver.canonical() == "haste-offline:halo=auto,shards=16"
+        assert solver.capabilities.supports_shards
+        assert "shards" in solver.capabilities.summary()
+        online = get_solver("online-haste:shards=4")
+        assert online.capabilities.supports_shards
+
+    def test_shards_rejected_on_non_shard_solvers(self):
+        for spec in ("greedy-utility:shards=2", "static:shards=2", "random:halo=5"):
+            with pytest.raises(SolverError) as exc:
+                get_solver(spec)
+            msg = str(exc.value)
+            assert "does not accept parameter" in msg
+            assert "\n" not in msg  # one-line error, CLI-presentable
+
     @pytest.mark.parametrize(
         "bad",
         ["", ":c=4", "haste-offline:", "x:c", "x:c=", "x:=1", "x:c=1,c=2"],
