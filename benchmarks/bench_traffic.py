@@ -1,0 +1,185 @@
+"""Traffic-generator benchmark → ``BENCH_traffic.json``.
+
+Two measurements:
+
+* **curves** — one :class:`repro.traffic.TrafficReport` per arrival
+  process (poisson, mmpp, diurnal), sweeping the load multiplier at
+  paper scale with telemetry on: p50/p90/p99 per-arrival negotiation
+  latency (overall and per load phase), sustained arrivals/sec, and the
+  utility-vs-load / latency-vs-load curves.  Streams are seeded, so the
+  utilities, arrival counts, and stream digests in the report reproduce
+  exactly; latencies are wall-clock.
+* **overhead** — the harness with telemetry *off* against a direct
+  ``run_online_haste`` call on the same prebuilt stream/network,
+  interleaved in time (acceptance: <2 % — driving traffic through the
+  generator must cost nothing when nobody is watching).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --traffic           # paper scale
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --traffic --quick   # CI-sized
+
+(or run this file directly with the same flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Mean arrivals/slot at load 1.  At paper scale (120 slots) this lands
+#: ~200 tasks — the paper's §7.1 m — at the load-1 sweep point.
+PAPER_RATE = 1.7
+QUICK_RATE = 1.5
+
+DEFAULT_LOADS = (0.5, 1.0, 2.0)
+
+
+def _config(scale: str):
+    from repro.sim.config import SimulationConfig
+
+    return (
+        SimulationConfig.paper() if scale == "paper" else SimulationConfig.quick()
+    )
+
+
+def traffic_curves(scale: str, loads: tuple, seed: int) -> list[dict]:
+    from repro.traffic import PROCESS_NAMES, TrafficModel, run_traffic
+
+    cfg = _config(scale)
+    rate = PAPER_RATE if scale == "paper" else QUICK_RATE
+    reports = []
+    for process in PROCESS_NAMES:
+        model = TrafficModel(process=process, rate=rate, seed=seed)
+        t0 = time.perf_counter()
+        report = run_traffic(model, cfg, loads=loads, telemetry=True)
+        elapsed = time.perf_counter() - t0
+        print(f"  {process:8s} {len(loads)} load points in {elapsed:.1f}s")
+        for load, p99 in report.latency_vs_load():
+            point = report.point(load)
+            print(
+                f"    load {load:<4g} arrivals={point['arrivals']:<4d} "
+                f"utility={point['utility']:.5g} "
+                f"p50={point['latency']['p50'] * 1e3:.2f}ms "
+                f"p99={p99 * 1e3:.2f}ms"
+            )
+        payload = report.to_dict()
+        payload["report_hash"] = report.content_hash()
+        payload["elapsed_s"] = elapsed
+        reports.append(payload)
+    return reports
+
+
+def harness_overhead(scale: str, seed: int, repeats: int) -> dict:
+    """Interleaved: direct ``run_online_haste`` vs harness, telemetry off."""
+    import numpy as np
+    from repro.online.runtime import run_online_haste
+    from repro.traffic import TrafficModel, drive_stream
+
+    cfg = _config(scale)
+    rate = PAPER_RATE if scale == "paper" else QUICK_RATE
+    model = TrafficModel(process="poisson", rate=rate, seed=seed)
+    stream = model.stream(cfg)
+    network = stream.instance.network(cached=True)  # warm the LRU cache
+
+    def direct():
+        run_online_haste(
+            network,
+            num_colors=stream.config.num_colors,
+            num_samples=stream.config.num_samples,
+            tau=stream.config.tau,
+            rho=stream.config.rho,
+            rng=np.random.default_rng(seed),
+        )
+
+    def harness():
+        drive_stream(stream, telemetry=False)
+
+    before, after = [], []
+    for r in range(repeats):
+        for fn, sink, side in ((direct, before, "direct"),
+                               (harness, after, "harness")):
+            t0 = time.perf_counter()
+            fn()
+            dt = time.perf_counter() - t0
+            sink.append(dt)
+            print(f"  overhead [{side} {r + 1}/{repeats}] {dt:.3f}s",
+                  flush=True)
+    b, a = statistics.median(before), statistics.median(after)
+    return {
+        "op": "traffic_harness_overhead",
+        "metric": "seconds",
+        "mode": "telemetry-off-vs-direct",
+        "instance": {
+            "n": stream.instance.n,
+            "m": stream.instance.m,
+            "K": int(stream.config.horizon_slots),
+            "arrivals": stream.arrivals,
+        },
+        "repeats": repeats,
+        "before_median_s": b,
+        "after_median_s": a,
+        "overhead_pct": (a / b - 1.0) * 100.0 if b > 0 else float("inf"),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized streams instead of paper scale")
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--loads", default=None,
+                        help="comma-separated load multipliers")
+    parser.add_argument("--repeats-overhead", type=int, default=None)
+    parser.add_argument("--skip-overhead", action="store_true")
+    args = parser.parse_args()
+
+    scale = "quick" if args.quick else "paper"
+    loads = (
+        tuple(float(x) for x in args.loads.split(","))
+        if args.loads
+        else DEFAULT_LOADS
+    )
+    repeats = args.repeats_overhead or (5 if args.quick else 3)
+
+    from repro.traffic import kernel_mode
+
+    print(f"traffic curves ({scale}, loads {loads}, seed {args.seed})")
+    curves = traffic_curves(scale, loads, args.seed)
+
+    results: dict = {"curves": curves}
+    if not args.skip_overhead:
+        print(f"harness overhead ({scale}, {repeats} repeats/side)")
+        results["overhead"] = harness_overhead(scale, args.seed, repeats)
+
+    report = {
+        "description": "Production traffic generator: per-process "
+                       "utility-vs-load and latency-vs-load curves "
+                       "(telemetry on), plus harness overhead with "
+                       "telemetry off vs a direct online run "
+                       "(acceptance: <2%)",
+        "scale": scale,
+        "loads": list(loads),
+        "seed": args.seed,
+        "kernel": kernel_mode(),
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    out = args.output or str(REPO_ROOT / "BENCH_traffic.json")
+    Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+    if "overhead" in results:
+        row = results["overhead"]
+        print(f"  harness overhead: {row['before_median_s']:.3f}s → "
+              f"{row['after_median_s']:.3f}s ({row['overhead_pct']:+.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI-sized
     PYTHONPATH=src python benchmarks/run_benchmarks.py --obs      # BENCH_obs.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --shard    # BENCH_shard.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --traffic  # BENCH_traffic.json
 
 The default output path is ``BENCH_kernels.json`` next to the repo root;
 ``--skip-seed`` falls back to flags-reference for the end-to-end rows
@@ -377,14 +378,18 @@ def main() -> None:
                         help="measure the sharded solver instead "
                              "(delegates to bench_shard.py → "
                              "BENCH_shard.json)")
+    parser.add_argument("--traffic", action="store_true",
+                        help="measure the traffic generator instead "
+                             "(delegates to bench_traffic.py → "
+                             "BENCH_traffic.json)")
     parser.add_argument("--obs-baseline", default="HEAD",
                         help="git rev of the pre-instrumentation tree the "
                              "--obs disabled-path rows compare against")
     args = parser.parse_args()
 
-    if args.shard:
+    if args.shard or args.traffic:
         sys.path.insert(0, str(Path(__file__).resolve().parent))
-        import bench_shard
+        module = __import__("bench_traffic" if args.traffic else "bench_shard")
 
         argv = [sys.argv[0]]
         if args.quick:
@@ -392,7 +397,7 @@ def main() -> None:
         if args.output:
             argv.extend(["--output", args.output])
         sys.argv = argv
-        bench_shard.main()
+        module.main()
         return
 
     scale = "quick" if args.quick else "paper"

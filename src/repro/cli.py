@@ -14,6 +14,8 @@ Usage::
     repro-haste solve online-haste:tau=2 --instance saved.npz --save-artifact out.npz
     repro-haste instance sample --scale quick --seed 7 --out saved.npz
     repro-haste instance inspect saved.npz
+    repro-haste traffic --process mmpp --loads 0.5,1,2 --seed 7
+    repro-haste traffic --baseline benchmarks/slo_baseline.json
 
 Unknown experiment ids and malformed or unknown solver specs exit with
 status 2 and a one-line message on stderr (no traceback).
@@ -164,6 +166,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect = inst_sub.add_parser("inspect", help="describe a saved instance")
     p_inspect.add_argument("path", help="instance file (.json or .npz)")
 
+    p_traffic = sub.add_parser(
+        "traffic",
+        help="drive an online solver with a seeded traffic stream and "
+        "report SLO telemetry",
+    )
+    p_traffic.add_argument(
+        "--spec",
+        default="online-haste",
+        help="online solver spec to drive (default: online-haste; "
+        "shards=/loss=… specs work unchanged)",
+    )
+    p_traffic.add_argument(
+        "--process",
+        choices=("poisson", "mmpp", "diurnal"),
+        default="poisson",
+        help="arrival process shape",
+    )
+    p_traffic.add_argument(
+        "--rate", type=float, default=2.0, help="mean arrivals per slot at load 1"
+    )
+    p_traffic.add_argument(
+        "--loads",
+        default="0.5,1.0,2.0",
+        help="comma-separated load multipliers to sweep",
+    )
+    p_traffic.add_argument(
+        "--horizon", type=int, default=None, help="stream length in slots"
+    )
+    p_traffic.add_argument(
+        "--fleet-scale",
+        type=float,
+        default=1.0,
+        help="charger-fleet scale factor (field grows to keep density)",
+    )
+    p_traffic.add_argument(
+        "--hotspot",
+        type=float,
+        default=0.0,
+        help="fraction of arrivals clustered in a seeded hot-spot disc",
+    )
+    p_traffic.add_argument("--seed", type=int, default=0, help="stream seed")
+    p_traffic.add_argument(
+        "--scale",
+        choices=("quick", "small", "default", "paper"),
+        default="quick",
+        help="base scenario size tier",
+    )
+    p_traffic.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable obs capture (latency falls back to plan-time/events)",
+    )
+    p_traffic.add_argument(
+        "--save-report",
+        default=None,
+        metavar="PATH",
+        help="write the TrafficReport JSON here",
+    )
+    p_traffic.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="evaluate the SLO gate against this baseline (exit 1 on fail)",
+    )
+    p_traffic.add_argument(
+        "--update-baseline",
+        default=None,
+        metavar="PATH",
+        help="record this run as the baseline entry for the current "
+        "kernel mode",
+    )
+
     p_bounds = sub.add_parser(
         "bounds", help="print the applicable theoretical guarantees"
     )
@@ -313,6 +387,65 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from .solvers import get_solver
+    from .traffic import (
+        TrafficModel,
+        evaluate_slo,
+        load_baseline,
+        run_calibration,
+        run_traffic,
+        save_baseline,
+        update_baseline,
+    )
+
+    get_solver(args.spec)  # validate the spec before any work (exit 2)
+    try:
+        loads = tuple(float(x) for x in args.loads.split(",") if x.strip())
+    except ValueError:
+        print(f"error: bad --loads value {args.loads!r}", file=sys.stderr)
+        return 2
+    if not loads:
+        print("error: --loads is empty", file=sys.stderr)
+        return 2
+    model = TrafficModel(
+        process=args.process,
+        rate=args.rate,
+        horizon_slots=args.horizon,
+        fleet_scale=args.fleet_scale,
+        hotspot_frac=args.hotspot,
+        seed=args.seed,
+    )
+    report = run_traffic(
+        model,
+        _cli_config(args.scale),
+        spec=args.spec,
+        loads=loads,
+        telemetry=not args.no_telemetry,
+    )
+    print(report.summary())
+    if args.save_report:
+        report.save(args.save_report)
+        print(f"(report written to {args.save_report})")
+    if args.update_baseline:
+        try:
+            baseline = load_baseline(args.update_baseline)
+        except FileNotFoundError:
+            baseline = None
+        baseline = update_baseline(baseline, report, run_calibration())
+        save_baseline(baseline, args.update_baseline)
+        print(
+            f"(baseline entry [{report.kernel}] written to "
+            f"{args.update_baseline})"
+        )
+    if args.baseline:
+        result = evaluate_slo(report, load_baseline(args.baseline))
+        print(result.summary())
+        if not result.passed:
+            return 1
+    return 0
+
+
 def _cmd_instance(args: argparse.Namespace) -> int:
     from .solvers import Instance
 
@@ -346,6 +479,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_solve(args)
     if args.command == "instance":
         return _cmd_instance(args)
+    if args.command == "traffic":
+        return _cmd_traffic(args)
     if args.command == "bounds":
         from .analysis import certificate
 

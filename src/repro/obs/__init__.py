@@ -54,6 +54,7 @@ import warnings
 from .registry import Counter, Gauge, Histogram, MetricRegistry
 from .sinks import JsonlSink, MemorySink, Sink
 from .summary import format_span_tree, format_summary
+from .windows import ReservoirSample, WindowedHistogram
 
 __all__ = [
     "Counter",
@@ -62,7 +63,9 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "MetricRegistry",
+    "ReservoirSample",
     "Sink",
+    "WindowedHistogram",
     "configure",
     "enabled",
     "event",
@@ -71,6 +74,7 @@ __all__ = [
     "get_registry",
     "inc",
     "observe",
+    "observe_windowed",
     "set_gauge",
     "shutdown",
     "span",
@@ -118,16 +122,29 @@ def configure(
     attached so records are retrievable.  ``fresh`` resets previously
     recorded aggregates (the default — each CLI invocation or test gets
     its own numbers).
+
+    Safe to call repeatedly in one process (the traffic harness and its
+    tests set up and tear down telemetry once per load point): a fresh
+    reconfigure detaches and closes the previous sinks *without* emitting
+    a summary — a reconfigure starts a new measurement epoch rather than
+    ending the old one — and a non-fresh call never attaches a duplicate
+    :class:`JsonlSink` for a path that already has a live one.
     """
     reg = _REGISTRY
     if fresh:
         reg.reset()
-        for s in reg.sinks:
+        old, reg.sinks = reg.sinks, []
+        for s in old:
             s.close()
-        reg.sinks = []
     if trace is not None:
-        reg.sinks.append(JsonlSink(trace))
-    if sink is not None:
+        trace_path = os.fspath(trace)
+        already = any(
+            isinstance(s, JsonlSink) and os.fspath(s.path) == trace_path
+            for s in reg.sinks
+        )
+        if not already:
+            reg.sinks.append(JsonlSink(trace))
+    if sink is not None and sink not in reg.sinks:
         reg.sinks.append(sink)
     if not reg.sinks:
         reg.sinks.append(MemorySink())
@@ -136,10 +153,15 @@ def configure(
 
 
 def shutdown() -> None:
-    """Flush the summary record, close sinks, and disable the registry."""
+    """Flush the summary record, close sinks, and disable the registry.
+
+    Idempotent: the registry's :meth:`~MetricRegistry.close` detaches the
+    sink set before flushing, so a second ``shutdown()`` — or the
+    ``atexit`` hook firing after an explicit one — is a no-op instead of
+    a double emit.
+    """
     reg = _REGISTRY
-    if reg.sinks:
-        reg.close()
+    reg.close()
     reg.enabled = False
 
 
@@ -165,6 +187,13 @@ def observe(name: str, value: float) -> None:
     reg = _REGISTRY
     if reg.enabled:
         reg.observe(name, value)
+
+
+def observe_windowed(name: str, value: float, window: str | None = None) -> None:
+    """Record into a windowed (per-load-phase) histogram when enabled."""
+    reg = _REGISTRY
+    if reg.enabled:
+        reg.observe_windowed(name, value, window)
 
 
 def set_gauge(name: str, value: float) -> None:

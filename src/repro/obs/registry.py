@@ -26,9 +26,10 @@ Design constraints, in order:
 
 from __future__ import annotations
 
-import math
 import threading
 import time
+
+from .windows import ReservoirSample, WindowedHistogram, reservoir_seed
 
 __all__ = [
     "Counter",
@@ -82,61 +83,63 @@ class Gauge:
 class Histogram:
     """Latency/size distribution with nearest-rank percentiles.
 
-    Keeps every observation (runs are bounded: one per arrival, window,
-    or scheduler run — not per kernel iteration), so percentiles are
-    exact.  ``max_samples`` caps pathological growth; past it the
-    summary stats stay exact while percentile queries use the retained
-    prefix.
+    Below ``max_samples`` observations every value is retained and the
+    percentiles are exact.  Past the cap the summary stats (count, sum,
+    min, max, mean) stay exact while percentile queries run over a
+    **seeded reservoir** (:class:`~repro.obs.windows.ReservoirSample`,
+    Algorithm R): a uniform random subset of the whole stream, so the
+    estimates are unbiased however long the stream runs — a
+    first-``N``-prefix cap would freeze the percentiles at whatever the
+    first phase of a sustained traffic run looked like.  The reservoir's
+    rng seed derives from the histogram name, so retention is
+    deterministic and reproducible across processes.
     """
 
-    __slots__ = ("name", "_values", "count", "total", "min", "max",
-                 "max_samples", "_lock")
+    __slots__ = ("name", "max_samples", "_res", "_lock")
 
     def __init__(self, name: str, max_samples: int = 100_000) -> None:
         self.name = name
-        self._values: list[float] = []
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = -math.inf
         self.max_samples = max_samples
+        self._res = ReservoirSample(max_samples, seed=reservoir_seed(name))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        value = float(value)
         with self._lock:
-            self.count += 1
-            self.total += value
-            if value < self.min:
-                self.min = value
-            if value > self.max:
-                self.max = value
-            if len(self._values) < self.max_samples:
-                self._values.append(value)
+            self._res.observe(value)
+
+    @property
+    def _values(self) -> list[float]:
+        """The retained sample (kept as an attribute for introspection)."""
+        return self._res.values
+
+    @property
+    def count(self) -> int:
+        return self._res.count
+
+    @property
+    def total(self) -> float:
+        return self._res.total
+
+    @property
+    def min(self) -> float:
+        return self._res.min
+
+    @property
+    def max(self) -> float:
+        return self._res.max
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        return self._res.mean
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile; ``q`` in [0, 100]."""
+        """Nearest-rank percentile over the retained sample; ``q`` in [0, 100]."""
         with self._lock:
-            if not self._values:
-                return 0.0
-            ordered = sorted(self._values)
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-        return ordered[min(rank, len(ordered)) - 1]
+            return self._res.percentile(q)
 
     def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
-        }
+        with self._lock:
+            return self._res.snapshot()
 
 
 class _Span:
@@ -184,6 +187,7 @@ class MetricRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._windowed: dict[str, WindowedHistogram] = {}
         #: span-path aggregation: path -> [count, total_seconds]
         self._span_agg: dict[tuple[str, ...], list] = {}
         self._local = threading.local()
@@ -210,6 +214,13 @@ class MetricRegistry:
                 h = self._histograms[name] = Histogram(name)
             return h
 
+    def windowed_histogram(self, name: str) -> WindowedHistogram:
+        with self._lock:
+            w = self._windowed.get(name)
+            if w is None:
+                w = self._windowed[name] = WindowedHistogram(name)
+            return w
+
     # -- recording ------------------------------------------------------
     def inc(self, name: str, n: int | float = 1) -> None:
         self.counter(name).inc(n)
@@ -219,6 +230,14 @@ class MetricRegistry:
 
     def observe(self, name: str, value: float) -> None:
         self.histogram(name).observe(value)
+
+    def observe_windowed(
+        self, name: str, value: float, window: str | None = None
+    ) -> None:
+        """Record into a windowed histogram (e.g. per load phase)."""
+        wh = self.windowed_histogram(name)
+        with self._lock:
+            wh.observe(value, window)
 
     def event(self, name: str, level: str = "info", **fields) -> None:
         """Record a point-in-time event (e.g. kernel backend selection)."""
@@ -279,16 +298,22 @@ class MetricRegistry:
             histograms = {
                 n: h.snapshot() for n, h in self._histograms.items()
             }
+            windowed = {
+                n: w.snapshot() for n, w in self._windowed.items()
+            }
             spans = {
                 "/".join(p): {"count": a[0], "total_s": a[1]}
                 for p, a in self._span_agg.items()
             }
-        return {
+        snap = {
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
             "spans": spans,
         }
+        if windowed:
+            snap["windowed"] = windowed
+        return snap
 
     def reset(self) -> None:
         """Drop all recorded data (sinks are kept attached)."""
@@ -296,12 +321,22 @@ class MetricRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._windowed.clear()
             self._span_agg.clear()
 
     def close(self) -> None:
-        """Emit the final summary record and close every sink."""
+        """Emit the final summary record and close every sink.
+
+        Idempotent: the summary is flushed at most once per attached sink
+        set — a second :meth:`close` (or an ``atexit`` handler racing an
+        explicit :func:`repro.obs.shutdown`) finds no sinks and does
+        nothing, so repeated set-up/tear-down cycles in one process never
+        double-emit.
+        """
+        sinks, self.sinks = self.sinks, []
+        if not sinks:
+            return
         summary = {"kind": "summary", "t": time.time(), **self.snapshot()}
-        for sink in self.sinks:
+        for sink in sinks:
             sink.emit(summary)
             sink.close()
-        self.sinks = []

@@ -93,4 +93,17 @@ def format_summary(registry: MetricRegistry) -> str:
                 f"{h['mean']:.4g}  {h['p50']:.4g}  {h['p90']:.4g}  "
                 f"{h['p99']:.4g}  {h['max']:.4g}"
             )
+    windowed = {
+        n: w for n, w in sorted(snap.get("windowed", {}).items()) if w["count"]
+    }
+    if windowed:
+        parts.append("windowed histograms (window: count / p50 / p99):")
+        for n, w in windowed.items():
+            parts.append(f"  {n} (overall {w['count']:d}: "
+                         f"{w['p50']:.4g} / {w['p99']:.4g})")
+            for win, ws in w["windows"].items():
+                parts.append(
+                    f"    {win:<18s} {ws['count']:>7d}  "
+                    f"{ws['p50']:.4g}  {ws['p99']:.4g}"
+                )
     return "\n".join(parts)

@@ -1,0 +1,161 @@
+"""Reservoir-sampled and windowed distributions for sustained streams.
+
+The plain :class:`~repro.obs.registry.Histogram` answers "what did this
+run's latencies look like overall"; a *sustained* traffic stream
+(:mod:`repro.traffic`) needs two more things:
+
+1. *Unbiased retention.*  A first-``N``-observations cap biases
+   percentiles toward the start of exactly the long streams the traffic
+   generator produces (the load ramps **after** the cap fills).
+   :class:`ReservoirSample` keeps a uniform random subset of everything
+   seen — Vitter's Algorithm R — from a **seeded, deterministic** stream
+   (the seed derives from the metric name), so two runs over the same
+   observations retain the same reservoir bit for bit.
+2. *Windows.*  Latency under the burst phase of an MMPP stream and
+   latency under its calm phase are different populations; one pooled
+   histogram hides the tail where the SLO lives.
+   :class:`WindowedHistogram` segments observations by a caller-supplied
+   window label (load phase, load multiplier, arrival batch) while
+   keeping the pooled view, with exact count/sum/min/max per window and
+   reservoir-estimated percentiles.
+
+Both are lock-free by design — the traffic harness owns its instances —
+but the registry-held histograms wrap them under the registry lock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+
+__all__ = ["ReservoirSample", "WindowedHistogram", "reservoir_seed"]
+
+
+def reservoir_seed(name: str) -> int:
+    """A stable 64-bit seed derived from a metric name.
+
+    Process-independent (sha256, not ``hash()``), so the reservoir a
+    named histogram retains is reproducible across interpreters — the
+    determinism contract the traffic tests pin.
+    """
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:8], "big")
+
+
+class ReservoirSample:
+    """Uniform sample of a stream (Algorithm R), seeded and deterministic.
+
+    Exact ``count``/``total``/``min``/``max`` over *everything* observed;
+    ``values`` holds a uniform random subset of at most ``capacity``
+    observations, so nearest-rank percentiles over it are unbiased
+    estimates regardless of stream length or ordering.
+    """
+
+    __slots__ = ("capacity", "values", "count", "total", "min", "max", "_rng")
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.values: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.values) < self.capacity:
+            self.values.append(value)
+        else:
+            # Algorithm R: the i-th observation replaces a reservoir slot
+            # with probability capacity/i, keeping the sample uniform.
+            j = self._rng.randrange(self.count)
+            if j < self.capacity:
+                self.values[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained sample; ``q`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> dict:
+        """The registry histogram's stable key set (count/mean/min/max/p*)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class WindowedHistogram:
+    """Per-window reservoirs plus a pooled one, under one metric name.
+
+    ``observe(value, window="burst")`` feeds both the pooled reservoir
+    and the named window's; each window gets its own deterministic seed
+    (derived from ``name × window``), so per-window percentiles are as
+    reproducible as the pooled ones.  Window creation order is preserved
+    (insertion-ordered dict) — snapshots render phases in first-seen
+    order, which for a traffic stream is chronological.
+    """
+
+    __slots__ = ("name", "capacity", "overall", "_windows")
+
+    DEFAULT_CAPACITY = 8192
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.overall = ReservoirSample(capacity, seed=reservoir_seed(name))
+        self._windows: dict[str, ReservoirSample] = {}
+
+    def observe(self, value: float, window: str | None = None) -> None:
+        self.overall.observe(value)
+        if window is not None:
+            res = self._windows.get(window)
+            if res is None:
+                res = self._windows[window] = ReservoirSample(
+                    self.capacity, seed=reservoir_seed(f"{self.name}\x1f{window}")
+                )
+            res.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self.overall.count
+
+    def window_names(self) -> list[str]:
+        return list(self._windows)
+
+    def window(self, name: str) -> ReservoirSample | None:
+        return self._windows.get(name)
+
+    def percentile(self, q: float, window: str | None = None) -> float:
+        if window is None:
+            return self.overall.percentile(q)
+        res = self._windows.get(window)
+        return res.percentile(q) if res is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """Pooled stats plus a ``windows`` sub-dict, stable keys throughout."""
+        return {
+            **self.overall.snapshot(),
+            "windows": {w: r.snapshot() for w, r in self._windows.items()},
+        }

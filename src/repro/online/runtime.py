@@ -148,6 +148,16 @@ def run_online_haste(
                 continue
 
             events += 1
+            if obs.enabled():
+                # Queue-depth telemetry for sustained-traffic runs: how
+                # many known tasks are still in flight past this replan
+                # boundary, and how many arrivals this event is absorbing.
+                inflight = int(np.sum(known & (network.end_slots > boundary)))
+                backlog = int(np.sum(network.release_slots == t))
+                obs.set_gauge("online.inflight_tasks", inflight)
+                obs.set_gauge("online.arrival_backlog", backlog)
+                obs.observe("online.inflight_tasks", inflight)
+                obs.observe("online.arrival_backlog", backlog)
             with obs.span(
                 "online.arrival", slot=int(t), window_slots=len(window)
             ):

@@ -1,0 +1,255 @@
+"""The traffic harness: drive a solver spec with a sustained stream.
+
+:func:`drive_stream` runs one materialized :class:`TrafficStream`
+through the solver registry — any online spec works unchanged,
+including ``shards=S`` and fault-injected ones — and captures the
+per-arrival negotiation latencies; :func:`run_traffic` sweeps a
+:class:`TrafficModel` over load multipliers and assembles the
+:class:`TrafficReport`.
+
+Latency capture has two sources, recorded honestly in the report:
+
+* **spans** — when :mod:`repro.obs` is enabled, the harness attaches a
+  tiny collector sink for the duration of the solve and reads each
+  ``online.arrival`` span (slot + duration) straight off the record
+  stream.  Each latency is bucketed into the stream's load phase for
+  that slot and fed to the windowed histograms.
+* **fallback** — with telemetry off (the <2 %-overhead mode benchmarked
+  by ``BENCH_traffic.json``) or when the spans never reach this process
+  (``shards=S`` negotiates in subprocess workers), per-arrival latency
+  is imputed as plan-time / events, attributed to the arrival slots in
+  order.
+
+The harness only *borrows* the global obs registry: when telemetry is
+requested and the registry is disabled it configures and later shuts it
+down itself; when the caller already enabled obs, sinks and lifecycle
+stay untouched beyond the temporary collector.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..obs.sinks import Sink
+from ..obs.windows import WindowedHistogram
+from ..sim.config import SimulationConfig
+from ..solvers.artifact import RunArtifact
+from ..solvers.registry import get_solver
+from .model import TrafficModel, TrafficStream
+from .report import TrafficReport
+
+__all__ = [
+    "ArrivalLatencyCollector",
+    "DriveResult",
+    "drive_stream",
+    "run_traffic",
+    "kernel_mode",
+]
+
+#: Windowed-histogram metric fed per arrival (window = load phase).
+LATENCY_METRIC = "traffic.arrival_latency"
+
+
+def kernel_mode() -> str:
+    """Which negotiation kernel this process runs: ``compiled``/``numpy``."""
+    from ..online import _ckernel
+
+    return "compiled" if _ckernel.load() is not None else "numpy"
+
+
+class ArrivalLatencyCollector(Sink):
+    """Collects ``online.arrival`` span records: ``(slot, seconds)``."""
+
+    def __init__(self) -> None:
+        self.samples: list[tuple[int, float]] = []
+
+    def emit(self, record: dict) -> None:
+        if record.get("kind") == "span" and record.get("name") == "online.arrival":
+            fields = record.get("fields") or {}
+            self.samples.append((int(fields.get("slot", -1)), float(record["dur_s"])))
+
+
+@dataclass
+class DriveResult:
+    """One stream driven through one spec."""
+
+    artifact: RunArtifact
+    #: per-arrival ``(slot, latency_seconds)``, in arrival order
+    latencies: list = field(default_factory=list)
+    #: ``"spans"`` (measured) or ``"fallback"`` (imputed plan_s / events)
+    latency_source: str = "fallback"
+    wall_s: float = 0.0
+
+
+def _fallback_latencies(stream: TrafficStream, artifact: RunArtifact) -> list:
+    """Impute per-arrival latency as plan-time / events over arrival slots."""
+    events = int(artifact.events)
+    if events <= 0:
+        return []
+    plan_s = float(artifact.meta.get("plan_s", artifact.wall_time_s))
+    per_event = plan_s / events
+    slots = sorted(
+        {int(s) for s in np.asarray(stream.instance.release_slots).tolist()}
+    )
+    return [(slot, per_event) for slot in slots[:events]]
+
+
+def drive_stream(
+    stream: TrafficStream,
+    spec: str = "online-haste",
+    *,
+    telemetry: bool = True,
+    seed: int | None = None,
+) -> DriveResult:
+    """Run ``stream`` through ``spec`` and capture per-arrival latencies.
+
+    ``seed`` defaults to the stream's own model seed, so repeated drives
+    of the same stream hand the solver an identical rng stream.
+    """
+    solver = get_solver(spec)
+    if stream.instance.m == 0:
+        # An empty stream has nothing to schedule: the objective layer
+        # (rightly) refuses task-free networks, so short-circuit with an
+        # empty artifact instead of forcing every caller to special-case.
+        empty = RunArtifact(solver=solver.canonical(), meta={"plan_s": 0.0})
+        return DriveResult(artifact=empty)
+    rng = np.random.default_rng(seed if seed is not None else stream.model.seed)
+    collector: ArrivalLatencyCollector | None = None
+    reg = obs.get_registry()
+    if telemetry and reg.enabled:
+        collector = ArrivalLatencyCollector()
+        reg.sinks.append(collector)
+    start = time.perf_counter()
+    try:
+        artifact = solver.solve_from_instance(stream.instance, rng, stream.config)
+    finally:
+        if collector is not None and collector in reg.sinks:
+            reg.sinks.remove(collector)
+    wall = time.perf_counter() - start
+
+    if collector is not None and collector.samples:
+        latencies = list(collector.samples)
+        source = "spans"
+    else:
+        latencies = _fallback_latencies(stream, artifact)
+        source = "fallback"
+    return DriveResult(
+        artifact=artifact,
+        latencies=latencies,
+        latency_source=source,
+        wall_s=wall,
+    )
+
+
+def _phase_arrivals(stream: TrafficStream) -> dict[str, int]:
+    """Arrivals per load phase (deterministic — part of the report hash)."""
+    tally: dict[str, int] = {}
+    counts = np.asarray(stream.counts)
+    for k, phase in enumerate(stream.phases):
+        tally[phase] = tally.get(phase, 0) + int(counts[k])
+    return tally
+
+
+def _online_gauges() -> dict[str, float]:
+    """The runtime's queue-depth gauges, if the registry recorded any."""
+    if not obs.enabled():
+        return {}
+    snap = obs.get_registry().snapshot()
+    return {
+        name: value
+        for name, value in snap.get("gauges", {}).items()
+        if name.startswith("online.") and value is not None
+    }
+
+
+def _load_point(
+    stream: TrafficStream, drive: DriveResult, load: float
+) -> dict:
+    """Assemble one report entry from a driven stream."""
+    # A local windowed histogram always backs the report (works with obs
+    # off); the shared registry metric is fed too when obs is live, so
+    # `repro-haste profile`-style summaries see the same distribution.
+    wh = WindowedHistogram(f"{LATENCY_METRIC}@{load:g}")
+    live = obs.enabled()
+    for slot, dur in drive.latencies:
+        phase = stream.phase_of_slot(slot)
+        wh.observe(dur, window=phase)
+        if live:
+            obs.observe_windowed(LATENCY_METRIC, dur, window=phase)
+
+    snap = wh.snapshot()
+    art = drive.artifact
+    phases = {}
+    phase_arrivals = _phase_arrivals(stream)
+    for phase, ws in snap["windows"].items():
+        phases[phase] = {
+            "arrivals": phase_arrivals.get(phase, 0),
+            "count": ws["count"],
+            "p50": ws["p50"],
+            "p99": ws["p99"],
+        }
+    wall = drive.wall_s if drive.wall_s > 0 else float(art.wall_time_s)
+    return {
+        "load": float(load),
+        "digest": stream.digest(),
+        "horizon": stream.horizon,
+        "arrivals": stream.arrivals,
+        "events": int(art.events),
+        "offered_per_slot": stream.offered_per_slot,
+        "utility": float(art.total_utility),
+        "relaxed_utility": float(art.relaxed_utility),
+        "plan_s": float(art.meta.get("plan_s", art.wall_time_s)),
+        "wall_s": wall,
+        "sustained_arrivals_per_s": (stream.arrivals / wall if wall > 0 else 0.0),
+        "latency": {
+            "count": snap["count"],
+            "mean": snap["mean"],
+            "p50": snap["p50"],
+            "p90": snap["p90"],
+            "p99": snap["p99"],
+            "max": snap["max"],
+            "source": drive.latency_source,
+        },
+        "phases": phases,
+        "phase_arrivals": phase_arrivals,
+        "gauges": _online_gauges(),
+    }
+
+
+def run_traffic(
+    model: TrafficModel,
+    config: SimulationConfig | None = None,
+    *,
+    spec: str = "online-haste",
+    loads: tuple = (1.0,),
+    telemetry: bool = True,
+) -> TrafficReport:
+    """Sweep ``model`` over ``loads`` against ``spec`` → :class:`TrafficReport`.
+
+    With ``telemetry=False`` nothing touches the obs registry and latency
+    falls back to the imputed source — the near-zero-overhead mode the
+    ``BENCH_traffic.json`` overhead row certifies.
+    """
+    config = config if config is not None else SimulationConfig()
+    owns_registry = telemetry and not obs.enabled()
+    if owns_registry:
+        obs.configure()
+    try:
+        points = []
+        for load in loads:
+            stream = model.with_load(float(load)).stream(config)
+            drive = drive_stream(stream, spec, telemetry=telemetry)
+            points.append(_load_point(stream, drive, float(load)))
+    finally:
+        if owns_registry:
+            obs.shutdown()
+    return TrafficReport(
+        model=model.as_dict(),
+        spec=get_solver(spec).canonical(),
+        kernel=kernel_mode(),
+        points=points,
+    )

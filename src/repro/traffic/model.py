@@ -1,0 +1,257 @@
+"""The traffic model: a seeded, replayable description of a workload stream.
+
+A :class:`TrafficModel` is to load generation what
+:class:`~repro.faults.model.FaultModel` is to the radio: a small frozen
+value object that fully determines a stream of task arrivals — the
+arrival process and its knobs, the load multiplier, the fleet-size and
+hot-spot scaling, the horizon, and one seed.  ``model.stream(config)``
+materializes the stream as a :class:`TrafficStream`: per-slot arrival
+counts, per-slot load-phase labels, and a complete serializable
+:class:`~repro.solvers.instance.Instance` whose tasks release exactly at
+the sampled arrival slots — so any registered online solver spec
+(``online-haste``, ``online-haste:shards=4``,
+``online-haste:loss=0.1,crash=2``) consumes the stream through the
+ordinary registry path with no code changes.
+
+Replayability contract
+----------------------
+All stream randomness comes from one generator seeded by
+``TrafficModel.seed`` and consumed in a fixed order (charger placement,
+arrival counts/phases, hot-spot center, then per-task position /
+duration / orientation / energy).  The same ``(model, config)`` pair
+therefore yields byte-identical streams, and :meth:`TrafficStream.digest`
+is the sha256 witness the SLO gate and the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.geometry import wrap_angle
+from ..sim.config import SimulationConfig
+from ..sim.topology import uniform_positions
+from ..solvers.instance import Instance
+from .processes import PROCESS_NAMES, ArrivalProcess, make_process
+
+__all__ = ["TrafficModel", "TrafficStream"]
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Everything that determines a workload stream, as one frozen value.
+
+    ``rate`` is the mean arrivals per slot at ``load = 1``; the sweep
+    knob is ``load`` (the effective rate is ``rate × load``).
+    ``fleet_scale`` grows the charger fleet and the field area together
+    (constant charger density), ``hotspot_frac`` routes that fraction of
+    arrivals into a small seeded disc (skewed spatial load), and
+    ``horizon_slots`` defaults to the config's horizon.
+    """
+
+    process: str = "poisson"  # poisson | mmpp | diurnal
+    rate: float = 2.0
+    load: float = 1.0
+    horizon_slots: int | None = None
+    # MMPP knobs
+    burst_factor: float = 6.0
+    burst_prob: float = 0.08
+    calm_prob: float = 0.35
+    # Diurnal knobs
+    period_slots: int = 24
+    amplitude: float = 0.8
+    # Fleet / spatial scaling knobs
+    fleet_scale: float = 1.0
+    hotspot_frac: float = 0.0
+    hotspot_radius: float = 0.15  # relative to field size
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.process not in PROCESS_NAMES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; "
+                f"known: {', '.join(PROCESS_NAMES)}"
+            )
+        if self.rate < 0.0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.load < 0.0:
+            raise ValueError(f"load must be >= 0, got {self.load}")
+        if self.horizon_slots is not None and self.horizon_slots < 0:
+            raise ValueError(
+                f"horizon_slots must be >= 0, got {self.horizon_slots}"
+            )
+        if self.fleet_scale <= 0.0:
+            raise ValueError(
+                f"fleet_scale must be > 0, got {self.fleet_scale}"
+            )
+        if not (0.0 <= self.hotspot_frac <= 1.0):
+            raise ValueError(
+                f"hotspot_frac must be in [0, 1], got {self.hotspot_frac}"
+            )
+        if not (0.0 < self.hotspot_radius <= 1.0):
+            raise ValueError(
+                f"hotspot_radius must be in (0, 1], got {self.hotspot_radius}"
+            )
+
+    def with_load(self, load: float) -> "TrafficModel":
+        """The same model at a different load multiplier (sweep knob)."""
+        return dataclasses.replace(self, load=float(load))
+
+    def arrival_process(self) -> ArrivalProcess:
+        """The configured process at the effective (load-scaled) rate."""
+        return make_process(
+            self.process,
+            self.rate * self.load,
+            burst_factor=self.burst_factor,
+            burst_prob=self.burst_prob,
+            calm_prob=self.calm_prob,
+            period_slots=self.period_slots,
+            amplitude=self.amplitude,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-scalar form (report serialization)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrafficModel":
+        return cls(**payload)
+
+    # ------------------------------------------------------------------
+    # Stream materialization
+    # ------------------------------------------------------------------
+    def stream(self, config: SimulationConfig) -> "TrafficStream":
+        """Materialize the stream this model describes over ``config``.
+
+        The fixed draw order documented in the module docstring is the
+        replayability contract — do not reorder.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = max(1, int(round(config.num_chargers * self.fleet_scale)))
+        field = float(config.field_size * np.sqrt(self.fleet_scale))
+        horizon = (
+            int(self.horizon_slots)
+            if self.horizon_slots is not None
+            else int(config.horizon_slots)
+        )
+
+        charger_xy = uniform_positions(rng, n, field)
+        counts, phases = self.arrival_process().sample(horizon, rng)
+        m = int(counts.sum())
+
+        if self.hotspot_frac > 0.0:
+            center = rng.uniform(0.25 * field, 0.75 * field, size=2)
+            radius = self.hotspot_radius * field
+        else:
+            center, radius = None, 0.0
+
+        release = np.repeat(np.arange(horizon, dtype=np.int64), counts)
+        task_xy = np.zeros((m, 2), dtype=float)
+        end = np.zeros(m, dtype=np.int64)
+        orientation = np.zeros(m, dtype=float)
+        energy = np.zeros(m, dtype=float)
+        d_lo = int(config.duration_slots_min)
+        d_hi = int(config.duration_slots_max)
+        for j in range(m):
+            if center is not None and rng.random() < self.hotspot_frac:
+                # Uniform over the hot-spot disc, clipped to the field.
+                r = radius * np.sqrt(rng.random())
+                theta = rng.uniform(0.0, 2.0 * np.pi)
+                xy = center + r * np.array([np.cos(theta), np.sin(theta)])
+                task_xy[j] = np.clip(xy, 0.0, field)
+            else:
+                task_xy[j] = rng.uniform(0.0, field, size=2)
+            duration = int(rng.integers(d_lo, d_hi + 1))
+            end[j] = release[j] + duration
+            orientation[j] = float(wrap_angle(rng.uniform(0.0, 2.0 * np.pi)))
+            energy[j] = float(rng.uniform(config.energy_min, config.energy_max))
+
+        # The stream's config: scaled fleet, actual task count (so the
+        # paper's w_j = 1/m default holds for the stream), and a horizon
+        # wide enough for the longest in-flight task.
+        max_end = int(end.max()) if m else horizon
+        stream_config = config.replace(
+            num_chargers=n,
+            num_tasks=m,
+            field_size=field,
+            horizon_slots=max(max_end, horizon, config.duration_slots_max),
+        )
+        weight = stream_config.weight
+        instance = Instance(
+            config=stream_config,
+            seed=self.seed,
+            charger_xy=charger_xy,
+            charger_angle=np.full(n, float(config.charging_angle)),
+            charger_radius=np.full(n, float(config.radius)),
+            task_xy=task_xy,
+            task_orientation=orientation,
+            release_slots=release,
+            end_slots=end,
+            required_energy=energy,
+            receiving_angle=np.full(m, float(config.receiving_angle)),
+            weights=np.full(m, float(weight)),
+            alpha=float(config.alpha),
+            beta=float(config.beta),
+            gain_exponent=None,
+            slot_seconds=float(config.slot_seconds),
+        )
+        return TrafficStream(
+            model=self,
+            config=stream_config,
+            counts=counts,
+            phases=tuple(phases),
+            instance=instance,
+        )
+
+
+@dataclass
+class TrafficStream:
+    """One materialized stream: counts + phases + the solvable instance."""
+
+    model: TrafficModel
+    config: SimulationConfig
+    counts: np.ndarray  # (horizon,) arrivals per slot
+    phases: tuple[str, ...]  # (horizon,) load-phase label per slot
+    instance: Instance
+
+    @property
+    def horizon(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def arrivals(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def offered_per_slot(self) -> float:
+        """Realized mean arrivals per slot over the stream."""
+        return self.arrivals / self.horizon if self.horizon else 0.0
+
+    def phase_of_slot(self, slot: int) -> str:
+        """The load phase a given slot belongs to."""
+        if not self.phases:
+            return "steady"
+        return self.phases[min(max(int(slot), 0), len(self.phases) - 1)]
+
+    def digest(self) -> str:
+        """sha256 witness of the whole stream (counts, phases, instance).
+
+        Stable across processes — the SLO baseline pins it so a gate run
+        provably replays the exact stream the baseline was recorded on.
+        """
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.counts, dtype=np.int64).tobytes())
+        h.update("|".join(self.phases).encode())
+        h.update(self.instance.content_hash().encode())
+        return h.hexdigest()
+
+    def describe(self) -> str:
+        m = self.model
+        return (
+            f"TrafficStream({m.process}, rate={m.rate:g}×{m.load:g}, "
+            f"horizon={self.horizon}, arrivals={self.arrivals}, "
+            f"n={self.instance.n}, digest={self.digest()[:12]})"
+        )

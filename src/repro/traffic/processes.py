@@ -1,0 +1,197 @@
+"""Arrival processes: how charging requests land on the fleet over time.
+
+The paper evaluates HASTE on static task batches; production WRSN
+charging traffic is a *stream* — and a bursty, time-varying one
+(deadline-driven charging request streams, arxiv 1810.12385).  An
+:class:`ArrivalProcess` turns a mean request rate into a per-slot arrival
+count sequence plus a per-slot **phase label** (the load phase the slot
+belongs to), both drawn from the caller's seeded generator so a single
+seed pins the whole stream.
+
+Three processes cover the regimes the SLO curves need:
+
+* :class:`PoissonProcess` — memoryless constant-rate arrivals, the
+  steady-state floor every queueing result assumes;
+* :class:`MMPPProcess` — a 2-state Markov-modulated Poisson process:
+  calm slots at the base rate, burst slots at ``burst_factor × rate``,
+  with geometric sojourns.  This is the canonical bursty-traffic model
+  and the one that separates p50 from p99;
+* :class:`DiurnalProcess` — a sinusoidal day/night envelope over Poisson
+  arrivals, the fleet-scale load shape (peak/off-peak phases).
+
+``sample(horizon, rng)`` returns ``(counts, phases)``; phases come from
+the *sampled* trajectory for the MMPP (the chain is random) and from the
+deterministic envelope for the others.  :func:`make_process` maps the
+spec-style process name + knobs of a
+:class:`~repro.traffic.model.TrafficModel` to an instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonProcess",
+    "MMPPProcess",
+    "DiurnalProcess",
+    "PROCESS_NAMES",
+    "make_process",
+]
+
+
+def _check_rate(rate: float) -> float:
+    rate = float(rate)
+    if rate < 0.0 or not np.isfinite(rate):
+        raise ValueError(f"rate must be finite and >= 0, got {rate}")
+    return rate
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base: per-slot Poisson draws around a (possibly varying) rate."""
+
+    rate: float = 1.0  # mean arrivals per slot
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    def rates(self, horizon: int) -> np.ndarray:
+        """Expected arrivals per slot, shape ``(horizon,)``."""
+        return np.full(horizon, self.rate, dtype=float)
+
+    def phase_labels(self, horizon: int) -> list[str]:
+        """Deterministic per-slot phase labels (overridden by MMPP)."""
+        return ["steady"] * horizon
+
+    def sample(
+        self, horizon: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, list[str]]:
+        """Draw ``(counts, phases)`` for ``horizon`` slots."""
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        rates = self.rates(horizon)
+        counts = rng.poisson(rates).astype(np.int64)
+        return counts, self.phase_labels(horizon)
+
+
+@dataclass(frozen=True)
+class PoissonProcess(ArrivalProcess):
+    """Constant-rate memoryless arrivals (phase ``steady``)."""
+
+
+@dataclass(frozen=True)
+class MMPPProcess(ArrivalProcess):
+    """2-state Markov-modulated Poisson process (phases ``calm``/``burst``).
+
+    The chain starts calm; each slot it enters a burst with probability
+    ``burst_prob`` and leaves one with probability ``calm_prob``
+    (geometric sojourn lengths, mean ``1/calm_prob`` slots).  Burst slots
+    arrive at ``burst_factor × rate``.  The *offered* mean rate therefore
+    exceeds ``rate`` by the burst occupancy — the load curves report
+    realized arrivals, so the distinction stays visible instead of being
+    normalized away.
+    """
+
+    burst_factor: float = 6.0
+    burst_prob: float = 0.08
+    calm_prob: float = 0.35
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        for name in ("burst_prob", "calm_prob"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+    def sample(
+        self, horizon: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, list[str]]:
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        counts = np.zeros(horizon, dtype=np.int64)
+        phases: list[str] = []
+        burst = False
+        for k in range(horizon):
+            # Draw order is fixed (transition, then count) — the stream
+            # digest the tests pin depends on it.
+            if burst:
+                burst = not (rng.random() < self.calm_prob)
+            else:
+                burst = rng.random() < self.burst_prob
+            lam = self.rate * (self.burst_factor if burst else 1.0)
+            counts[k] = rng.poisson(lam)
+            phases.append("burst" if burst else "calm")
+        return counts, phases
+
+
+@dataclass(frozen=True)
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidal day/night envelope (phases ``peak``/``offpeak``).
+
+    ``rate(k) = rate × (1 + amplitude · sin(2πk/period))``, clipped at 0.
+    Slots whose envelope sits at or above the mean are labelled ``peak``.
+    """
+
+    period_slots: int = 24
+    amplitude: float = 0.8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.period_slots < 2:
+            raise ValueError(
+                f"period_slots must be >= 2, got {self.period_slots}"
+            )
+        if not (0.0 <= self.amplitude <= 1.0):
+            raise ValueError(
+                f"amplitude must be in [0, 1], got {self.amplitude}"
+            )
+
+    def rates(self, horizon: int) -> np.ndarray:
+        k = np.arange(horizon, dtype=float)
+        envelope = 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * k / self.period_slots
+        )
+        return np.maximum(self.rate * envelope, 0.0)
+
+    def phase_labels(self, horizon: int) -> list[str]:
+        rates = self.rates(horizon)
+        return ["peak" if r >= self.rate else "offpeak" for r in rates]
+
+
+PROCESS_NAMES = ("poisson", "mmpp", "diurnal")
+
+
+def make_process(
+    name: str,
+    rate: float,
+    *,
+    burst_factor: float = 6.0,
+    burst_prob: float = 0.08,
+    calm_prob: float = 0.35,
+    period_slots: int = 24,
+    amplitude: float = 0.8,
+) -> ArrivalProcess:
+    """Build the named arrival process with the model's knobs."""
+    if name == "poisson":
+        return PoissonProcess(rate=rate)
+    if name == "mmpp":
+        return MMPPProcess(
+            rate=rate,
+            burst_factor=burst_factor,
+            burst_prob=burst_prob,
+            calm_prob=calm_prob,
+        )
+    if name == "diurnal":
+        return DiurnalProcess(
+            rate=rate, period_slots=period_slots, amplitude=amplitude
+        )
+    raise ValueError(
+        f"unknown arrival process {name!r}; known: {', '.join(PROCESS_NAMES)}"
+    )

@@ -1,0 +1,153 @@
+"""The :class:`TrafficReport` — what a sustained traffic run produced.
+
+One report covers one ``(model, solver spec)`` pair swept over one or
+more load multipliers.  Each load point records the stream digest (the
+replay witness), the arrival/latency distribution overall and per load
+phase, throughput, and the executed utility; the report derives the
+utility-vs-load and latency-vs-load curves the SLO dashboards plot.
+
+Determinism: wall-clock quantities (latencies, throughput) vary run to
+run, but everything the stream and the solver *decide* is seeded.
+:meth:`TrafficReport.content_hash` covers exactly the deterministic
+subset — model, spec, per-load digests, arrival counts, event counts,
+utilities, and per-phase arrival tallies — so the determinism tests can
+assert two same-seed runs produce bit-identical reports without pinning
+timing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficReport", "REPORT_FORMAT"]
+
+REPORT_FORMAT = "repro-haste-traffic-report-v1"
+
+#: Per-load-point keys that are deterministic given the seed (everything
+#: else — latency percentiles, throughput, gauges — is wall-clock).
+_DETERMINISTIC_POINT_KEYS = (
+    "load",
+    "digest",
+    "horizon",
+    "arrivals",
+    "events",
+    "utility",
+    "relaxed_utility",
+    "phase_arrivals",
+)
+
+
+@dataclass
+class TrafficReport:
+    """Results of one traffic run: model + spec + one dict per load point.
+
+    Each entry of ``points`` is a plain-scalar dict with keys::
+
+        load, digest, horizon, arrivals, events, offered_per_slot,
+        utility, relaxed_utility, plan_s, wall_s,
+        sustained_arrivals_per_s, latency (count/mean/p50/p90/p99/max/
+        source), phases ({phase: {arrivals, count, p50, p99}}),
+        phase_arrivals ({phase: int}), gauges ({name: value})
+
+    ``latency.source`` is ``"spans"`` when per-arrival negotiation spans
+    were captured live and ``"fallback"`` when latency had to be imputed
+    as plan-time / events (telemetry off, or sharded solves whose spans
+    live in subprocess workers).
+    """
+
+    model: dict = field(default_factory=dict)
+    spec: str = "online-haste"
+    kernel: str = "unknown"
+    points: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived curves
+    # ------------------------------------------------------------------
+    def utility_vs_load(self) -> list[tuple[float, float]]:
+        return [(p["load"], p["utility"]) for p in self.points]
+
+    def latency_vs_load(self, q: str = "p99") -> list[tuple[float, float]]:
+        return [(p["load"], p["latency"][q]) for p in self.points]
+
+    def point(self, load: float) -> dict:
+        for p in self.points:
+            if p["load"] == load:
+                return p
+        raise KeyError(f"no load point {load!r} in report")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": REPORT_FORMAT,
+            "model": dict(self.model),
+            "spec": self.spec,
+            "kernel": self.kernel,
+            "points": [dict(p) for p in self.points],
+            "utility_vs_load": self.utility_vs_load(),
+            "latency_vs_load": self.latency_vs_load(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrafficReport":
+        if payload.get("format") != REPORT_FORMAT:
+            raise ValueError(f"unknown report format {payload.get('format')!r}")
+        return cls(
+            model=dict(payload["model"]),
+            spec=payload["spec"],
+            kernel=payload.get("kernel", "unknown"),
+            points=[dict(p) for p in payload["points"]],
+        )
+
+    def save(self, path) -> None:
+        with open(str(path), "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+
+    @classmethod
+    def load(cls, path) -> "TrafficReport":
+        with open(str(path), "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    # ------------------------------------------------------------------
+    # Determinism witness
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """sha256 over the seed-determined subset (no wall-clock fields)."""
+        payload = {
+            "model": dict(self.model),
+            "spec": self.spec,
+            "points": [
+                {k: p.get(k) for k in _DETERMINISTIC_POINT_KEYS}
+                for p in self.points
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        lines = [
+            f"traffic report: {self.model.get('process', '?')} × "
+            f"{self.spec} [{self.kernel} kernel]",
+            "  load   arrivals  events  util      p50ms    p99ms   "
+            "sust/s  src",
+        ]
+        for p in self.points:
+            lat = p["latency"]
+            lines.append(
+                f"  {p['load']:<6g} {p['arrivals']:>8d} {p['events']:>7d}  "
+                f"{p['utility']:<8.5g} {lat['p50'] * 1e3:>8.2f} "
+                f"{lat['p99'] * 1e3:>8.2f} {p['sustained_arrivals_per_s']:>7.1f}"
+                f"  {lat['source']}"
+            )
+            for phase, ps in sorted(p.get("phases", {}).items()):
+                lines.append(
+                    f"         · {phase:<10s} arrivals={ps['arrivals']:<6d}"
+                    f" p50={ps['p50'] * 1e3:.2f}ms p99={ps['p99'] * 1e3:.2f}ms"
+                )
+        return "\n".join(lines)

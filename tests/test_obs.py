@@ -356,3 +356,128 @@ class TestSchedulerIntegration:
         traced = run_online_haste(net, rng=np.random.default_rng(2), **kwargs)
         assert plain.schedule == traced.schedule
         assert plain.stats.messages == traced.stats.messages
+
+
+class TestReservoirRetention:
+    """The seeded-reservoir fix for the first-N retention bias."""
+
+    def test_retention_is_unbiased_on_rising_stream(self):
+        # A monotone stream 0..9999 with a cap of 100: a first-N cap
+        # would freeze every percentile below 100; the reservoir's
+        # retained sample is uniform over the whole stream.
+        h = Histogram("bias", max_samples=100)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.count == 10_000
+        assert h.total == pytest.approx(sum(range(10_000)))
+        assert h.min == 0.0 and h.max == 9_999.0
+        assert 3_000.0 < h.percentile(50) < 7_000.0
+        assert h.percentile(99) > 8_000.0
+
+    def test_retention_is_deterministic_per_name(self):
+        a, b = Histogram("same-name", 16), Histogram("same-name", 16)
+        for v in range(1_000):
+            a.observe(float(v))
+            b.observe(float(v))
+        assert a._values == b._values
+        c = Histogram("other-name", 16)
+        for v in range(1_000):
+            c.observe(float(v))
+        assert c._values != a._values  # different seed, different subset
+
+    def test_snapshot_keys_are_stable(self):
+        h = Histogram("keys", max_samples=4)
+        for v in range(50):
+            h.observe(float(v))
+        assert set(h.snapshot()) == {
+            "count", "mean", "min", "max", "p50", "p90", "p99",
+        }
+
+
+class TestWindowedHistogram:
+    def test_percentiles_match_brute_force_below_capacity(self):
+        import math
+
+        from repro.obs import WindowedHistogram
+
+        rng = np.random.default_rng(5)
+        wh = WindowedHistogram("lat", capacity=10_000)
+        per_window: dict[str, list[float]] = {"calm": [], "burst": []}
+        for _ in range(2_000):
+            window = "burst" if rng.random() < 0.3 else "calm"
+            v = float(rng.exponential(1.0 if window == "calm" else 5.0))
+            wh.observe(v, window=window)
+            per_window[window].append(v)
+
+        def nearest_rank(values, q):
+            ordered = sorted(values)
+            rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+            return ordered[min(rank, len(ordered)) - 1]
+
+        pooled = per_window["calm"] + per_window["burst"]
+        for q in (0, 50, 90, 99, 100):
+            assert wh.percentile(q) == nearest_rank(pooled, q)
+            for w, vals in per_window.items():
+                assert wh.percentile(q, window=w) == nearest_rank(vals, q)
+
+    def test_registry_windowed_snapshot_and_summary(self):
+        reg = obs.configure()
+        obs.observe_windowed("traffic.lat", 1.0, window="calm")
+        obs.observe_windowed("traffic.lat", 9.0, window="burst")
+        obs.observe_windowed("traffic.lat", 3.0)
+        snap = reg.snapshot()
+        w = snap["windowed"]["traffic.lat"]
+        assert w["count"] == 3
+        assert w["windows"]["calm"]["count"] == 1
+        assert w["windows"]["burst"]["p99"] == 9.0
+        text = obs.format_summary(reg)
+        assert "windowed histograms" in text
+        assert "burst" in text
+
+    def test_windowed_disabled_is_noop(self):
+        obs.observe_windowed("traffic.lat", 1.0, window="calm")
+        assert "windowed" not in obs.get_registry().snapshot()
+
+
+class TestLifecycleIdempotency:
+    def test_configure_twice_fresh_does_not_stack_sinks(self):
+        reg = obs.configure()
+        first = reg.sinks[0]
+        reg = obs.configure()
+        assert len(reg.sinks) == 1
+        assert reg.sinks[0] is not first  # a fresh epoch, fresh sink
+
+    def test_configure_twice_same_trace_path_no_duplicate(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        reg = obs.configure(trace=path)
+        reg = obs.configure(trace=path, fresh=False)
+        jsonl = [s for s in reg.sinks if isinstance(s, JsonlSink)]
+        assert len(jsonl) == 1
+
+    def test_shutdown_twice_emits_one_summary(self):
+        sink = MemorySink()
+        obs.configure(sink=sink)
+        obs.inc("a")
+        obs.shutdown()
+        obs.shutdown()  # second shutdown must be a no-op
+        summaries = [r for r in sink.records if r.get("kind") == "summary"]
+        assert len(summaries) == 1
+        assert not obs.enabled()
+
+    def test_registry_close_idempotent_directly(self):
+        reg = MetricRegistry(enabled=True)
+        sink = MemorySink()
+        reg.sinks.append(sink)
+        reg.close()
+        reg.close()
+        assert len([r for r in sink.records if r["kind"] == "summary"]) == 1
+        assert reg.sinks == []
+
+    def test_reconfigure_after_shutdown_records_again(self):
+        obs.configure()
+        obs.inc("a")
+        obs.shutdown()
+        reg = obs.configure()
+        obs.inc("b")
+        snap = reg.snapshot()["counters"]
+        assert snap == {"b": 1}
