@@ -8,10 +8,14 @@ modes are combined:
   per-arrival replanning).  The "before" is the repository's actual root
   commit, extracted with ``git archive`` into a temp directory and run in
   a subprocess with its own ``PYTHONPATH``; "after" is the working tree,
-  driven through the solver registry (``repro.solvers``) — each worker
-  resolves a spec string and reports the artifact's scheduling-phase
-  ``plan_s``, falling back to direct calls on trees that predate the
-  registry.
+  driven through the solver registry (``repro.solvers``).  Each side
+  gets its own worker script: the *direct* worker calls
+  ``schedule_offline``/``run_online_haste`` straight (the only API the
+  pre-registry trees have, and a call path every later tree still
+  exposes), while the *registry* worker resolves a spec string and
+  reports the artifact's scheduling-phase ``plan_s`` — which wraps
+  exactly what the direct worker's ``perf_counter`` wraps, so the two
+  sides stay comparable.
   Before/after repeats are interleaved in time so slow drift of the host
   (thermal, co-tenants) hits both sides equally, and the median repeat is
   reported.
@@ -27,6 +31,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --obs      # BENCH_obs.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --shard    # BENCH_shard.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --traffic  # BENCH_traffic.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --serve    # BENCH_serve.json
 
 The default output path is ``BENCH_kernels.json`` next to the repo root;
 ``--skip-seed`` falls back to flags-reference for the end-to-end rows
@@ -54,56 +59,89 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-WORKER_CENTRALIZED = """
+# Each measured side runs its own worker script — no runtime probing of
+# what the extracted tree supports.  The *direct* workers speak the seed
+# API (``schedule_offline`` / ``run_online_haste``), which every tree in
+# the history exposes; the *registry* workers speak spec strings and read
+# the artifact's ``plan_s``, which wraps exactly the region the direct
+# workers time with ``perf_counter``.
+
+WORKER_CENTRALIZED_DIRECT = """
 import json, sys, time
 import numpy as np
 from repro.sim.config import SimulationConfig
 from repro.sim.workload import sample_network
+from repro.offline.centralized import schedule_offline
 
 scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
 cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
 net = sample_network(cfg, np.random.default_rng(net_seed))
 rng = np.random.default_rng(run_seed)
-try:
-    # Registry path (current tree): plan_s times the scheduling phase only,
-    # matching what the pre-registry worker wrapped in perf_counter.
-    from repro.solvers import get_solver
-    art = get_solver("haste-offline:smooth=0").solve(net, rng, cfg)
-    dt, value = art.meta["plan_s"], art.objective_value
-except ImportError:
-    # Older trees (the git-extracted "before" side) predate repro.solvers.
-    from repro.offline.centralized import schedule_offline
-    t0 = time.perf_counter()
-    res = schedule_offline(net, cfg.num_colors, num_samples=cfg.num_samples, rng=rng)
-    dt, value = time.perf_counter() - t0, res.objective_value
+t0 = time.perf_counter()
+res = schedule_offline(net, cfg.num_colors, num_samples=cfg.num_samples, rng=rng)
+dt, value = time.perf_counter() - t0, res.objective_value
 print(json.dumps({"seconds": dt, "value": value,
                   "n": net.n, "m": net.m, "K": net.num_slots,
                   "C": cfg.num_colors, "S": cfg.num_samples}))
 """
 
-WORKER_ONLINE = """
-import json, sys, time
+WORKER_CENTRALIZED_REGISTRY = """
+import json, sys
 import numpy as np
 from repro.sim.config import SimulationConfig
 from repro.sim.workload import sample_network
+from repro.solvers import get_solver
 
 scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
 cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
 net = sample_network(cfg, np.random.default_rng(net_seed))
 rng = np.random.default_rng(run_seed)
-try:
-    # Registry path (current tree); plan_s wraps run_online_haste exactly
-    # as the pre-registry worker's perf_counter did.
-    from repro.solvers import get_solver
-    art = get_solver("online-haste").solve(net, rng, cfg)
-    dt, events, utility = art.meta["plan_s"], art.events, art.total_utility
-except ImportError:
-    # Older trees (the git-extracted "before" side) predate repro.solvers.
-    from repro.online.runtime import run_online_haste
-    t0 = time.perf_counter()
-    run = run_online_haste(net, num_colors=cfg.num_colors, num_samples=cfg.num_samples,
-                           tau=cfg.tau, rho=cfg.rho, rng=rng)
-    dt, events, utility = time.perf_counter() - t0, run.events, run.total_utility
+# plan_s times the scheduling phase only, matching the region the direct
+# worker wraps in perf_counter.
+art = get_solver("haste-offline:smooth=0").solve(net, rng, cfg)
+dt, value = art.meta["plan_s"], art.objective_value
+print(json.dumps({"seconds": dt, "value": value,
+                  "n": net.n, "m": net.m, "K": net.num_slots,
+                  "C": cfg.num_colors, "S": cfg.num_samples}))
+"""
+
+WORKER_ONLINE_DIRECT = """
+import json, sys, time
+import numpy as np
+from repro.sim.config import SimulationConfig
+from repro.sim.workload import sample_network
+from repro.online.runtime import run_online_haste
+
+scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
+net = sample_network(cfg, np.random.default_rng(net_seed))
+rng = np.random.default_rng(run_seed)
+t0 = time.perf_counter()
+run = run_online_haste(net, num_colors=cfg.num_colors, num_samples=cfg.num_samples,
+                       tau=cfg.tau, rho=cfg.rho, rng=rng)
+dt, events, utility = time.perf_counter() - t0, run.events, run.total_utility
+print(json.dumps({"seconds": dt, "events": events,
+                  "per_event": dt / max(events, 1),
+                  "utility": utility,
+                  "n": net.n, "m": net.m, "K": net.num_slots,
+                  "C": cfg.num_colors, "S": cfg.num_samples}))
+"""
+
+WORKER_ONLINE_REGISTRY = """
+import json, sys
+import numpy as np
+from repro.sim.config import SimulationConfig
+from repro.sim.workload import sample_network
+from repro.solvers import get_solver
+
+scale, net_seed, run_seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cfg = getattr(SimulationConfig, scale)() if scale != "default" else SimulationConfig()
+net = sample_network(cfg, np.random.default_rng(net_seed))
+rng = np.random.default_rng(run_seed)
+# plan_s wraps run_online_haste exactly as the direct worker's
+# perf_counter does.
+art = get_solver("online-haste").solve(net, rng, cfg)
+dt, events, utility = art.meta["plan_s"], art.events, art.total_utility
 print(json.dumps({"seconds": dt, "events": events,
                   "per_event": dt / max(events, 1),
                   "utility": utility,
@@ -143,14 +181,20 @@ def run_worker(worker: str, pythonpath: Path, args: list[str]) -> dict:
 
 
 def interleaved_subprocess_op(
-    *, op: str, worker: str, metric: str, scale: str, repeats: int,
-    before_path: Path, after_path: Path, net_seed: int = 7, run_seed: int = 11,
+    *, op: str, before_worker: str, after_worker: str, metric: str,
+    scale: str, repeats: int, before_path: Path, after_path: Path,
+    net_seed: int = 7, run_seed: int = 11,
 ) -> dict:
-    """Alternate before/after subprocess runs; report per-side medians."""
+    """Alternate before/after subprocess runs; report per-side medians.
+
+    Each side gets its own worker script — the extracted "before" tree
+    is driven through the API it actually has rather than a runtime
+    ImportError probe."""
     before, after, instance = [], [], {}
     for r in range(repeats):
-        for side, path, sink in (("before", before_path, before),
-                                 ("after", after_path, after)):
+        for side, worker, path, sink in (
+                ("before", before_worker, before_path, before),
+                ("after", after_worker, after_path, after)):
             res = run_worker(worker, path, [scale, str(net_seed), str(run_seed)])
             sink.append(res)
             instance = {k: res[k] for k in ("n", "m", "K", "C", "S")}
@@ -336,7 +380,9 @@ def obs_overhead_report(scale: str, baseline_rev: str, rep_c: int,
         print(f"obs-disabled overhead, centralized C=4 ({scale}, "
               f"{rep_c} repeats/side, baseline {baseline_rev})")
         row = interleaved_subprocess_op(
-            op="offline_centralized_c4", worker=WORKER_CENTRALIZED,
+            op="offline_centralized_c4",
+            before_worker=WORKER_CENTRALIZED_DIRECT,
+            after_worker=WORKER_CENTRALIZED_REGISTRY,
             metric="seconds", scale=scale, repeats=rep_c,
             before_path=base_src, after_path=after_src,
         )
@@ -345,7 +391,9 @@ def obs_overhead_report(scale: str, baseline_rev: str, rep_c: int,
             print(f"obs-disabled overhead, online replanning ({scale}, "
                   f"{rep_o} repeats/side)")
             rows.append(interleaved_subprocess_op(
-                op="online_per_arrival", worker=WORKER_ONLINE,
+                op="online_per_arrival",
+                before_worker=WORKER_ONLINE_DIRECT,
+                after_worker=WORKER_ONLINE_REGISTRY,
                 metric="per_event", scale=scale, repeats=rep_o,
                 before_path=base_src, after_path=after_src,
             ))
@@ -382,14 +430,22 @@ def main() -> None:
                         help="measure the traffic generator instead "
                              "(delegates to bench_traffic.py → "
                              "BENCH_traffic.json)")
+    parser.add_argument("--serve", action="store_true",
+                        help="measure the serving engine instead "
+                             "(delegates to bench_serve.py → "
+                             "BENCH_serve.json)")
     parser.add_argument("--obs-baseline", default="HEAD",
                         help="git rev of the pre-instrumentation tree the "
                              "--obs disabled-path rows compare against")
     args = parser.parse_args()
 
-    if args.shard or args.traffic:
+    if args.shard or args.traffic or args.serve:
         sys.path.insert(0, str(Path(__file__).resolve().parent))
-        module = __import__("bench_traffic" if args.traffic else "bench_shard")
+        module = __import__(
+            "bench_serve" if args.serve
+            else "bench_traffic" if args.traffic
+            else "bench_shard"
+        )
 
         argv = [sys.argv[0]]
         if args.quick:
@@ -439,14 +495,18 @@ def main() -> None:
             after_src = REPO_ROOT / "src"
             print(f"centralized C=4 sweep ({scale}, {rep_c} repeats/side)")
             results.append(interleaved_subprocess_op(
-                op="offline_centralized_c4", worker=WORKER_CENTRALIZED,
+                op="offline_centralized_c4",
+                before_worker=WORKER_CENTRALIZED_DIRECT,
+                after_worker=WORKER_CENTRALIZED_REGISTRY,
                 metric="seconds", scale=scale, repeats=rep_c,
                 before_path=seed_src, after_path=after_src,
             ))
             if not args.skip_online:
                 print(f"online replanning ({scale}, {rep_o} repeats/side)")
                 results.append(interleaved_subprocess_op(
-                    op="online_per_arrival", worker=WORKER_ONLINE,
+                    op="online_per_arrival",
+                    before_worker=WORKER_ONLINE_DIRECT,
+                    after_worker=WORKER_ONLINE_REGISTRY,
                     metric="per_event", scale=scale, repeats=rep_o,
                     before_path=seed_src, after_path=after_src,
                 ))

@@ -1,0 +1,144 @@
+"""CI smoke test for the serving daemon (exit 0 = pass).
+
+Runs under whichever kernel mode the environment selects
+(``REPRO_DISABLE_CKERNEL``) and checks, end to end over HTTP:
+
+1. **response digests** — a pinned set of requests (bare specs, a
+   non-default utility, a sharded spec, a fault-injected spec; three
+   seeds each) replayed against the daemon must return artifact hashes
+   bit-identical to direct ``solve_instance`` calls in this process;
+2. **warm beats cold** — the median warm request (prepared state cached)
+   must be faster than the median cold request (prepared cache cleared),
+   and an exact repeat must be a result-cache hit answered without
+   solving;
+3. **CLI failure modes** — ``repro-haste serve`` must exit 2 on an
+   out-of-range ``--port`` and on an unknown ``--spec``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Pinned replay set: every solver family the daemon must serve, plus the
+#: parameterized shapes (utility override, shards=, fault injection).
+PINNED_SPECS = (
+    "static",
+    "random",
+    "greedy-utility",
+    "greedy-cover",
+    "haste-offline",
+    "online-haste",
+    "haste-offline:c=2,utility=log",
+    "online-haste:c=1,shards=2",
+    "online-haste:fault_seed=5,loss=0.2",
+)
+SEEDS = (0, 1, 2)
+
+
+def check_response_digests(client) -> None:
+    from repro.sim.config import SimulationConfig
+    from repro.solvers import Instance, solve_instance
+
+    cfg = SimulationConfig.quick()
+    health = client.healthz()
+    print(f"  daemon up, kernel={health['kernel']}")
+    for spec in PINNED_SPECS:
+        for seed in SEEDS:
+            inst = Instance.sample(cfg, 500 + seed)
+            want = solve_instance(spec, inst, seed=seed).content_hash()
+            status, reply = client.solve(spec=spec, instance=inst, seed=seed)
+            assert status == 200, (spec, seed, reply)
+            assert reply["artifact_hash"] == want, (
+                f"{spec} seed={seed}: served {reply['artifact_hash']} "
+                f"!= direct {want}"
+            )
+        print(f"  digests match direct solve_instance: {spec}")
+
+
+def check_warm_vs_cold(engine, repeats: int = 7) -> None:
+    from repro.sim.config import SimulationConfig
+    from repro.solvers import Instance, clear_prepared_cache
+
+    cfg = SimulationConfig.small_scale()
+    inst = Instance.sample(cfg, 11)
+    spec = "greedy-utility"
+
+    def solve():
+        t0 = time.perf_counter()
+        result = engine.solve(spec, inst, seed=1, config=cfg,
+                              use_result_cache=False)
+        return time.perf_counter() - t0, result
+
+    solve()  # prime
+    cold, warm = [], []
+    for _ in range(repeats):
+        clear_prepared_cache()
+        dt, result = solve()
+        assert not result.warm
+        cold.append(dt)
+        dt, result = solve()
+        assert result.warm
+        warm.append(dt)
+    c, w = statistics.median(cold), statistics.median(warm)
+    print(f"  cold {c * 1e3:.2f}ms vs warm {w * 1e3:.2f}ms "
+          f"({c / w:.2f}x, {repeats} repeats/side)")
+    assert w < c, f"warm path not faster: warm {w:.4f}s >= cold {c:.4f}s"
+
+    first = engine.solve(spec, inst, seed=2, config=cfg)
+    again = engine.solve(spec, inst, seed=2, config=cfg)
+    assert not first.cached and again.cached and again.solve_s == 0.0
+    assert again.artifact.content_hash() == first.artifact.content_hash()
+    print("  exact repeat answered from the result cache")
+
+
+def check_cli_exit_codes() -> None:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    for label, argv in (
+        ("bad --port", ["serve", "--port", "70000"]),
+        ("bad --spec", ["serve", "--spec", "no-such-solver"]),
+    ):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", *argv],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert proc.returncode == 2, (
+            f"{label}: expected exit 2, got {proc.returncode}\n"
+            f"stdout: {proc.stdout}\nstderr: {proc.stderr}"
+        )
+        print(f"  exit 2 on {label}")
+
+
+def main() -> int:
+    from repro.serve import ScheduleEngine, ServeClient, start_in_thread
+
+    engine = ScheduleEngine(workers=2)
+    try:
+        print("serve smoke: pinned response digests over HTTP")
+        with start_in_thread(engine) as handle:
+            client = ServeClient(port=handle.port)
+            client.wait_ready()
+            check_response_digests(client)
+        print("serve smoke: warm vs cold request latency")
+        check_warm_vs_cold(engine)
+    finally:
+        engine.close()
+    print("serve smoke: CLI failure modes")
+    check_cli_exit_codes()
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

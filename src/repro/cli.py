@@ -238,6 +238,42 @@ def build_parser() -> argparse.ArgumentParser:
         "kernel mode",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon: HTTP/JSON over the solver registry",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="solver worker threads"
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded request queue size (overflow answers 503)",
+    )
+    p_serve.add_argument(
+        "--result-cache",
+        type=int,
+        default=256,
+        help="result-cache capacity (content_hash × spec × seed entries)",
+    )
+    p_serve.add_argument(
+        "--spec",
+        default="haste-offline",
+        help="default solver spec for requests that omit one",
+    )
+    p_serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="do not enable the obs registry for the daemon",
+    )
+
     p_bounds = sub.add_parser(
         "bounds", help="print the applicable theoretical guarantees"
     )
@@ -462,6 +498,64 @@ def _cmd_instance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from . import obs
+    from .serve import ScheduleEngine, ServeDaemon
+    from .solvers import get_solver
+
+    if not (0 <= args.port <= 65535):
+        print(
+            f"error: --port must be in [0, 65535], got {args.port}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1 or args.queue_limit < 1:
+        print(
+            "error: --workers and --queue-limit must be >= 1", file=sys.stderr
+        )
+        return 2
+    get_solver(args.spec)  # bad default spec → SolverError → exit 2 in main()
+
+    owns_obs = not args.no_telemetry and not obs.enabled()
+    if owns_obs:
+        obs.configure()
+    engine = ScheduleEngine(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        result_cache_capacity=args.result_cache,
+    )
+    daemon = ServeDaemon(
+        engine, host=args.host, port=args.port, default_spec=args.spec
+    )
+
+    async def _run() -> None:
+        await daemon.start()
+        print(
+            f"repro-haste serve: listening on http://{daemon.host}:"
+            f"{daemon.port} (default spec {args.spec!r})",
+            flush=True,
+        )
+        await daemon.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    except OSError as err:
+        print(
+            f"error: cannot bind {args.host}:{args.port}: {err}",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        engine.close()
+        if owns_obs:
+            obs.shutdown()
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
@@ -481,6 +575,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_instance(args)
     if args.command == "traffic":
         return _cmd_traffic(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bounds":
         from .analysis import certificate
 

@@ -97,9 +97,19 @@ class CentralizedScheduler:
         *,
         utility: UtilityFunction | None = None,
         use_sparse: bool = True,
+        objective: HasteObjective | None = None,
     ) -> None:
         self.network = network
-        self.objective = HasteObjective(network, utility, use_sparse=use_sparse)
+        # A caller-supplied objective (the prepared-state warm path) must
+        # already be bound to this network; ``utility``/``use_sparse`` are
+        # then carried by the objective itself.
+        if objective is not None and objective.network is not network:
+            raise ValueError("objective is bound to a different network")
+        self.objective = (
+            objective
+            if objective is not None
+            else HasteObjective(network, utility, use_sparse=use_sparse)
+        )
         # Partitions in (slot, charger) order; chargers with only the idle
         # policy or no relevant slots never appear.
         parts: list[tuple[int, int]] = []

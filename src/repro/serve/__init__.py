@@ -1,0 +1,56 @@
+"""Scheduling-as-a-service: the warm-state engine + asyncio daemon.
+
+The serving layer the PR 3 registry/`Instance`/`RunArtifact` stack was
+built to unlock (ROADMAP top item): a long-lived process that accepts
+serialized instances (or sample descriptors) over HTTP/JSON and returns
+full :class:`~repro.solvers.artifact.RunArtifact` payloads, never
+recomputing per-network state on the hot path.
+
+Layers (see DESIGN.md §12):
+
+* :mod:`repro.serve.engine` — :class:`ScheduleEngine`: bounded request
+  queue, worker threads resolving spec strings locally, the shared
+  prepared-state cache, and a ``content_hash × spec × seed`` result cache;
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`: stdlib-asyncio
+  HTTP/1.1 listener (``/healthz``, ``/solvers``, ``/stats``, ``/solve``);
+* :mod:`repro.serve.protocol` — request/response schemas;
+* :mod:`repro.serve.client` — a stdlib client for harnesses and REPLs.
+
+Quick start::
+
+    from repro.serve import ScheduleEngine, start_in_thread, ServeClient
+    engine = ScheduleEngine(workers=2)
+    with start_in_thread(engine) as handle:
+        client = ServeClient(port=handle.port)
+        status, reply = client.solve(
+            spec="haste-offline:c=2", sample={"scale": "quick", "seed": 7}
+        )
+    engine.close()
+
+or from a shell: ``repro-haste serve --port 8642``.
+"""
+
+from .client import ServeClient
+from .daemon import DaemonHandle, ServeDaemon, start_in_thread
+from .engine import EngineBusy, EngineClosed, ScheduleEngine, ServeResult
+from .protocol import (
+    ProtocolError,
+    SolveRequest,
+    parse_solve_request,
+    solve_response,
+)
+
+__all__ = [
+    "ServeClient",
+    "DaemonHandle",
+    "ServeDaemon",
+    "start_in_thread",
+    "EngineBusy",
+    "EngineClosed",
+    "ScheduleEngine",
+    "ServeResult",
+    "ProtocolError",
+    "SolveRequest",
+    "parse_solve_request",
+    "solve_response",
+]

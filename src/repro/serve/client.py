@@ -1,0 +1,114 @@
+"""A minimal stdlib client for the scheduling daemon.
+
+One connection per request (the daemon answers ``Connection: close``),
+JSON in/out.  Used by the smoke/benchmark harnesses and handy from a
+REPL; anything speaking HTTP works equally well — e.g. ::
+
+    curl -s localhost:8642/healthz
+    curl -s -X POST localhost:8642/solve \\
+         -d '{"spec": "greedy-utility", "sample": {"scale": "quick", "seed": 7}}'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to a running :class:`~repro.serve.daemon.ServeDaemon`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, *,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str, payload=None) -> tuple[int, dict]:
+        """One HTTP round trip → ``(status, decoded_json)``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, json.loads(data or b"null")
+        finally:
+            conn.close()
+
+    def get(self, path: str) -> tuple[int, dict]:
+        return self.request("GET", path)
+
+    def post(self, path: str, payload) -> tuple[int, dict]:
+        return self.request("POST", path, payload)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        status, payload = self.get("/healthz")
+        if status != 200:
+            raise RuntimeError(f"/healthz returned {status}: {payload}")
+        return payload
+
+    def solvers(self) -> dict:
+        status, payload = self.get("/solvers")
+        if status != 200:
+            raise RuntimeError(f"/solvers returned {status}: {payload}")
+        return payload["solvers"]
+
+    def stats(self) -> dict:
+        status, payload = self.get("/stats")
+        if status != 200:
+            raise RuntimeError(f"/stats returned {status}: {payload}")
+        return payload
+
+    def solve(
+        self,
+        *,
+        spec: str | None = None,
+        instance=None,
+        sample: dict | None = None,
+        seed: int | None = None,
+    ) -> tuple[int, dict]:
+        """POST /solve with either a serialized instance or a sample form.
+
+        ``instance`` may be an :class:`~repro.solvers.instance.Instance`
+        (serialized here) or an already-encoded payload dict.
+        """
+        payload: dict = {}
+        if spec is not None:
+            payload["spec"] = spec
+        if seed is not None:
+            payload["seed"] = seed
+        if instance is not None:
+            payload["instance"] = (
+                instance if isinstance(instance, dict) else instance.to_dict()
+            )
+        if sample is not None:
+            payload["sample"] = sample
+        return self.post("/solve", payload)
+
+    def wait_ready(self, timeout: float = 15.0) -> dict:
+        """Poll ``/healthz`` until the daemon answers (boot helper)."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (OSError, RuntimeError) as exc:
+                last = exc
+                time.sleep(0.05)
+        raise TimeoutError(f"daemon at {self.host}:{self.port} not ready: {last}")

@@ -1,0 +1,343 @@
+"""The warm-state scheduling engine: queue, workers, caches.
+
+:class:`ScheduleEngine` is the serving core the daemon (and the traffic
+harness) sit on.  One engine holds:
+
+* a **bounded request queue** — submissions beyond ``queue_limit`` are
+  rejected immediately with :class:`EngineBusy` (the daemon maps that to
+  HTTP 503), so a burst degrades to fast refusals instead of unbounded
+  memory growth;
+* a **worker pool** of threads, each resolving spec strings locally via
+  :func:`~repro.solvers.registry.get_solver` — the same
+  resolve-by-string-in-the-worker pattern :mod:`repro.sim.runner` uses
+  across process boundaries;
+* the **prepared-state cache** (:data:`~repro.solvers.prepared.
+  PREPARED_CACHE`): requests for the same ``Instance.content_hash`` share
+  one :class:`~repro.solvers.prepared.PreparedNetwork`, so the warm path
+  skips network construction, objective binding, and tile slicing
+  entirely;
+* a **result cache** keyed by ``content_hash × canonical spec × seed``:
+  an exact repeat of a seeded request is answered without solving at all
+  (solves with no effective seed are never cached — they are
+  rng-nondeterministic by construction).
+
+Telemetry: the engine always feeds its own
+:class:`~repro.obs.windows.WindowedHistogram` of request latency
+(windowed per solver, readable via :meth:`ScheduleEngine.stats` and the
+daemon's ``/stats``), and mirrors counters/gauges into :mod:`repro.obs`
+when the global registry is enabled (``serve.requests``,
+``serve.result_cache_hits``/``misses``, ``serve.rejected``,
+``serve.queue_depth``, ``serve.request_latency``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..obs.windows import WindowedHistogram
+from ..solvers.artifact import RunArtifact
+from ..solvers.prepared import PREPARED_CACHE
+from ..solvers.registry import get_solver
+
+__all__ = ["EngineBusy", "EngineClosed", "ServeResult", "ScheduleEngine"]
+
+#: Windowed request-latency metric (window = solver name).
+LATENCY_METRIC = "serve.request_latency"
+
+_SHUTDOWN = object()
+
+
+class EngineBusy(RuntimeError):
+    """The bounded request queue is full (HTTP 503)."""
+
+
+class EngineClosed(RuntimeError):
+    """The engine has been closed; no further submissions are accepted."""
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One served solve: the artifact plus its serving provenance."""
+
+    artifact: RunArtifact
+    #: canonical spec string that produced the artifact
+    spec: str
+    #: ``Instance.content_hash`` of the solved instance
+    instance_hash: str
+    #: effective rng seed (request seed, else instance provenance seed)
+    seed: int | None
+    #: answered from the result cache (no solve ran)
+    cached: bool
+    #: prepared state was already warm for this content hash
+    warm: bool
+    #: in-worker seconds (0 for result-cache hits)
+    solve_s: float
+    #: seconds spent waiting in the bounded queue
+    queued_s: float
+
+
+@dataclass(frozen=True)
+class _Job:
+    spec: str
+    instance: object
+    seed: int | None
+    config: object
+    use_result_cache: bool
+
+
+class ScheduleEngine:
+    """Long-lived warm-state solver: submit requests, get artifacts."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        queue_limit: int = 64,
+        result_cache_capacity: int = 256,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.queue_limit = int(queue_limit)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.queue_limit)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._results: OrderedDict[tuple, tuple[RunArtifact, str]] = OrderedDict()
+        self._result_capacity = int(result_cache_capacity)
+        self._latency = WindowedHistogram(LATENCY_METRIC)
+        # Lifetime counters (exported via stats() and the daemon /stats).
+        self.requests = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected = 0
+        self.result_hits = 0
+        self.result_misses = 0
+        self.result_evictions = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(int(workers))
+        ]
+        for t in self._workers:
+            t.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: str,
+        instance,
+        *,
+        seed: int | None = None,
+        config=None,
+        use_result_cache: bool = True,
+    ) -> Future:
+        """Enqueue one solve; returns a :class:`concurrent.futures.Future`.
+
+        Raises :class:`EngineBusy` when the bounded queue is full and
+        :class:`EngineClosed` after :meth:`close` — both *before* any work
+        is done, which is what makes the backpressure cheap.
+        """
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        fut: Future = Future()
+        job = _Job(
+            spec=spec,
+            instance=instance,
+            seed=seed,
+            config=config,
+            use_result_cache=use_result_cache,
+        )
+        try:
+            self._queue.put_nowait((fut, job, time.perf_counter()))
+        except queue.Full:
+            with self._lock:
+                self.rejected += 1
+            if obs.enabled():
+                obs.inc("serve.rejected")
+            raise EngineBusy(
+                f"request queue is full ({self.queue_limit} pending)"
+            ) from None
+        with self._lock:
+            self.requests += 1
+        if obs.enabled():
+            obs.inc("serve.requests")
+            obs.set_gauge("serve.queue_depth", self._queue.qsize())
+        return fut
+
+    def solve(
+        self,
+        spec: str,
+        instance,
+        *,
+        seed: int | None = None,
+        config=None,
+        use_result_cache: bool = True,
+        timeout: float | None = None,
+    ) -> ServeResult:
+        """Submit and wait — the synchronous convenience path."""
+        return self.submit(
+            spec,
+            instance,
+            seed=seed,
+            config=config,
+            use_result_cache=use_result_cache,
+        ).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _SHUTDOWN:
+                    return
+                fut, job, enqueued = item
+                if not fut.set_running_or_notify_cancel():
+                    continue
+                try:
+                    fut.set_result(self._execute(job, enqueued))
+                except BaseException as exc:
+                    with self._lock:
+                        self.errors += 1
+                    if obs.enabled():
+                        obs.inc("serve.errors")
+                    fut.set_exception(exc)
+            finally:
+                self._queue.task_done()
+                if obs.enabled():
+                    obs.set_gauge("serve.queue_depth", self._queue.qsize())
+
+    def _execute(self, job: _Job, enqueued: float) -> ServeResult:
+        queued_s = time.perf_counter() - enqueued
+        # Spec strings resolve in the worker (sim/runner.py's pattern) —
+        # the canonical form is also the result-cache key component.
+        solver = get_solver(job.spec)
+        canonical = solver.canonical()
+        instance = job.instance
+        content = instance.content_hash()
+        effective = job.seed if job.seed is not None else instance.seed
+
+        key = (content, canonical, effective)
+        cacheable = job.use_result_cache and effective is not None
+        if cacheable:
+            with self._lock:
+                hit = self._results.get(key)
+                if hit is not None:
+                    self._results.move_to_end(key)
+                    self.result_hits += 1
+                    self.completed += 1
+            if hit is not None:
+                if obs.enabled():
+                    obs.inc("serve.result_cache_hits")
+                self._observe_latency(solver.name, queued_s)
+                return ServeResult(
+                    artifact=hit[0],
+                    spec=canonical,
+                    instance_hash=content,
+                    seed=effective,
+                    cached=True,
+                    warm=True,
+                    solve_s=0.0,
+                    queued_s=queued_s,
+                )
+            with self._lock:
+                self.result_misses += 1
+            if obs.enabled():
+                obs.inc("serve.result_cache_misses")
+
+        start = time.perf_counter()
+        prepared, warm = PREPARED_CACHE.get_or_prepare(instance)
+        rng = np.random.default_rng(effective)
+        config = job.config if job.config is not None else instance.config
+        artifact = solver.solve_prepared(prepared, rng, config)
+        solve_s = time.perf_counter() - start
+
+        if cacheable:
+            with self._lock:
+                self._results[key] = (artifact, artifact.content_hash())
+                while len(self._results) > self._result_capacity:
+                    self._results.popitem(last=False)
+                    self.result_evictions += 1
+        with self._lock:
+            self.completed += 1
+        self._observe_latency(solver.name, queued_s + solve_s)
+        return ServeResult(
+            artifact=artifact,
+            spec=canonical,
+            instance_hash=content,
+            seed=effective,
+            cached=False,
+            warm=warm,
+            solve_s=solve_s,
+            queued_s=queued_s,
+        )
+
+    def _observe_latency(self, window: str, seconds: float) -> None:
+        with self._lock:
+            self._latency.observe(seconds, window=window)
+        if obs.enabled():
+            obs.observe_windowed(LATENCY_METRIC, seconds, window=window)
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Everything the daemon's ``/stats`` endpoint reports."""
+        with self._lock:
+            latency = self._latency.snapshot()
+            result_cache = {
+                "size": len(self._results),
+                "capacity": self._result_capacity,
+                "hits": self.result_hits,
+                "misses": self.result_misses,
+                "evictions": self.result_evictions,
+            }
+            counters = {
+                "requests": self.requests,
+                "completed": self.completed,
+                "errors": self.errors,
+                "rejected": self.rejected,
+            }
+        return {
+            **counters,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.queue_limit,
+            "workers": len(self._workers),
+            "result_cache": result_cache,
+            "prepared_cache": PREPARED_CACHE.info(),
+            "latency": latency,
+        }
+
+    def clear_result_cache(self) -> None:
+        with self._lock:
+            self._results.clear()
+
+    def close(self, *, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) join the workers."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for t in self._workers:
+                t.join()
+
+    def __enter__(self) -> "ScheduleEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

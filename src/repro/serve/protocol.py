@@ -1,0 +1,125 @@
+"""Wire protocol for the scheduling service (plain JSON over HTTP).
+
+One request shape serves everything::
+
+    POST /solve
+    {
+        "spec": "haste-offline:c=4",        # optional: daemon default spec
+        "seed": 7,                           # optional: instance provenance seed
+        "instance": { ... Instance.to_dict() ... }
+        # — or, for quick experiments without shipping arrays —
+        "sample": {"scale": "quick", "seed": 7}
+    }
+
+The response carries the full serialized :class:`RunArtifact` plus the
+provenance the smoke tests assert on (artifact content hash, instance
+hash, canonical spec, cache/warm flags).  Everything here is pure
+translation — no solving, no state — so both the asyncio daemon and the
+in-process tests share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import SimulationConfig
+from ..solvers.instance import Instance
+
+__all__ = [
+    "ProtocolError",
+    "SolveRequest",
+    "SCALES",
+    "config_for_scale",
+    "parse_solve_request",
+    "solve_response",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed request body (maps to HTTP 400)."""
+
+
+#: Named instance scales for the ``sample`` request form — mirrors the
+#: CLI's ``--config`` choices.
+SCALES = ("quick", "small", "default", "paper")
+
+
+def config_for_scale(scale: str) -> SimulationConfig:
+    """The :class:`SimulationConfig` a ``sample.scale`` name denotes."""
+    if scale == "quick":
+        return SimulationConfig.quick()
+    if scale == "small":
+        return SimulationConfig.small_scale()
+    if scale == "default":
+        return SimulationConfig()
+    if scale == "paper":
+        return SimulationConfig.paper()
+    raise ProtocolError(
+        f"unknown sample scale {scale!r}; known: {', '.join(SCALES)}"
+    )
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One parsed, validated /solve request."""
+
+    spec: str
+    instance: Instance
+    seed: int | None = None
+
+
+def _parse_seed(value) -> int | None:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"seed must be an integer or null, got {value!r}")
+    return int(value)
+
+
+def parse_solve_request(payload, *, default_spec: str) -> SolveRequest:
+    """Validate a /solve body into a :class:`SolveRequest` (or raise 400)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    spec = payload.get("spec", default_spec)
+    if not isinstance(spec, str) or not spec:
+        raise ProtocolError(f"spec must be a non-empty string, got {spec!r}")
+    seed = _parse_seed(payload.get("seed"))
+
+    has_instance = "instance" in payload
+    has_sample = "sample" in payload
+    if has_instance == has_sample:
+        raise ProtocolError(
+            "request must carry exactly one of 'instance' or 'sample'"
+        )
+    if has_instance:
+        try:
+            instance = Instance.from_dict(payload["instance"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid instance payload: {exc}") from None
+    else:
+        sample = payload["sample"]
+        if not isinstance(sample, dict):
+            raise ProtocolError("'sample' must be an object with scale/seed")
+        scale = sample.get("scale", "quick")
+        if not isinstance(scale, str):
+            raise ProtocolError(f"sample.scale must be a string, got {scale!r}")
+        sample_seed = _parse_seed(sample.get("seed", 0))
+        if sample_seed is None:
+            raise ProtocolError("sample.seed must be an integer")
+        instance = Instance.sample(config_for_scale(scale), sample_seed)
+    return SolveRequest(spec=spec, instance=instance, seed=seed)
+
+
+def solve_response(result) -> dict:
+    """The /solve response body for an engine :class:`ServeResult`."""
+    return {
+        "artifact": result.artifact.to_dict(),
+        "artifact_hash": result.artifact.content_hash(),
+        "spec": result.spec,
+        "instance_hash": result.instance_hash,
+        "seed": result.seed,
+        "cached": bool(result.cached),
+        "warm": bool(result.warm),
+        "solve_s": float(result.solve_s),
+        "queued_s": float(result.queued_s),
+    }

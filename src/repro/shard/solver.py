@@ -119,6 +119,25 @@ def _partition_instance(instance: Instance, opts):
         raise SolverError(str(exc)) from None
 
 
+def _partition_and_subs(instance: Instance, opts, prepared=None):
+    """The tile partition + sliced per-tile sub-instances for this solve.
+
+    With a :class:`~repro.solvers.prepared.PreparedNetwork` the state is
+    computed once per ``(shards, halo)`` and cached on the prepared object
+    — the sharded path's prepare phase (tile slicing is deterministic in
+    the instance arrays, and the workers never mutate the subs).  Without
+    one, the partition is built fresh and slicing happens per job, exactly
+    the pre-refactor path.
+    """
+    if prepared is not None:
+        try:
+            state = prepared.shard_state(opts["shards"], opts["halo"])
+        except ValueError as exc:
+            raise SolverError(str(exc)) from None
+        return state["partition"], state["subs"]
+    return _partition_instance(instance, opts), None
+
+
 def _idle_plans(sub: Instance, charger_ids, task_ids, num_slots) -> list[ChargerPlan]:
     """All-idle plans for a tile that has chargers but nothing to solve."""
     net = sub.network()
@@ -217,7 +236,7 @@ def _online_tile_worker(
 # ----------------------------------------------------------------------
 # Orchestration
 # ----------------------------------------------------------------------
-def _tile_jobs(instance, partition, seeds, opts, num_slots, extra=()):
+def _tile_jobs(instance, partition, seeds, opts, num_slots, extra=(), subs=None):
     jobs = []
     tile_index = []
     for t in range(partition.num_tiles):
@@ -225,17 +244,12 @@ def _tile_jobs(instance, partition, seeds, opts, num_slots, extra=()):
         if chargers.size == 0:
             continue
         tasks = partition.tile_tasks[t]
-        jobs.append(
-            (
-                slice_instance(instance, chargers, tasks),
-                chargers,
-                tasks,
-                seeds[t],
-                opts,
-                num_slots,
-            )
-            + tuple(extra)
+        sub = (
+            subs[t]
+            if subs is not None
+            else slice_instance(instance, chargers, tasks)
         )
+        jobs.append((sub, chargers, tasks, seeds[t], opts, num_slots) + tuple(extra))
         tile_index.append(t)
     return jobs, tile_index
 
@@ -254,18 +268,20 @@ def _shard_meta(partition, opts, tile_index, tile_plan_s):
 
 
 def solve_offline_sharded(
-    instance: Instance, params, rng: np.random.Generator, config
+    instance: Instance, params, rng: np.random.Generator, config, prepared=None
 ) -> RunArtifact:
     """Sharded Algorithm 2: per-tile solves + boundary negotiation."""
     opts = _resolve_shard_params(params, config, online=False)
     start = time.perf_counter()
-    partition = _partition_instance(instance, opts)
+    partition, subs = _partition_and_subs(instance, opts, prepared)
     num_slots = int(instance.end_slots.max()) if instance.m else 0
     root = int(rng.integers(0, 2**63 - 1))
     seeds = np.random.SeedSequence(root).spawn(partition.num_tiles + 1)
 
     with obs.span("shard.run", setting="offline", shards=opts["shards"]):
-        jobs, tile_index = _tile_jobs(instance, partition, seeds, opts, num_slots)
+        jobs, tile_index = _tile_jobs(
+            instance, partition, seeds, opts, num_slots, subs=subs
+        )
         with obs.span("shard.tile_solve", tiles=len(jobs)):
             results = parallel_starmap(
                 _offline_tile_worker, jobs, processes=opts["procs"]
@@ -385,7 +401,7 @@ def _merge_stat_dicts(dicts):
 
 
 def solve_online_sharded(
-    instance: Instance, params, rng: np.random.Generator, config
+    instance: Instance, params, rng: np.random.Generator, config, prepared=None
 ) -> RunArtifact:
     """Sharded HASTE-DO: every arrival handled by its owning tile."""
     opts = _resolve_shard_params(params, config, online=True)
@@ -401,7 +417,7 @@ def solve_online_sharded(
         seed=int(params["fault_seed"]),
     )
     start = time.perf_counter()
-    partition = _partition_instance(instance, opts)
+    partition, subs = _partition_and_subs(instance, opts, prepared)
     num_slots = int(instance.end_slots.max()) if instance.m else 0
     root = int(rng.integers(0, 2**63 - 1))
     seeds = np.random.SeedSequence(root).spawn(partition.num_tiles)
@@ -421,17 +437,12 @@ def solve_online_sharded(
                     {**base_model.as_dict(), "seed": base_model.seed + t}
                 )
             )
-            jobs.append(
-                (
-                    slice_instance(instance, chargers, tasks),
-                    chargers,
-                    tasks,
-                    seeds[t],
-                    opts,
-                    num_slots,
-                    model,
-                )
+            sub = (
+                subs[t]
+                if subs is not None
+                else slice_instance(instance, chargers, tasks)
             )
+            jobs.append((sub, chargers, tasks, seeds[t], opts, num_slots, model))
             tile_index.append(t)
         with obs.span("shard.tile_solve", tiles=len(jobs)):
             results = parallel_starmap(
@@ -492,11 +503,23 @@ def solve_online_sharded(
 
 
 def solve_sharded(
-    setting: str, instance: Instance, params, rng: np.random.Generator, config
+    setting: str,
+    instance: Instance,
+    params,
+    rng: np.random.Generator,
+    config,
+    *,
+    prepared=None,
 ) -> RunArtifact:
-    """Dispatch a sharded solve by solver setting (``offline``/``online``)."""
+    """Dispatch a sharded solve by solver setting (``offline``/``online``).
+
+    ``prepared`` (a :class:`~repro.solvers.prepared.PreparedNetwork`)
+    supplies cached per-tile state — partition + sliced sub-instances —
+    so warm repeated solves of one ``content_hash`` skip the slicing; the
+    global network is never built either way.
+    """
     if setting == "offline":
-        return solve_offline_sharded(instance, params, rng, config)
+        return solve_offline_sharded(instance, params, rng, config, prepared)
     if setting == "online":
-        return solve_online_sharded(instance, params, rng, config)
+        return solve_online_sharded(instance, params, rng, config, prepared)
     raise SolverError(f"sharding is not supported for setting {setting!r}")

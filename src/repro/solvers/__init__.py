@@ -27,6 +27,15 @@ from .artifact import (
     artifact_from_online_run,
 )
 from .instance import Instance, clear_network_cache, network_cache_info
+from .prepared import (
+    PREPARED_CACHE,
+    PreparedCache,
+    PreparedNetwork,
+    clear_prepared_cache,
+    prepare,
+    prepare_network,
+    prepared_cache_info,
+)
 from .registry import (
     REGISTRY,
     BoundSolver,
@@ -49,6 +58,13 @@ __all__ = [
     "Instance",
     "clear_network_cache",
     "network_cache_info",
+    "PREPARED_CACHE",
+    "PreparedCache",
+    "PreparedNetwork",
+    "clear_prepared_cache",
+    "prepare",
+    "prepare_network",
+    "prepared_cache_info",
     "REGISTRY",
     "BoundSolver",
     "SolverCapabilities",

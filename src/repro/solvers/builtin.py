@@ -1,7 +1,12 @@
 """The built-in solvers: every algorithm in the repo, registered by name.
 
-Each body reproduces its pre-registry entry point *bit for bit* on the
-same rng — pinned by ``tests/test_solvers_registry.py``.  The mapping:
+Each body is the *solve phase* of the two-phase contract: it receives a
+:class:`~repro.solvers.prepared.PreparedNetwork` (warm network, shared
+objectives/schedulers, cached scoring utilities) plus one rng stream, and
+reproduces its pre-registry entry point *bit for bit* on the same rng —
+pinned by ``tests/test_solvers_registry.py``.  Warm state is safe to
+share because every prepared product is static across runs (idempotent
+value caches; rng is threaded per solve).  The mapping:
 
 =============================  =====================================================
 spec                           pre-refactor call
@@ -58,17 +63,19 @@ from ..sim.engine import execute_schedule
 from .artifact import RunArtifact, artifact_from_execution, artifact_from_online_run
 from .registry import SolverCapabilities, SolverError, register
 
-__all__: list[str] = []
+__all__: list[str] = ["resolve_utility"]
 
 _UTILITY_FAMILIES = ("linear", "log", "powerlaw")
 
 
-def _resolve_utility(network, params):
+def resolve_utility(network, params):
     """The scoring utility selected by the ``utility``/``gamma`` params.
 
     ``None`` (the default) keeps the network's own utility — the exact
     pre-refactor behaviour; a named family builds a fresh instance from
     the tasks' required energies, as the §1.3 ablation closures did.
+    :meth:`PreparedNetwork.scoring_utility` routes here too, caching the
+    result per family on the prepared state.
     """
     family = params.get("utility")
     if family is None:
@@ -84,6 +91,13 @@ def _resolve_utility(network, params):
     )
 
 
+def _prepared_utility(prepared, params):
+    """The ``utility=``/``gamma=`` scoring utility, warm on ``prepared``."""
+    return prepared.scoring_utility(
+        params.get("utility"), float(params.get("gamma", 0.5))
+    )
+
+
 def _shard_count(params) -> int:
     """Validated ``shards`` parameter (spec values may be any literal)."""
     shards = params["shards"]
@@ -94,7 +108,7 @@ def _shard_count(params) -> int:
     return int(shards)
 
 
-def _sharded_from_network(setting, network, rng, config, params) -> RunArtifact:
+def _sharded_from_network(setting, prepared, rng, config, params) -> RunArtifact:
     """Route a ``shards > 1`` solve taken through the network path.
 
     The network path exists for callers that already hold a built network
@@ -106,8 +120,8 @@ def _sharded_from_network(setting, network, rng, config, params) -> RunArtifact:
     the supported way to pick a family).
     """
     from ..shard.solver import solve_sharded
-    from .instance import Instance
 
+    network = prepared.network
     util = network.utility
     if util is not None and not (
         type(util) is LinearBoundedUtility
@@ -117,21 +131,24 @@ def _sharded_from_network(setting, network, rng, config, params) -> RunArtifact:
             "shards>1 cannot preserve a custom network utility object; "
             "select a scoring family with the utility=/gamma= parameters"
         )
-    instance = Instance.from_network(network, config=config)
-    return solve_sharded(setting, instance, params, rng, config)
+    instance = prepared.snapshot_instance(config)
+    return solve_sharded(setting, instance, params, rng, config, prepared=prepared)
 
 
-def _solve_haste_offline(network, rng, config, params) -> RunArtifact:
+def _solve_haste_offline(prepared, rng, config, params) -> RunArtifact:
     if _shard_count(params) > 1:
-        return _sharded_from_network("offline", network, rng, config, params)
-    util = _resolve_utility(network, params)
+        return _sharded_from_network("offline", prepared, rng, config, params)
+    network = prepared.network
+    util = _prepared_utility(prepared, params)
     colors = params["c"] if params["c"] is not None else config.num_colors
     samples = (
         params["samples"] if params["samples"] is not None else config.num_samples
     )
     start = time.perf_counter()
-    result = CentralizedScheduler(
-        network, utility=util, use_sparse=bool(params["sparse"])
+    result = prepared.scheduler(
+        use_sparse=bool(params["sparse"]),
+        utility_family=params.get("utility"),
+        gamma=float(params.get("gamma", 0.5)),
     ).run(
         int(colors),
         num_samples=int(samples),
@@ -153,8 +170,9 @@ def _solve_haste_offline(network, rng, config, params) -> RunArtifact:
     )
 
 
-def _solve_greedy_utility(network, rng, config, params) -> RunArtifact:
-    util = _resolve_utility(network, params)
+def _solve_greedy_utility(prepared, rng, config, params) -> RunArtifact:
+    network = prepared.network
+    util = _prepared_utility(prepared, params)
     start = time.perf_counter()
     schedule = greedy_utility_schedule(network, utility=util)
     plan_s = time.perf_counter() - start
@@ -164,7 +182,8 @@ def _solve_greedy_utility(network, rng, config, params) -> RunArtifact:
     )
 
 
-def _solve_greedy_cover(network, rng, config, params) -> RunArtifact:
+def _solve_greedy_cover(prepared, rng, config, params) -> RunArtifact:
+    network = prepared.network
     start = time.perf_counter()
     schedule = greedy_cover_schedule(network)
     plan_s = time.perf_counter() - start
@@ -174,7 +193,8 @@ def _solve_greedy_cover(network, rng, config, params) -> RunArtifact:
     )
 
 
-def _solve_static(network, rng, config, params) -> RunArtifact:
+def _solve_static(prepared, rng, config, params) -> RunArtifact:
+    network = prepared.network
     start = time.perf_counter()
     schedule = static_orientation_schedule(network)
     plan_s = time.perf_counter() - start
@@ -184,7 +204,8 @@ def _solve_static(network, rng, config, params) -> RunArtifact:
     )
 
 
-def _solve_random(network, rng, config, params) -> RunArtifact:
+def _solve_random(prepared, rng, config, params) -> RunArtifact:
+    network = prepared.network
     start = time.perf_counter()
     schedule = random_schedule(network, rng)
     plan_s = time.perf_counter() - start
@@ -194,7 +215,8 @@ def _solve_random(network, rng, config, params) -> RunArtifact:
     )
 
 
-def _solve_offline_optimal(network, rng, config, params) -> RunArtifact:
+def _solve_offline_optimal(prepared, rng, config, params) -> RunArtifact:
+    network = prepared.network
     include_switching = bool(params["include_switching"])
     start = time.perf_counter()
     result = optimal_schedule(
@@ -235,9 +257,10 @@ def _fault_model_from_params(params) -> FaultModel | None:
     return None if model.is_null() else model
 
 
-def _solve_online_haste(network, rng, config, params) -> RunArtifact:
+def _solve_online_haste(prepared, rng, config, params) -> RunArtifact:
     if _shard_count(params) > 1:
-        return _sharded_from_network("online", network, rng, config, params)
+        return _sharded_from_network("online", prepared, rng, config, params)
+    network = prepared.network
     colors = params["c"] if params["c"] is not None else config.num_colors
     samples = (
         params["samples"] if params["samples"] is not None else config.num_samples
@@ -255,13 +278,15 @@ def _solve_online_haste(network, rng, config, params) -> RunArtifact:
         final_draws=int(params["final_draws"]),
         use_sparse=bool(params["sparse"]),
         fault_model=fault_model,
+        base_objective=prepared.objective(use_sparse=bool(params["sparse"])),
     )
     plan_s = time.perf_counter() - start
     return artifact_from_online_run(network, run, meta={"plan_s": plan_s})
 
 
 def _make_online_baseline(kind: str):
-    def body(network, rng, config, params) -> RunArtifact:
+    def body(prepared, rng, config, params) -> RunArtifact:
+        network = prepared.network
         tau = params["tau"] if params["tau"] is not None else config.tau
         start = time.perf_counter()
         run = run_online_baseline(network, kind, tau=int(tau), rho=config.rho)

@@ -21,7 +21,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,24 +38,23 @@ __all__ = ["Instance", "clear_network_cache", "network_cache_info"]
 
 INSTANCE_FORMAT = "repro-haste-instance-v1"
 
-#: LRU of built networks keyed by :meth:`Instance.content_hash`.  Network
-#: precomputation is deterministic in the entity arrays (the round-trip
-#: guarantee above), so equal hashes mean interchangeable networks; the
-#: cache removes the rebuild cost when the same instance is solved by many
-#: specs (benchmarks, equivalence tests, the shards=1 pins).  Capacity is
-#: small on purpose — networks dominate memory at large n.
-_NETWORK_CACHE: OrderedDict[str, ChargerNetwork] = OrderedDict()
-_NETWORK_CACHE_CAPACITY = 8
 
-
+# The PR 5 ad-hoc network LRU that lived here was folded into the
+# prepared-state cache (:mod:`repro.solvers.prepared`): one cache, one
+# eviction policy, keyed by :meth:`Instance.content_hash`.  These two
+# names remain the public cache-control surface for network consumers.
 def clear_network_cache() -> None:
-    """Drop every cached network (tests; memory pressure at large n)."""
-    _NETWORK_CACHE.clear()
+    """Drop every cached prepare/network (tests; memory pressure at large n)."""
+    from .prepared import clear_prepared_cache
+
+    clear_prepared_cache()
 
 
 def network_cache_info() -> dict:
-    """Current cache occupancy — ``{"size": ..., "capacity": ...}``."""
-    return {"size": len(_NETWORK_CACHE), "capacity": _NETWORK_CACHE_CAPACITY}
+    """Cache occupancy + counters (``size``/``capacity``/``hits``/…)."""
+    from .prepared import prepared_cache_info
+
+    return prepared_cache_info()
 
 _ARRAY_FIELDS = (
     "charger_xy",
@@ -188,26 +186,22 @@ class Instance:
         entities carry bit-identical floats and every precomputed matrix
         matches the original network's.
 
-        ``cached=True`` consults the process-wide LRU keyed by
-        :meth:`content_hash` — callers share the returned network, so the
-        cached path is for read-only consumers (every solver; nothing in
-        the repo mutates a built network).
+        ``cached=True`` consults the process-wide prepared-state LRU keyed
+        by :meth:`content_hash` — callers share the returned network, so
+        the cached path is for read-only consumers (every solver; nothing
+        in the repo mutates a built network).
         """
         if cached:
-            key = self.content_hash()
-            hit = _NETWORK_CACHE.get(key)
-            if hit is not None:
-                _NETWORK_CACHE.move_to_end(key)
-                if obs.enabled():
-                    obs.inc("instance.network_cache_hits")
-                return hit
+            from .prepared import PREPARED_CACHE
+
+            prepared, hit = PREPARED_CACHE.get_or_prepare(self)
             if obs.enabled():
-                obs.inc("instance.network_cache_misses")
-            network = self.network(cached=False)
-            _NETWORK_CACHE[key] = network
-            while len(_NETWORK_CACHE) > _NETWORK_CACHE_CAPACITY:
-                _NETWORK_CACHE.popitem(last=False)
-            return network
+                obs.inc(
+                    "instance.network_cache_hits"
+                    if hit
+                    else "instance.network_cache_misses"
+                )
+            return prepared.network
         chargers = [
             Charger(
                 id=i,

@@ -1,9 +1,20 @@
 """The solver registry: every scheduling algorithm, addressable by spec.
 
-A *solver* is a named, parameterizable scheduling algorithm with a uniform
-contract::
+A *solver* is a named, parameterizable scheduling algorithm with an
+explicit two-phase contract::
 
-    solve(network, rng, config) -> RunArtifact
+    prepare(instance)                  -> PreparedNetwork   # warm state
+    solve_prepared(prepared, rng, cfg) -> RunArtifact       # one rng stream
+
+The prepare phase (:mod:`repro.solvers.prepared`) builds everything
+deterministic in the instance — the network's coverage/power matrices and
+dominant policy lists, the objective's sparse structures, per-tile shard
+partitions — keyed by ``Instance.content_hash`` and shared across solves;
+the solve phase consumes it with one rng stream.  The legacy single-phase
+entry points remain as thin wrappers: ``solve(network, rng, config)``
+wraps the network in an ephemeral prepare, and ``solve_from_instance``
+routes through the global prepared cache — both bit-identical to the
+pre-split monoliths (pinned by the registry equivalence tests).
 
 Solvers register once (module import time, see :mod:`repro.solvers.builtin`)
 with capability metadata; consumers address them by spec string —
@@ -30,6 +41,7 @@ from .. import obs
 from ..sim.config import SimulationConfig
 from .artifact import RunArtifact
 from .instance import Instance
+from .prepared import PreparedNetwork, prepare, prepare_network
 from .spec import SolverSpec, SpecError, parse_spec
 
 __all__ = [
@@ -47,7 +59,9 @@ __all__ = [
     "solve_instance",
 ]
 
-#: A registered solver body: ``fn(network, rng, config, params) -> RunArtifact``.
+#: A registered solver body: ``fn(prepared, rng, config, params) ->
+#: RunArtifact`` where ``prepared`` is a :class:`PreparedNetwork` (the
+#: solve phase of the two-phase contract).
 SolverBody = Callable[..., RunArtifact]
 
 
@@ -169,9 +183,59 @@ class BoundSolver:
         rng: np.random.Generator | None = None,
         config: SimulationConfig | None = None,
     ) -> RunArtifact:
-        """Run the solver and stamp the artifact with provenance + timing."""
+        """Run the solver on a built network (legacy single-phase entry).
+
+        The network is wrapped in an *ephemeral* prepare — nothing cached,
+        nothing shared across calls — so callers that already hold a
+        network (the sweep runner, the equivalence tests) stay on the
+        exact pre-split path.
+        """
+        return self.solve_prepared(prepare_network(network), rng, config)
+
+    def prepare(self, instance: Instance, *, cached: bool = True) -> PreparedNetwork:
+        """Phase one: the (cached) prepared state for ``instance``."""
+        return prepare(instance, cached=cached)
+
+    def solve_prepared(
+        self,
+        prepared: PreparedNetwork,
+        rng: np.random.Generator | None = None,
+        config: SimulationConfig | None = None,
+    ) -> RunArtifact:
+        """Phase two: consume prepared state with one rng stream.
+
+        When the spec requests ``shards > 1`` on a shard-capable solver
+        and the prepare is instance-backed, the sharded path runs straight
+        off the instance arrays with per-tile prepared state — the global
+        network is **never built**, which is the point of sharding at
+        ``n = 10⁴–10⁶`` scale.
+        """
+        if config is None and prepared.instance is not None:
+            config = prepared.instance.config
+        shards = self.params.get("shards", 1)
+        # Invalid (non-integer) shard values fall through to the body,
+        # whose validation raises a proper SolverError.
+        sharded = (
+            self.capabilities.supports_shards
+            and isinstance(shards, int)
+            and not isinstance(shards, bool)
+            and shards > 1
+            and prepared.instance is not None
+        )
+        if sharded:
+            from ..shard.solver import solve_sharded
+
+            setting = self.capabilities.setting
+            instance = prepared.instance
+            return self._stamped(
+                lambda r, c: solve_sharded(
+                    setting, instance, self.params, r, c, prepared=prepared
+                ),
+                rng,
+                config,
+            )
         return self._stamped(
-            lambda r, c: self.entry.fn(network, r, c, self.params), rng, config
+            lambda r, c: self.entry.fn(prepared, r, c, self.params), rng, config
         )
 
     def solve_from_instance(
@@ -180,34 +244,9 @@ class BoundSolver:
         rng: np.random.Generator | None = None,
         config: SimulationConfig | None = None,
     ) -> RunArtifact:
-        """Solve directly from an :class:`Instance`.
-
-        When the spec requests ``shards > 1`` on a shard-capable solver the
-        sharded path runs straight off the instance arrays — the global
-        network is **never built**, which is the point of sharding at
-        ``n = 10⁴–10⁶`` scale.  Otherwise the (cached) network is rebuilt
-        and the ordinary network path runs, bit-identically to before.
-        """
+        """Solve directly from an :class:`Instance` (prepare + solve)."""
         config = config if config is not None else instance.config
-        shards = self.params.get("shards", 1)
-        # Invalid (non-integer) shard values fall through to the network
-        # path, whose validation raises a proper SolverError.
-        sharded = (
-            self.capabilities.supports_shards
-            and isinstance(shards, int)
-            and not isinstance(shards, bool)
-            and shards > 1
-        )
-        if sharded:
-            from ..shard.solver import solve_sharded
-
-            setting = self.capabilities.setting
-            return self._stamped(
-                lambda r, c: solve_sharded(setting, instance, self.params, r, c),
-                rng,
-                config,
-            )
-        return self.solve(instance.network(cached=True), rng, config)
+        return self.solve_prepared(prepare(instance), rng, config)
 
 
 class SolverRegistry:

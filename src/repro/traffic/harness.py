@@ -104,11 +104,21 @@ def drive_stream(
     *,
     telemetry: bool = True,
     seed: int | None = None,
+    engine=None,
 ) -> DriveResult:
     """Run ``stream`` through ``spec`` and capture per-arrival latencies.
 
     ``seed`` defaults to the stream's own model seed, so repeated drives
     of the same stream hand the solver an identical rng stream.
+
+    ``engine`` routes the solve through a
+    :class:`~repro.serve.engine.ScheduleEngine` instead of a raw
+    ``solve_from_instance`` — the serving hot path, sharing prepared
+    state with every other request for the stream's ``content_hash``.
+    The result cache is bypassed on purpose: a traffic drive measures
+    the solve, and span capture needs the negotiation to actually run
+    (the engine's worker threads feed the same global obs registry, so
+    the collector sees their ``online.arrival`` spans unchanged).
     """
     solver = get_solver(spec)
     if stream.instance.m == 0:
@@ -117,7 +127,7 @@ def drive_stream(
         # empty artifact instead of forcing every caller to special-case.
         empty = RunArtifact(solver=solver.canonical(), meta={"plan_s": 0.0})
         return DriveResult(artifact=empty)
-    rng = np.random.default_rng(seed if seed is not None else stream.model.seed)
+    effective = seed if seed is not None else stream.model.seed
     collector: ArrivalLatencyCollector | None = None
     reg = obs.get_registry()
     if telemetry and reg.enabled:
@@ -125,7 +135,19 @@ def drive_stream(
         reg.sinks.append(collector)
     start = time.perf_counter()
     try:
-        artifact = solver.solve_from_instance(stream.instance, rng, stream.config)
+        if engine is not None:
+            artifact = engine.solve(
+                spec,
+                stream.instance,
+                seed=effective,
+                config=stream.config,
+                use_result_cache=False,
+            ).artifact
+        else:
+            rng = np.random.default_rng(effective)
+            artifact = solver.solve_from_instance(
+                stream.instance, rng, stream.config
+            )
     finally:
         if collector is not None and collector in reg.sinks:
             reg.sinks.remove(collector)
@@ -227,12 +249,15 @@ def run_traffic(
     spec: str = "online-haste",
     loads: tuple = (1.0,),
     telemetry: bool = True,
+    engine=None,
 ) -> TrafficReport:
     """Sweep ``model`` over ``loads`` against ``spec`` → :class:`TrafficReport`.
 
     With ``telemetry=False`` nothing touches the obs registry and latency
     falls back to the imputed source — the near-zero-overhead mode the
-    ``BENCH_traffic.json`` overhead row certifies.
+    ``BENCH_traffic.json`` overhead row certifies.  ``engine`` drives
+    every load point through a serving
+    :class:`~repro.serve.engine.ScheduleEngine` (see :func:`drive_stream`).
     """
     config = config if config is not None else SimulationConfig()
     owns_registry = telemetry and not obs.enabled()
@@ -242,7 +267,7 @@ def run_traffic(
         points = []
         for load in loads:
             stream = model.with_load(float(load)).stream(config)
-            drive = drive_stream(stream, spec, telemetry=telemetry)
+            drive = drive_stream(stream, spec, telemetry=telemetry, engine=engine)
             points.append(_load_point(stream, drive, float(load)))
     finally:
         if owns_registry:

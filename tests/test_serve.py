@@ -1,0 +1,335 @@
+"""Tests for the serving subsystem: engine, daemon, protocol, client.
+
+The acceptance bar: every registered spec served through the daemon
+returns an artifact **bit-identical** to a direct ``solve_instance``
+call on the same instance and seed — the HTTP hop, the worker pool, and
+the warm prepared state must all be invisible in the results.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    EngineBusy,
+    EngineClosed,
+    ProtocolError,
+    ScheduleEngine,
+    ServeClient,
+    parse_solve_request,
+    start_in_thread,
+)
+from repro.sim.config import SimulationConfig
+from repro.solvers import Instance, RunArtifact, solve_instance, solver_names
+
+QUICK = SimulationConfig.quick()
+SEEDS = (0, 1, 2)
+
+#: Parameterized variants that must be servable beyond the bare names:
+#: a non-default utility, a sharded solve, and a fault-injected one.
+EXTRA_SPECS = (
+    "haste-offline:c=2,utility=log",
+    "online-haste:c=1,shards=2",
+    "online-haste:fault_seed=5,loss=0.2",
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One daemon (own event-loop thread) shared by the module's tests."""
+    engine = ScheduleEngine(workers=2, queue_limit=32)
+    handle = start_in_thread(engine)
+    client = ServeClient(port=handle.port)
+    client.wait_ready()
+    yield engine, client
+    handle.stop()
+    engine.close()
+
+
+def _raw_request(client: ServeClient, method: str, path: str, body=None):
+    """An HTTP round trip bypassing the client's JSON encoding."""
+    conn = http.client.HTTPConnection(client.host, client.port, timeout=30)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"null")
+    finally:
+        conn.close()
+
+
+class TestDaemonBitIdentity:
+    @pytest.mark.parametrize("spec", sorted(solver_names()) + list(EXTRA_SPECS))
+    def test_served_artifact_matches_direct_solve(self, served, spec):
+        _engine, client = served
+        for seed in SEEDS:
+            inst = Instance.sample(QUICK, 400 + seed)
+            direct = solve_instance(spec, inst, seed=seed)
+            status, reply = client.solve(spec=spec, instance=inst, seed=seed)
+            assert status == 200, reply
+            assert reply["artifact_hash"] == direct.content_hash()
+            assert reply["spec"] == direct.solver
+            assert reply["seed"] == seed
+            assert reply["instance_hash"] == inst.content_hash()
+            # The shipped artifact decodes back to the same content.
+            decoded = RunArtifact.from_dict(reply["artifact"])
+            assert decoded.content_hash() == direct.content_hash()
+
+    def test_sample_form_matches_local_sample(self, served):
+        _engine, client = served
+        inst = Instance.sample(QUICK, 7)
+        direct = solve_instance("greedy-utility", inst, seed=3)
+        status, reply = client.solve(
+            spec="greedy-utility", sample={"scale": "quick", "seed": 7}, seed=3
+        )
+        assert status == 200, reply
+        assert reply["artifact_hash"] == direct.content_hash()
+
+    def test_fault_meta_survives_the_wire(self, served):
+        _engine, client = served
+        status, reply = client.solve(
+            spec="online-haste:fault_seed=5,loss=0.2",
+            sample={"scale": "quick", "seed": 7},
+            seed=1,
+        )
+        assert status == 200, reply
+        art = RunArtifact.from_dict(reply["artifact"])
+        assert art.meta.get("faults"), "fault telemetry missing from meta"
+
+    def test_repeat_request_is_result_cache_hit(self, served):
+        _engine, client = served
+        payload = dict(
+            spec="haste-offline:c=2", sample={"scale": "quick", "seed": 9},
+            seed=5,
+        )
+        status, first = client.solve(**payload)
+        status2, second = client.solve(**payload)
+        assert status == status2 == 200
+        assert second["cached"] and second["warm"]
+        assert second["artifact_hash"] == first["artifact_hash"]
+        assert second["solve_s"] == 0.0
+
+
+class TestDaemonRoutesAndErrors:
+    def test_healthz_and_solvers(self, served):
+        _engine, client = served
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["kernel"] in ("compiled", "numpy")
+        solvers = client.solvers()
+        assert set(solvers) == set(solver_names())
+        assert "summary" in solvers["haste-offline"]
+
+    def test_stats_shape(self, served):
+        _engine, client = served
+        stats = client.stats()
+        for key in ("requests", "completed", "errors", "rejected",
+                    "queue_depth", "queue_limit", "workers",
+                    "result_cache", "prepared_cache", "latency"):
+            assert key in stats, key
+        assert stats["result_cache"]["capacity"] > 0
+        assert stats["prepared_cache"]["capacity"] > 0
+
+    def test_unknown_route_404(self, served):
+        _engine, client = served
+        assert client.get("/nope")[0] == 404
+        assert client.post("/nope", {})[0] == 404
+
+    def test_wrong_method_405(self, served):
+        _engine, client = served
+        status, _ = _raw_request(client, "PUT", "/healthz")
+        assert status == 405
+
+    def test_invalid_json_body_400(self, served):
+        _engine, client = served
+        status, payload = _raw_request(client, "POST", "/solve", b"{not json")
+        assert status == 400
+        assert "invalid JSON" in payload["error"]
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},  # neither instance nor sample
+            {"sample": {"scale": "quick"}, "instance": {}},  # both
+            {"sample": {"scale": "galactic"}},  # unknown scale
+            {"sample": {"scale": "quick", "seed": "x"}},  # bad seed type
+            {"spec": 7, "sample": {"scale": "quick"}},  # bad spec type
+            {"instance": {"format": "nope"}},  # malformed instance
+        ],
+    )
+    def test_protocol_errors_400(self, served, body):
+        _engine, client = served
+        status, payload = client.post("/solve", body)
+        assert status == 400, payload
+        assert "error" in payload
+
+    def test_unknown_solver_400(self, served):
+        _engine, client = served
+        status, payload = client.solve(
+            spec="bogus-solver", sample={"scale": "quick", "seed": 1}
+        )
+        assert status == 400
+        assert "bogus-solver" in payload["error"]
+
+    def test_queue_full_503(self):
+        engine = ScheduleEngine(workers=1, queue_limit=1)
+        try:
+            with start_in_thread(engine) as handle:
+                client = ServeClient(port=handle.port)
+                client.wait_ready()
+                engine.submit = _raise_busy  # saturate deterministically
+                status, payload = client.solve(
+                    sample={"scale": "quick", "seed": 1}
+                )
+                assert status == 503
+                assert "full" in payload["error"]
+        finally:
+            engine.close()
+
+
+def _raise_busy(*args, **kwargs):
+    raise EngineBusy("request queue is full (1 pending)")
+
+
+class _BlockingInstance:
+    """Delegates to a real instance but stalls ``content_hash`` on a gate
+    (pins a worker so queue backpressure can be tested deterministically)."""
+
+    def __init__(self, inner, gate):
+        self._inner = inner
+        self._gate = gate
+
+    def content_hash(self):
+        self._gate.wait(timeout=30)
+        return self._inner.content_hash()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestEngine:
+    def test_backpressure_raises_engine_busy(self):
+        inst = Instance.sample(QUICK, 13)
+        gate = threading.Event()
+        engine = ScheduleEngine(workers=1, queue_limit=1)
+        try:
+            stalled = engine.submit(
+                "greedy-utility", _BlockingInstance(inst, gate), seed=1
+            )
+            # Wait for the single worker to pick the stalled job up.
+            deadline = threading.Event()
+            for _ in range(200):
+                if engine._queue.qsize() == 0:
+                    break
+                deadline.wait(0.01)
+            queued = engine.submit("greedy-utility", inst, seed=2)
+            with pytest.raises(EngineBusy):
+                engine.submit("greedy-utility", inst, seed=3)
+            assert engine.rejected == 1
+            gate.set()
+            assert stalled.result(timeout=30).artifact is not None
+            assert queued.result(timeout=30).artifact is not None
+        finally:
+            gate.set()
+            engine.close()
+
+    def test_closed_engine_rejects(self):
+        engine = ScheduleEngine(workers=1)
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.submit("greedy-utility", Instance.sample(QUICK, 1))
+
+    def test_result_cache_keyed_by_hash_spec_seed(self):
+        inst = Instance.sample(QUICK, 19)
+        with ScheduleEngine(workers=1) as engine:
+            a = engine.solve("greedy-utility", inst, seed=1)
+            b = engine.solve("greedy-utility", inst, seed=1)
+            assert not a.cached and b.cached
+            assert b.artifact.content_hash() == a.artifact.content_hash()
+            c = engine.solve("greedy-utility", inst, seed=2)
+            assert not c.cached  # different seed, different key
+            d = engine.solve("greedy-cover", inst, seed=1)
+            assert not d.cached  # different spec, different key
+            stats = engine.stats()
+            assert stats["result_cache"]["hits"] == 1
+            assert stats["result_cache"]["misses"] == 3
+
+    def test_seedless_solves_never_cached(self):
+        inst = Instance.from_network(Instance.sample(QUICK, 19).network(), config=QUICK)
+        assert inst.seed is None
+        with ScheduleEngine(workers=1) as engine:
+            a = engine.solve("greedy-utility", inst)
+            b = engine.solve("greedy-utility", inst)
+            assert a.seed is None and not a.cached and not b.cached
+
+    def test_use_result_cache_false_always_solves(self):
+        inst = Instance.sample(QUICK, 19)
+        with ScheduleEngine(workers=1) as engine:
+            a = engine.solve("greedy-utility", inst, seed=1,
+                             use_result_cache=False)
+            b = engine.solve("greedy-utility", inst, seed=1,
+                             use_result_cache=False)
+            assert not a.cached and not b.cached
+            assert b.artifact.content_hash() == a.artifact.content_hash()
+            assert b.warm  # prepared state still shared
+
+
+class TestProtocol:
+    def test_default_spec_applied(self):
+        req = parse_solve_request(
+            {"sample": {"scale": "quick", "seed": 2}},
+            default_spec="haste-offline",
+        )
+        assert req.spec == "haste-offline"
+        assert req.seed is None
+
+    def test_seed_bool_rejected(self):
+        with pytest.raises(ProtocolError, match="seed"):
+            parse_solve_request(
+                {"seed": True, "sample": {"scale": "quick"}},
+                default_spec="haste-offline",
+            )
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_solve_request([1, 2], default_spec="haste-offline")
+
+
+class TestTrafficEnginePath:
+    def test_drive_stream_through_engine_bit_identical(self):
+        from repro.traffic import TrafficModel, drive_stream
+
+        model = TrafficModel(process="poisson", rate=1.5, seed=3)
+        stream = model.stream(QUICK)
+        direct = drive_stream(stream, "online-haste", telemetry=False)
+        with ScheduleEngine(workers=1) as engine:
+            served = drive_stream(
+                stream, "online-haste", telemetry=False, engine=engine
+            )
+            again = drive_stream(
+                stream, "online-haste", telemetry=False, engine=engine
+            )
+            stats = engine.stats()
+        assert (served.artifact.content_hash()
+                == direct.artifact.content_hash())
+        assert (again.artifact.content_hash()
+                == direct.artifact.content_hash())
+        # The drive bypasses the result cache (it measures the solve)…
+        assert stats["result_cache"]["hits"] == 0
+        # …but the prepared state is shared across drives.
+        assert stats["completed"] == 2
+
+    def test_run_traffic_report_matches_engine_path(self):
+        from repro.traffic import TrafficModel, run_traffic
+
+        model = TrafficModel(process="poisson", rate=1.5, seed=5)
+        direct = run_traffic(model, QUICK, loads=(1.0,), telemetry=False)
+        with ScheduleEngine(workers=1) as engine:
+            served = run_traffic(
+                model, QUICK, loads=(1.0,), telemetry=False, engine=engine
+            )
+        for key in ("utility", "events", "digest", "arrivals"):
+            assert served.points[0][key] == direct.points[0][key], key

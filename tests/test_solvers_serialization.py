@@ -9,6 +9,8 @@ explicit coverage.
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -212,3 +214,87 @@ class TestArtifactRoundTrip:
         loaded = RunArtifact.load(tmp_path / "o.json")
         assert loaded.objective_value == art.objective_value
         assert loaded.meta.get("status") == art.meta.get("status")
+
+
+def _assert_meta_bit_exact(a: dict, b: dict) -> None:
+    """Equality plus float-representation identity (catches -0.0 vs 0.0
+    and any rounding a lossy encoder would introduce)."""
+    assert a == b
+    assert (json.dumps(a, sort_keys=True, allow_nan=False)
+            == json.dumps(b, sort_keys=True, allow_nan=False))
+
+
+_FAULT_KEYS = (
+    "drops", "crash_drops", "duplicates", "delayed", "retransmits",
+    "acks", "giveups", "expiries", "aborts", "crashed_skips",
+)
+_finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+_fault_meta = st.dictionaries(
+    st.sampled_from(_FAULT_KEYS), st.integers(0, 2**53 - 1), min_size=1
+)
+_shard_meta = st.fixed_dictionaries(
+    {
+        "shards": st.integers(1, 64),
+        "grid": st.lists(st.integers(1, 8), min_size=2, max_size=2),
+        "halo": _finite,
+        "tiles": st.integers(0, 64),
+        "empty_tiles": st.integers(0, 64),
+        "solved_tiles": st.lists(st.integers(0, 63), max_size=8),
+        "tile_plan_s": st.lists(_finite, max_size=8),
+        "tile_events": st.lists(st.integers(0, 10**6), max_size=8),
+        "arrival_s_mean": _finite,
+        "critical_path_s": _finite,
+    }
+)
+
+
+class TestArtifactMetaRoundTrip:
+    """Hypothesis: ``meta["faults"]`` and the shard metadata dict survive
+    both serialization formats bit-exactly."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(faults=_fault_meta, shard=_shard_meta, plan_s=_finite)
+    def test_generated_meta_roundtrips_both_formats(
+        self, faults, shard, plan_s, tmp_path_factory
+    ):
+        art = RunArtifact(
+            solver="online-haste:c=1,shards=2",
+            total_utility=0.5,
+            relaxed_utility=0.5,
+            objective_value=None,
+            energies=np.arange(3, dtype=np.float64),
+            task_utilities=np.zeros(3),
+            schedule_sel=np.zeros((2, 3), dtype=np.int32),
+            fingerprint="meta-roundtrip",
+            switch_count=1,
+            meta={"plan_s": plan_s, "faults": faults, "shard": shard},
+        )
+        back = RunArtifact.from_dict(art.to_dict())
+        _assert_artifacts_identical(art, back)
+        _assert_meta_bit_exact(art.meta, back.meta)
+        tmp = tmp_path_factory.mktemp("meta")
+        for suffix in (".json", ".npz"):
+            path = tmp / f"m{suffix}"
+            art.save(path)
+            loaded = RunArtifact.load(path)
+            _assert_artifacts_identical(art, loaded)
+            _assert_meta_bit_exact(art.meta, loaded.meta)
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_solved_fault_and_shard_meta_roundtrip(self, seed, tmp_path_factory):
+        inst = Instance.sample(QUICK, seed)
+        tmp = tmp_path_factory.mktemp("solved")
+        for spec in ("online-haste:fault_seed=5,loss=0.2",
+                     "online-haste:c=1,shards=2"):
+            art = solve_instance(spec, inst)
+            assert "faults" in art.meta or "shard" in art.meta
+            for suffix in (".json", ".npz"):
+                path = tmp / f"s{suffix}"
+                art.save(path)
+                loaded = RunArtifact.load(path)
+                _assert_artifacts_identical(art, loaded)
+                _assert_meta_bit_exact(
+                    {k: v for k, v in art.meta.items() if k != "plan_s"},
+                    {k: v for k, v in loaded.meta.items() if k != "plan_s"},
+                )
