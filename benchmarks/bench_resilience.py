@@ -1,0 +1,239 @@
+"""Serve-resilience benchmark → ``BENCH_resilience.json``.
+
+Measures what the PR 9 resilience machinery costs on the healthy path
+and what it buys when things go wrong:
+
+* **healthy-path overhead** (the acceptance row) — the same warm seeded
+  request through :class:`repro.serve.engine.ScheduleEngine` with every
+  resilience feature off (no deadline, no breaker, no degradation
+  ladder) vs the resilient defaults plus a generous per-request
+  deadline.  Result cache off on both sides so each repeat really
+  solves; repeats are interleaved in time so host drift hits both sides
+  equally, and medians are reported.  The deadline checks, breaker
+  bookkeeping, and single-flight registration all sit on this path, so
+  this row pins their combined price.
+* **degraded answer under stall** — an engine whose fault injector
+  stalls every primary solve (30 s, far past the budget) with a tight
+  deadline: time from submit to the ladder's degraded-but-valid answer.
+  The row asserts the answer lands within deadline + reserve + slack —
+  the "no request outlives its budget" guarantee, measured.
+* **breaker fast-fail** — the same request once the spec's circuit is
+  open: the engine skips the primary entirely and answers from the
+  ladder, so latency collapses to the fallback solve alone.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --resilience           # paper scale
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --resilience --quick   # CI-sized
+
+(or run this file directly with the same flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Spec the rows are measured on — cheap enough that the resilience
+#: bookkeeping is a visible fraction, real enough to exercise the ladder
+#: (``haste-offline`` degrades to ``greedy-utility``).
+SPEC = "haste-offline"
+
+
+def _config(scale: str):
+    from repro.sim.config import SimulationConfig
+
+    return (
+        SimulationConfig.paper() if scale == "paper" else SimulationConfig.quick()
+    )
+
+
+def healthy_overhead(instance, config, seed: int, repeats: int) -> dict:
+    """Warm solves: resilience machinery off vs on (interleaved medians)."""
+    from repro.serve import ScheduleEngine
+
+    bare = ScheduleEngine(workers=1, degradation=False, breaker=False)
+    full = ScheduleEngine(workers=1)  # breaker + ladder on (defaults)
+    plain, resilient, hashes = [], [], set()
+    try:
+        def solve(engine, deadline_s=None):
+            t0 = time.perf_counter()
+            result = engine.solve(
+                SPEC, instance, seed=seed, config=config,
+                use_result_cache=False, deadline_s=deadline_s,
+            )
+            dt = time.perf_counter() - t0
+            assert not result.degraded, "healthy solve degraded"
+            hashes.add(result.artifact.content_hash())
+            return dt
+
+        solve(bare)   # prime prepared state (shared PREPARED_CACHE)
+        solve(full, deadline_s=300.0)
+        for r in range(repeats):
+            plain.append(solve(bare))
+            resilient.append(solve(full, deadline_s=300.0))
+            print(f"  healthy [{r + 1}/{repeats}] "
+                  f"plain {plain[-1]:.4f}s  resilient {resilient[-1]:.4f}s",
+                  flush=True)
+    finally:
+        bare.close()
+        full.close()
+    assert len(hashes) == 1, f"plain/resilient artifacts diverged: {hashes}"
+    b, a = statistics.median(plain), statistics.median(resilient)
+    return {
+        "op": f"resilience_healthy_overhead[{SPEC}]",
+        "metric": "seconds",
+        "mode": "resilience-off-vs-on",
+        "spec": SPEC,
+        "instance": {"n": instance.n, "m": instance.m,
+                     "K": int(config.horizon_slots)},
+        "repeats": repeats,
+        "before_median_s": b,
+        "after_median_s": a,
+        "overhead_pct": (a / b - 1.0) * 100.0 if b > 0 else 0.0,
+        "artifact_hash": next(iter(hashes)),
+    }
+
+
+def degraded_under_stall(instance, config, seed: int, repeats: int,
+                         deadline_s: float) -> dict:
+    """Submit-to-degraded-answer latency with every primary solve stalled."""
+    from repro.faults.process import ProcessFaultModel
+    from repro.serve import ScheduleEngine
+
+    model = ProcessFaultModel(stall=1.0, stall_s=30.0, seed=seed)
+    engine = ScheduleEngine(workers=1, fault_model=model)
+    lat, utilities = [], []
+    try:
+        for r in range(repeats):
+            t0 = time.perf_counter()
+            result = engine.solve(
+                SPEC, instance, seed=seed, config=config,
+                use_result_cache=False, deadline_s=deadline_s,
+            )
+            lat.append(time.perf_counter() - t0)
+            assert result.degraded, "stalled solve was not degraded"
+            assert result.degrade_reason == "deadline", result.degrade_reason
+            utilities.append(float(result.artifact.total_utility))
+            print(f"  stall [{r + 1}/{repeats}] degraded answer in "
+                  f"{lat[-1]:.4f}s (budget {deadline_s:g}s)", flush=True)
+    finally:
+        engine.close()
+    med = statistics.median(lat)
+    worst = max(lat)
+    # Budget + the fallback solve itself + scheduling slack; the row
+    # exists to catch the guarantee regressing, not to be tight.
+    bound = deadline_s + 5.0
+    assert worst < bound, f"degraded answer {worst:.3f}s breached {bound:g}s"
+    return {
+        "op": f"degraded_under_stall[{SPEC}]",
+        "metric": "seconds",
+        "mode": "stall=1.0 deadline",
+        "spec": SPEC,
+        "deadline_s": deadline_s,
+        "repeats": repeats,
+        "median_s": med,
+        "max_s": worst,
+        "within_bound_s": bound,
+        "degraded_utility": utilities[-1],
+    }
+
+
+def breaker_fast_fail(instance, config, seed: int, repeats: int) -> dict:
+    """Degraded-answer latency once the spec's circuit is open."""
+    from repro.serve import CircuitBreaker, ScheduleEngine
+
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=3600.0)
+    engine = ScheduleEngine(workers=1, breaker=breaker)
+    lat = []
+    try:
+        engine.note_deadline_timeout(SPEC)  # one strike trips the circuit
+        for r in range(repeats):
+            t0 = time.perf_counter()
+            result = engine.solve(
+                SPEC, instance, seed=seed, config=config,
+                use_result_cache=False,
+            )
+            lat.append(time.perf_counter() - t0)
+            assert result.degraded, "open breaker did not degrade"
+            assert result.degrade_reason == "breaker", result.degrade_reason
+            print(f"  breaker [{r + 1}/{repeats}] fast-fail answer in "
+                  f"{lat[-1]:.4f}s", flush=True)
+    finally:
+        engine.close()
+    return {
+        "op": f"breaker_fast_fail[{SPEC}]",
+        "metric": "seconds",
+        "mode": "breaker-open",
+        "spec": SPEC,
+        "repeats": repeats,
+        "median_s": statistics.median(lat),
+        "max_s": max(lat),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized instances instead of paper scale")
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--deadline", type=float, default=1.0,
+                        help="per-request budget for the stall row")
+    args = parser.parse_args()
+
+    scale = "quick" if args.quick else "paper"
+    repeats = args.repeats or (5 if args.quick else 3)
+
+    from repro.solvers import Instance
+    from repro.traffic import kernel_mode
+
+    config = _config(scale)
+    instance = Instance.sample(config, args.seed)
+    results: list[dict] = []
+
+    print(f"healthy-path overhead ({scale}, {repeats} repeats/side)")
+    results.append(healthy_overhead(instance, config, args.seed, repeats))
+    print(f"degraded answer under stall ({scale}, {repeats} repeats)")
+    results.append(
+        degraded_under_stall(instance, config, args.seed, repeats,
+                             args.deadline)
+    )
+    print(f"breaker fast-fail ({scale}, {repeats} repeats)")
+    results.append(breaker_fast_fail(instance, config, args.seed, repeats))
+
+    report = {
+        "description": "Serve-layer resilience: healthy-path cost of the "
+                       "deadline/breaker/ladder machinery (interleaved "
+                       "medians, result cache off), submit-to-degraded "
+                       "latency with every primary solve stalled past a "
+                       "tight deadline, and the breaker-open fast-fail "
+                       "path",
+        "scale": scale,
+        "seed": args.seed,
+        "kernel": kernel_mode(),
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    out = args.output or str(REPO_ROOT / "BENCH_resilience.json")
+    Path(out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+    for r in results:
+        if "overhead_pct" in r:
+            print(f"  {r['op']:36s} {r['before_median_s']:.4f}s → "
+                  f"{r['after_median_s']:.4f}s  "
+                  f"({r['overhead_pct']:+.2f}%)")
+        else:
+            print(f"  {r['op']:36s} median {r['median_s']:.4f}s  "
+                  f"max {r['max_s']:.4f}s")
+
+
+if __name__ == "__main__":
+    main()

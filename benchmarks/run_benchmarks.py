@@ -32,6 +32,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --shard    # BENCH_shard.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --traffic  # BENCH_traffic.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --serve    # BENCH_serve.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --resilience  # BENCH_resilience.json
 
 The default output path is ``BENCH_kernels.json`` next to the repo root;
 ``--skip-seed`` falls back to flags-reference for the end-to-end rows
@@ -434,15 +435,20 @@ def main() -> None:
                         help="measure the serving engine instead "
                              "(delegates to bench_serve.py → "
                              "BENCH_serve.json)")
+    parser.add_argument("--resilience", action="store_true",
+                        help="measure the serve-resilience layer instead "
+                             "(delegates to bench_resilience.py → "
+                             "BENCH_resilience.json)")
     parser.add_argument("--obs-baseline", default="HEAD",
                         help="git rev of the pre-instrumentation tree the "
                              "--obs disabled-path rows compare against")
     args = parser.parse_args()
 
-    if args.shard or args.traffic or args.serve:
+    if args.shard or args.traffic or args.serve or args.resilience:
         sys.path.insert(0, str(Path(__file__).resolve().parent))
         module = __import__(
-            "bench_serve" if args.serve
+            "bench_resilience" if args.resilience
+            else "bench_serve" if args.serve
             else "bench_traffic" if args.traffic
             else "bench_shard"
         )

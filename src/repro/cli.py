@@ -273,6 +273,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not enable the obs registry for the daemon",
     )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (requests may override; "
+        "unset = no deadline)",
+    )
+    p_serve.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait this long for in-flight requests "
+        "before exiting",
+    )
+    p_serve.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable the graceful-degradation ladder (trips become errors)",
+    )
+    p_serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject process faults, e.g. 'crash=0.1,slow=0.2,seed=7' "
+        "(keys: crash, slow, slow_s, stall, stall_s, seed)",
+    )
 
     p_bounds = sub.add_parser(
         "bounds", help="print the applicable theoretical guarantees"
@@ -500,8 +528,10 @@ def _cmd_instance(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from . import obs
+    from .faults import parse_process_faults
     from .serve import ScheduleEngine, ServeDaemon
     from .solvers import get_solver
 
@@ -516,6 +546,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "error: --workers and --queue-limit must be >= 1", file=sys.stderr
         )
         return 2
+    if args.deadline is not None and not (args.deadline > 0):
+        print("error: --deadline must be > 0", file=sys.stderr)
+        return 2
+    fault_model = None
+    if args.chaos:
+        try:
+            fault_model = parse_process_faults(args.chaos)
+        except ValueError as err:
+            print(f"error: --chaos: {err}", file=sys.stderr)
+            return 2
     get_solver(args.spec)  # bad default spec → SolverError → exit 2 in main()
 
     owns_obs = not args.no_telemetry and not obs.enabled()
@@ -525,6 +565,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_limit=args.queue_limit,
         result_cache_capacity=args.result_cache,
+        default_deadline_s=args.deadline,
+        degradation=not args.no_degrade,
+        fault_model=fault_model,
     )
     daemon = ServeDaemon(
         engine, host=args.host, port=args.port, default_spec=args.spec
@@ -532,12 +575,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _run() -> None:
         await daemon.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: Ctrl-C falls back to KeyboardInterrupt
         print(
             f"repro-haste serve: listening on http://{daemon.host}:"
             f"{daemon.port} (default spec {args.spec!r})",
             flush=True,
         )
-        await daemon.serve_forever()
+        serve_task = asyncio.ensure_future(daemon.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        done, _ = await asyncio.wait(
+            {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if stop_task in done:
+            # Graceful drain: refuse new work, let in-flight finish, then
+            # tear down — the SIGTERM contract the chaos suite pins.
+            print(
+                "repro-haste serve: draining "
+                f"(up to {args.drain_deadline:g}s) ...",
+                flush=True,
+            )
+            daemon.begin_drain()
+            drained = await asyncio.to_thread(
+                engine.drain, args.drain_deadline
+            )
+            await daemon.stop()
+            serve_task.cancel()
+            try:
+                await serve_task
+            except asyncio.CancelledError:
+                pass
+            print(
+                "repro-haste serve: drained, shutting down"
+                if drained
+                else "repro-haste serve: drain deadline hit, shutting down",
+                flush=True,
+            )
+        else:
+            stop_task.cancel()
+            await serve_task  # propagate listener failures
 
     try:
         asyncio.run(_run())

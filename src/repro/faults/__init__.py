@@ -7,6 +7,11 @@ the staleness timeouts the degraded protocol needs to stay live.  See
 :class:`FaultModel` for the value object, :class:`LossyMessageBus` for
 the transport, and :func:`repro.online.distributed.negotiate_window` for
 the degradation-hardened protocol variant the injector activates.
+
+:mod:`repro.faults.process` lifts the same seeded/replayable contract to
+the *serving* layer: :class:`ProcessFaultModel` describes what a daemon
+worker may do wrong (crash, slow down, stall) and drives the
+:class:`~repro.serve.engine.ScheduleEngine` chaos suite.
 """
 
 from .bus import FaultStats, LossyMessageBus
@@ -19,6 +24,14 @@ from .model import (
     ReplayDivergence,
     ReplayInjector,
 )
+from .process import (
+    InjectedWorkerCrash,
+    ProcessFault,
+    ProcessFaultInjector,
+    ProcessFaultModel,
+    ReplayProcessInjector,
+    parse_process_faults,
+)
 
 __all__ = [
     "CrashWindow",
@@ -26,8 +39,14 @@ __all__ = [
     "FaultModel",
     "FaultStats",
     "FaultTrace",
+    "InjectedWorkerCrash",
     "LinkOutcome",
     "LossyMessageBus",
+    "ProcessFault",
+    "ProcessFaultInjector",
+    "ProcessFaultModel",
     "ReplayDivergence",
     "ReplayInjector",
+    "ReplayProcessInjector",
+    "parse_process_faults",
 ]

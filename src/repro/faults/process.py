@@ -1,0 +1,279 @@
+"""Process-level fault model: seeded worker crashes, slowdowns, stalls.
+
+PR 4's :class:`~repro.faults.model.FaultModel` injects *radio* faults
+into the negotiation protocol; this module injects *process* faults into
+the serving layer above it — the things a long-lived daemon actually
+dies of: a worker thread killed by a pathological request, a solver that
+suddenly runs 10× slow, a call that wedges outright.  The design follows
+the same replayability contract as the link-level injector:
+
+* all randomness comes from **one dedicated generator** seeded by
+  ``ProcessFaultModel.seed`` and consumed in request order — never from
+  a solver's rng, whose stream must stay byte-identical to the
+  fault-free run;
+* one ``uniform(0, 1)`` draw per decision, partitioned into
+  crash / stall / slow / clean bands (so the three probabilities are
+  exact and must sum to ≤ 1);
+* every decision is recorded into a :class:`~repro.faults.model.
+  FaultTrace` (sha256-digestible), and :class:`ReplayProcessInjector`
+  re-serves a recorded trace positionally, verifying the query context
+  and raising :class:`~repro.faults.model.ReplayDivergence` on drift —
+  the same contract the chaos suite pins for the link injector.
+
+The decisions themselves are *applied* by the
+:class:`~repro.serve.engine.ScheduleEngine` worker: ``crash`` raises
+:class:`InjectedWorkerCrash` (a ``BaseException`` — it escapes ordinary
+``except Exception`` handling exactly like a genuinely dying worker
+would escape a sloppy handler), ``slow``/``stall`` sleep cooperatively
+(interruptible by the request deadline's degradation reserve).  A null
+model injects nothing and the engine skips the injector entirely, which
+is what keeps fault-free daemon behavior bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+from .model import FaultTrace, ReplayDivergence
+
+__all__ = [
+    "InjectedWorkerCrash",
+    "ProcessFault",
+    "ProcessFaultModel",
+    "ProcessFaultInjector",
+    "ReplayProcessInjector",
+    "parse_process_faults",
+]
+
+
+class InjectedWorkerCrash(BaseException):
+    """A simulated worker death.
+
+    Deliberately a ``BaseException``: it must sail past the engine's
+    ordinary ``except Exception`` error handling (which answers 500 and
+    keeps the worker alive) and actually kill the worker thread, so the
+    supervision/restart machinery is exercised for real.
+    """
+
+
+class ProcessFault(NamedTuple):
+    """One injected decision for one request."""
+
+    kind: str  # "none" | "crash" | "slow" | "stall"
+    seconds: float  # sleep duration for slow/stall, 0 otherwise
+
+
+def _check_prob(name: str, value: float) -> None:
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class ProcessFaultModel:
+    """Everything a serving worker may do wrong, as one frozen value.
+
+    ``crash`` / ``stall`` / ``slow`` are per-request probabilities (their
+    sum must be ≤ 1 — one uniform draw decides each request's fate).
+    ``slow_s`` is the injected slowdown, ``stall_s`` the injected stall;
+    both sleeps are cooperative, so a stall longer than the request
+    deadline degrades instead of hanging.
+    """
+
+    crash: float = 0.0
+    slow: float = 0.0
+    slow_s: float = 0.05
+    stall: float = 0.0
+    stall_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_prob("crash", self.crash)
+        _check_prob("slow", self.slow)
+        _check_prob("stall", self.stall)
+        total = self.crash + self.slow + self.stall
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                f"crash + slow + stall must be <= 1, got {total:g}"
+            )
+        if self.slow_s < 0.0:
+            raise ValueError(f"slow_s must be >= 0, got {self.slow_s}")
+        if self.stall_s < 0.0:
+            raise ValueError(f"stall_s must be >= 0, got {self.stall_s}")
+
+    def is_null(self) -> bool:
+        """True when this model injects nothing — the engine skips the
+        injector entirely, keeping fault-free behavior bit-identical."""
+        return self.crash == 0.0 and self.slow == 0.0 and self.stall == 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "crash": self.crash,
+            "slow": self.slow,
+            "slow_s": self.slow_s,
+            "stall": self.stall,
+            "stall_s": self.stall_s,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProcessFaultModel":
+        return cls(**dict(payload))
+
+    def injector(self) -> "ProcessFaultInjector":
+        return ProcessFaultInjector(self)
+
+
+class ProcessFaultInjector:
+    """Draws per-request fault decisions from one seeded stream.
+
+    Decisions are consumed in request order under a lock (the same
+    protocol-order contract as the link injector) — with one engine
+    worker and sequential submission the stream is fully deterministic,
+    which is what the chaos suite's replay pins rely on.
+    """
+
+    def __init__(self, model: ProcessFaultModel) -> None:
+        self.model = model
+        self._rng = np.random.default_rng(model.seed)
+        self._lock = threading.Lock()
+        self.trace = FaultTrace()
+        self.decisions = 0
+        self.crashes = 0
+        self.slowdowns = 0
+        self.stalls = 0
+
+    def decide(self, spec: str, instance_hash: str) -> ProcessFault:
+        """The fate of one request (recorded; thread-safe)."""
+        m = self.model
+        with self._lock:
+            index = self.decisions
+            self.decisions += 1
+            u = float(self._rng.random())
+            if u < m.crash:
+                kind, seconds = "crash", 0.0
+                self.crashes += 1
+            elif u < m.crash + m.stall:
+                kind, seconds = "stall", m.stall_s
+                self.stalls += 1
+            elif u < m.crash + m.stall + m.slow:
+                kind, seconds = "slow", m.slow_s
+                self.slowdowns += 1
+            else:
+                kind, seconds = "none", 0.0
+            self.trace.record(
+                ("proc", index, spec, instance_hash[:12], kind, seconds)
+            )
+        return ProcessFault(kind, seconds)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "decisions": self.decisions,
+                "crashes": self.crashes,
+                "slowdowns": self.slowdowns,
+                "stalls": self.stalls,
+                "trace_digest": self.trace.digest(),
+            }
+
+
+class ReplayProcessInjector:
+    """Re-serves a recorded process-fault trace, verifying each query.
+
+    Positional replay with context verification — the process-level twin
+    of :class:`~repro.faults.model.ReplayInjector`.  A replayed request
+    stream that diverges from the recording (different spec or instance
+    at some position) raises :class:`ReplayDivergence` immediately.
+    """
+
+    def __init__(self, trace: FaultTrace) -> None:
+        self._events = [ev for ev in trace.events if ev[0] == "proc"]
+        self._cursor = 0
+        self._lock = threading.Lock()
+        self.trace = FaultTrace()
+        self.decisions = 0
+        self.crashes = 0
+        self.slowdowns = 0
+        self.stalls = 0
+
+    def decide(self, spec: str, instance_hash: str) -> ProcessFault:
+        with self._lock:
+            if self._cursor >= len(self._events):
+                raise ReplayDivergence(
+                    f"process-fault replay exhausted after {self._cursor} "
+                    f"events but the run queried decide({spec!r}, "
+                    f"{instance_hash[:12]!r})"
+                )
+            _kind, index, rspec, rhash, kind, seconds = self._events[
+                self._cursor
+            ]
+            if (rspec, rhash) != (spec, instance_hash[:12]):
+                raise ReplayDivergence(
+                    f"process-fault divergence at event {self._cursor}: "
+                    f"recorded ({rspec!r}, {rhash!r}) but live query is "
+                    f"({spec!r}, {instance_hash[:12]!r})"
+                )
+            self._cursor += 1
+            self.decisions += 1
+            if kind == "crash":
+                self.crashes += 1
+            elif kind == "stall":
+                self.stalls += 1
+            elif kind == "slow":
+                self.slowdowns += 1
+            self.trace.record(
+                ("proc", index, spec, instance_hash[:12], kind, seconds)
+            )
+        return ProcessFault(kind, float(seconds))
+
+    def exhausted(self) -> bool:
+        return self._cursor == len(self._events)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "decisions": self.decisions,
+                "crashes": self.crashes,
+                "slowdowns": self.slowdowns,
+                "stalls": self.stalls,
+                "trace_digest": self.trace.digest(),
+            }
+
+
+def parse_process_faults(text: str) -> ProcessFaultModel:
+    """Parse a ``crash=0.1,slow=0.2,slow_s=0.05,seed=7`` CLI string.
+
+    Empty string → the null model.  Unknown keys and malformed values
+    raise ``ValueError`` with a one-line message (the CLI maps it to
+    exit 2).
+    """
+    fields = {
+        "crash": float,
+        "slow": float,
+        "slow_s": float,
+        "stall": float,
+        "stall_s": float,
+        "seed": int,
+    }
+    kwargs: dict = {}
+    for item in (text or "").split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, raw = item.partition("=")
+        key = key.strip()
+        if not eq or key not in fields:
+            known = ", ".join(fields)
+            raise ValueError(
+                f"bad process-fault parameter {item!r}; known: {known}"
+            )
+        try:
+            kwargs[key] = fields[key](raw.strip())
+        except ValueError:
+            raise ValueError(
+                f"bad value for process-fault parameter {key!r}: {raw!r}"
+            ) from None
+    return ProcessFaultModel(**kwargs)

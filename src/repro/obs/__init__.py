@@ -41,7 +41,18 @@ Instrumented surfaces
   execution (:mod:`repro.sim.engine`);
 * ``ckernel.*`` events — which negotiation-kernel backend loaded, and a
   one-time ``RuntimeWarning`` when compilation fails and the run
-  silently degrades to NumPy (:mod:`repro.online._ckernel`).
+  silently degrades to NumPy (:mod:`repro.online._ckernel`);
+* ``serve.*`` counters/gauges — the serving layer's request funnel
+  (``serve.requests``/``rejected``/``errors``, ``serve.queue_depth``,
+  the ``serve.request_latency`` windowed histogram,
+  ``serve.result_cache_hits``/``misses``, ``serve.inflight_dedup``) and
+  its resilience machinery (``serve.deadline_expired``/
+  ``deadline_timeouts``, ``serve.degraded``, ``serve.worker_crashes``/
+  ``worker_restarts``, ``serve.breaker_trips`` + per-spec
+  ``serve.breaker_state.<spec>`` gauges with 0/1/2 =
+  closed/half-open/open), plus ``prepared.cache_*`` for the shared
+  prepared-state LRU (:mod:`repro.serve.engine`,
+  :mod:`repro.serve.resilience`, :mod:`repro.solvers.prepared`).
 """
 
 from __future__ import annotations

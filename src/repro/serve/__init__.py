@@ -6,31 +6,38 @@ serialized instances (or sample descriptors) over HTTP/JSON and returns
 full :class:`~repro.solvers.artifact.RunArtifact` payloads, never
 recomputing per-network state on the hot path.
 
-Layers (see DESIGN.md §12):
+Layers (see DESIGN.md §12–13):
 
 * :mod:`repro.serve.engine` — :class:`ScheduleEngine`: bounded request
-  queue, worker threads resolving spec strings locally, the shared
-  prepared-state cache, and a ``content_hash × spec × seed`` result cache;
+  queue, supervised worker threads resolving spec strings locally, the
+  shared prepared-state cache, a ``content_hash × spec × seed`` result
+  cache (the idempotency key), per-spec circuit breakers, and the
+  graceful-degradation ladder;
+* :mod:`repro.serve.resilience` — the shared vocabulary: ``Deadline``,
+  ``CancelToken``/``cooperative_sleep``, ``RetryPolicy`` (exponential
+  backoff + full jitter), ``CircuitBreaker``, ``DegradationLadder``;
 * :mod:`repro.serve.daemon` — :class:`ServeDaemon`: stdlib-asyncio
-  HTTP/1.1 listener (``/healthz``, ``/solvers``, ``/stats``, ``/solve``);
+  HTTP/1.1 listener (``/healthz``, ``/solvers``, ``/stats``, ``/solve``)
+  with a per-request watchdog and a graceful drain mode;
 * :mod:`repro.serve.protocol` — request/response schemas;
-* :mod:`repro.serve.client` — a stdlib client for harnesses and REPLs.
+* :mod:`repro.serve.client` — a stdlib client with typed failures and
+  retrying ``solve_with_retries``.
 
 Quick start::
 
     from repro.serve import ScheduleEngine, start_in_thread, ServeClient
-    engine = ScheduleEngine(workers=2)
+    engine = ScheduleEngine(workers=2, default_deadline_s=5.0)
     with start_in_thread(engine) as handle:
         client = ServeClient(port=handle.port)
-        status, reply = client.solve(
+        status, reply = client.solve_with_retries(
             spec="haste-offline:c=2", sample={"scale": "quick", "seed": 7}
         )
     engine.close()
 
-or from a shell: ``repro-haste serve --port 8642``.
+or from a shell: ``repro-haste serve --port 8642 --deadline 5``.
 """
 
-from .client import ServeClient
+from .client import ServeClient, ServeProtocolError, ServeUnavailable
 from .daemon import DaemonHandle, ServeDaemon, start_in_thread
 from .engine import EngineBusy, EngineClosed, ScheduleEngine, ServeResult
 from .protocol import (
@@ -39,9 +46,24 @@ from .protocol import (
     parse_solve_request,
     solve_response,
 )
+from .resilience import (
+    BreakerOpen,
+    CancelToken,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradationLadder,
+    RequestQuarantined,
+    RetryPolicy,
+    WorkerCrashed,
+    cooperative_sleep,
+    default_degradation_rungs,
+)
 
 __all__ = [
     "ServeClient",
+    "ServeProtocolError",
+    "ServeUnavailable",
     "DaemonHandle",
     "ServeDaemon",
     "start_in_thread",
@@ -53,4 +75,15 @@ __all__ = [
     "SolveRequest",
     "parse_solve_request",
     "solve_response",
+    "BreakerOpen",
+    "CancelToken",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationLadder",
+    "RequestQuarantined",
+    "RetryPolicy",
+    "WorkerCrashed",
+    "cooperative_sleep",
+    "default_degradation_rungs",
 ]

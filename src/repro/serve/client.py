@@ -7,6 +7,19 @@ REPL; anything speaking HTTP works equally well — e.g. ::
     curl -s localhost:8642/healthz
     curl -s -X POST localhost:8642/solve \\
          -d '{"spec": "greedy-utility", "sample": {"scale": "quick", "seed": 7}}'
+
+Failure taxonomy (PR 9): transport-level trouble raises
+:class:`ServeUnavailable` (a ``ConnectionError``, so existing
+``except OSError`` callers keep working) and non-JSON answers raise
+:class:`ServeProtocolError` — callers can tell "the daemon is down"
+from "the daemon is speaking garbage" without string-matching.
+
+:meth:`ServeClient.solve_with_retries` layers the
+:class:`~repro.serve.resilience.RetryPolicy` (exponential backoff, full
+jitter) on top: it retries transport errors and 503 backpressure, and
+relies on the engine's ``content_hash × spec × seed`` idempotency key —
+a retried seeded request can never double-execute, the engine collapses
+it onto the cache or the in-flight leader.
 """
 
 from __future__ import annotations
@@ -15,7 +28,26 @@ import http.client
 import json
 import time
 
-__all__ = ["ServeClient"]
+from .resilience import RetryPolicy
+
+__all__ = ["ServeClient", "ServeProtocolError", "ServeUnavailable"]
+
+
+class ServeUnavailable(ConnectionError):
+    """The daemon could not be reached (connect/read/reset failure).
+
+    Subclasses ``ConnectionError`` → ``OSError``, so pre-existing
+    ``except (OSError, ...)`` readiness loops treat it as before.
+    """
+
+
+class ServeProtocolError(RuntimeError):
+    """The daemon answered, but not with the JSON contract we expect."""
+
+
+#: Status codes worth retrying: pure backpressure (503) and watchdog
+#: timeouts (504) — the request may succeed (or degrade) on a later try.
+RETRYABLE_STATUSES = (503, 504)
 
 
 class ServeClient:
@@ -31,7 +63,12 @@ class ServeClient:
     # Transport
     # ------------------------------------------------------------------
     def request(self, method: str, path: str, payload=None) -> tuple[int, dict]:
-        """One HTTP round trip → ``(status, decoded_json)``."""
+        """One HTTP round trip → ``(status, decoded_json)``.
+
+        Raises :class:`ServeUnavailable` when the daemon cannot be
+        reached and :class:`ServeProtocolError` when the reply is not
+        the JSON the protocol promises.
+        """
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -41,10 +78,23 @@ class ServeClient:
             if payload is not None:
                 body = json.dumps(payload)
                 headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            data = response.read()
-            return response.status, json.loads(data or b"null")
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+            except (ConnectionError, TimeoutError, OSError,
+                    http.client.HTTPException) as exc:
+                raise ServeUnavailable(
+                    f"daemon at {self.host}:{self.port} unreachable for "
+                    f"{method} {path}: {type(exc).__name__}: {exc}"
+                ) from exc
+            try:
+                return response.status, json.loads(data or b"null")
+            except json.JSONDecodeError as exc:
+                raise ServeProtocolError(
+                    f"daemon at {self.host}:{self.port} answered {method} "
+                    f"{path} with non-JSON body ({len(data)} bytes): {exc}"
+                ) from None
         finally:
             conn.close()
 
@@ -60,19 +110,46 @@ class ServeClient:
     def healthz(self) -> dict:
         status, payload = self.get("/healthz")
         if status != 200:
-            raise RuntimeError(f"/healthz returned {status}: {payload}")
+            raise ServeProtocolError(f"/healthz returned {status}: {payload}")
         return payload
 
     def solvers(self) -> dict:
         status, payload = self.get("/solvers")
         if status != 200:
-            raise RuntimeError(f"/solvers returned {status}: {payload}")
+            raise ServeProtocolError(f"/solvers returned {status}: {payload}")
         return payload["solvers"]
 
     def stats(self) -> dict:
         status, payload = self.get("/stats")
         if status != 200:
-            raise RuntimeError(f"/stats returned {status}: {payload}")
+            raise ServeProtocolError(f"/stats returned {status}: {payload}")
+        return payload
+
+    def _solve_payload(
+        self,
+        *,
+        spec: str | None,
+        instance,
+        sample: dict | None,
+        seed: int | None,
+        deadline_s: float | None = None,
+        degrade: bool | None = None,
+    ) -> dict:
+        payload: dict = {}
+        if spec is not None:
+            payload["spec"] = spec
+        if seed is not None:
+            payload["seed"] = seed
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if degrade is not None:
+            payload["degrade"] = degrade
+        if instance is not None:
+            payload["instance"] = (
+                instance if isinstance(instance, dict) else instance.to_dict()
+            )
+        if sample is not None:
+            payload["sample"] = sample
         return payload
 
     def solve(
@@ -82,24 +159,69 @@ class ServeClient:
         instance=None,
         sample: dict | None = None,
         seed: int | None = None,
+        deadline_s: float | None = None,
+        degrade: bool | None = None,
     ) -> tuple[int, dict]:
         """POST /solve with either a serialized instance or a sample form.
 
         ``instance`` may be an :class:`~repro.solvers.instance.Instance`
         (serialized here) or an already-encoded payload dict.
         """
-        payload: dict = {}
-        if spec is not None:
-            payload["spec"] = spec
-        if seed is not None:
-            payload["seed"] = seed
-        if instance is not None:
-            payload["instance"] = (
-                instance if isinstance(instance, dict) else instance.to_dict()
-            )
-        if sample is not None:
-            payload["sample"] = sample
-        return self.post("/solve", payload)
+        return self.post(
+            "/solve",
+            self._solve_payload(
+                spec=spec, instance=instance, sample=sample, seed=seed,
+                deadline_s=deadline_s, degrade=degrade,
+            ),
+        )
+
+    def solve_with_retries(
+        self,
+        *,
+        spec: str | None = None,
+        instance=None,
+        sample: dict | None = None,
+        seed: int | None = None,
+        deadline_s: float | None = None,
+        degrade: bool | None = None,
+        policy: RetryPolicy | None = None,
+        sleep=time.sleep,
+    ) -> tuple[int, dict]:
+        """``solve`` with exponential-backoff/full-jitter retries.
+
+        Retries :class:`ServeUnavailable` and retryable statuses (503
+        backpressure, 504 watchdog) up to ``policy.retries`` times.
+        Safe for seeded requests by construction: the engine's
+        idempotency key (``content_hash × spec × seed``) answers an
+        exact repeat from its result cache or collapses it onto the
+        in-flight execution, so a retry never double-executes.
+        Returns the last ``(status, payload)``; re-raises the final
+        :class:`ServeUnavailable` when the daemon never answered.
+        """
+        policy = policy or RetryPolicy()
+        payload = self._solve_payload(
+            spec=spec, instance=instance, sample=sample, seed=seed,
+            deadline_s=deadline_s, degrade=degrade,
+        )
+        delays = policy.delays()
+        attempts = policy.retries + 1
+        last_error: ServeUnavailable | None = None
+        result: tuple[int, dict] | None = None
+        for attempt in range(attempts):
+            try:
+                result = self.post("/solve", payload)
+                last_error = None
+            except ServeUnavailable as exc:
+                last_error = exc
+                result = None
+            if result is not None and result[0] not in RETRYABLE_STATUSES:
+                return result
+            if attempt + 1 < attempts:
+                sleep(next(delays))
+        if last_error is not None:
+            raise last_error
+        assert result is not None
+        return result
 
     def wait_ready(self, timeout: float = 15.0) -> dict:
         """Poll ``/healthz`` until the daemon answers (boot helper)."""

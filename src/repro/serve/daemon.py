@@ -18,10 +18,21 @@ Routes:
 ==============  ====================================================
 
 Status mapping: malformed body / unknown solver / bad params → 400,
-unknown route → 404, wrong method → 405, bounded queue full → 503,
-anything unexpected in the solver → 500.  Responses to ``/solve``
-include the artifact's content hash so replay harnesses can assert
-bit-identity without re-parsing arrays.
+unknown route → 404, wrong method → 405, bounded queue full (or breaker
+open, or draining) → 503, deadline exhausted with degradation off → 504,
+worker crash / quarantine / anything unexpected in the solver → 500.
+Responses to ``/solve`` include the artifact's content hash so replay
+harnesses can assert bit-identity without re-parsing arrays.
+
+Resilience (DESIGN.md §13): every ``/solve`` with a deadline is guarded
+by an **asyncio watchdog** — if the engine future outlives the budget
+plus a small grace (a worker stuck in non-cooperative code), the daemon
+cancels the request's token, records the timeout against the spec's
+circuit breaker, and re-submits in degrade-only mode so the client still
+gets a valid (tagged) schedule.  :meth:`ServeDaemon.begin_drain` flips
+the daemon into drain mode: new ``/solve`` requests get 503 while
+in-flight ones finish — the graceful-SIGTERM path of ``repro-haste
+serve``.
 """
 
 from __future__ import annotations
@@ -32,14 +43,28 @@ import threading
 
 from ..solvers.registry import REGISTRY, SolverError, get_solver
 from ..solvers.spec import SpecError
-from .engine import EngineBusy, ScheduleEngine
+from .engine import EngineBusy, EngineClosed, ScheduleEngine
 from .protocol import ProtocolError, parse_solve_request, solve_response
+from .resilience import (
+    BreakerOpen,
+    DeadlineExceeded,
+    RequestQuarantined,
+    WorkerCrashed,
+)
 
 __all__ = ["ServeDaemon", "DaemonHandle", "start_in_thread"]
 
 #: Hard cap on request bodies (64 MiB ≈ a few-hundred-thousand-task
 #: instance in JSON) — beyond this the daemon refuses rather than buffer.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Watchdog slack past the request budget before the daemon intervenes —
+#: the engine's cooperative checks normally finish well inside this.
+WATCHDOG_GRACE_S = 0.25
+
+#: How long the degrade-only watchdog resubmission may take before the
+#: daemon gives up with 504 (fallback rungs are near-instant greedy runs).
+WATCHDOG_RETRY_S = 10.0
 
 _REASONS = {
     200: "OK",
@@ -49,6 +74,7 @@ _REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -87,6 +113,16 @@ class ServeDaemon:
         self.port = int(port)
         self.default_spec = default_spec
         self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+
+    def begin_drain(self) -> None:
+        """Stop accepting new ``/solve`` work (503) while in-flight
+        requests finish — step one of the graceful-shutdown ladder."""
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     async def start(self) -> None:
         """Bind the socket (resolves ``port=0`` to the chosen port)."""
@@ -158,7 +194,7 @@ class ServeDaemon:
     def _get(self, path: str) -> tuple[int, dict]:
         if path == "/healthz":
             return 200, {
-                "status": "ok",
+                "status": "draining" if self._draining else "ok",
                 "kernel": _kernel_mode(),
                 "default_spec": self.default_spec,
             }
@@ -179,6 +215,8 @@ class ServeDaemon:
         return 404, {"error": f"unknown path {path!r}"}
 
     async def _solve(self, body: bytes) -> tuple[int, dict]:
+        if self._draining:
+            return 503, {"error": "daemon is draining; retry elsewhere"}
         try:
             payload = json.loads(body or b"null")
         except json.JSONDecodeError as exc:
@@ -192,15 +230,80 @@ class ServeDaemon:
             return 400, {"error": str(exc)}
         try:
             fut = self.engine.submit(
-                request.spec, request.instance, seed=request.seed
+                request.spec,
+                request.instance,
+                seed=request.seed,
+                deadline_s=request.deadline_s,
+                degrade=request.degrade,
             )
-        except EngineBusy as exc:
+        except (EngineBusy, EngineClosed) as exc:
             return 503, {"error": str(exc)}
+
+        budget = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.engine.default_deadline_s
+        )
+        watchdog = (
+            budget + max(WATCHDOG_GRACE_S, 0.25 * budget)
+            if budget is not None
+            else None
+        )
         try:
-            result = await asyncio.wrap_future(fut)
+            result = await asyncio.wait_for(asyncio.wrap_future(fut), watchdog)
+        except asyncio.TimeoutError:
+            # The worker blew past the budget *and* the grace — it is stuck
+            # in non-cooperative code.  Cancel the token (wakes any
+            # cooperative wait), charge the spec's breaker, and answer from
+            # the degradation ladder on a fresh submission.
+            token = getattr(fut, "cancel_token", None)
+            if token is not None:
+                token.cancel()
+            self.engine.note_deadline_timeout(request.spec)
+            return await self._solve_watchdogged(request)
+        except DeadlineExceeded as exc:
+            return 504, {"error": str(exc)}
+        except (BreakerOpen, EngineClosed) as exc:
+            return 503, {"error": str(exc)}
+        except (WorkerCrashed, RequestQuarantined) as exc:
+            return 500, {"error": str(exc)}
         except (SpecError, SolverError) as exc:
             return 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive 500
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return 200, solve_response(result)
+
+    async def _solve_watchdogged(self, request) -> tuple[int, dict]:
+        """Degrade-only retry after a watchdog expiry (or 504/500)."""
+        if not request.degrade:
+            return 504, {
+                "error": (
+                    f"request for {request.spec!r} exceeded its "
+                    f"{request.deadline_s!r}s deadline (degradation disabled)"
+                )
+            }
+        try:
+            fut = self.engine.submit(
+                request.spec,
+                request.instance,
+                seed=request.seed,
+                skip_primary=True,
+                degrade_reason="watchdog",
+            )
+        except (EngineBusy, EngineClosed) as exc:
+            return 503, {"error": str(exc)}
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(fut), WATCHDOG_RETRY_S
+            )
+        except asyncio.TimeoutError:
+            return 504, {
+                "error": (
+                    f"request for {request.spec!r} timed out even on the "
+                    f"degradation ladder"
+                )
+            }
+        except Exception as exc:
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
         return 200, solve_response(result)
 

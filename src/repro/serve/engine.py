@@ -1,4 +1,4 @@
-"""The warm-state scheduling engine: queue, workers, caches.
+"""The warm-state scheduling engine: queue, workers, caches, resilience.
 
 :class:`ScheduleEngine` is the serving core the daemon (and the traffic
 harness) sit on.  One engine holds:
@@ -8,18 +8,36 @@ harness) sit on.  One engine holds:
   HTTP 503), so a burst degrades to fast refusals instead of unbounded
   memory growth;
 * a **worker pool** of threads, each resolving spec strings locally via
-  :func:`~repro.solvers.registry.get_solver` — the same
-  resolve-by-string-in-the-worker pattern :mod:`repro.sim.runner` uses
-  across process boundaries;
+  :func:`~repro.solvers.registry.get_solver`, plus a **supervisor**
+  thread that detects crashed workers, restarts them, and counts the
+  restarts (``serve.worker_restarts``) — a request that kills a worker
+  is quarantined instead of wedging the queue;
 * the **prepared-state cache** (:data:`~repro.solvers.prepared.
   PREPARED_CACHE`): requests for the same ``Instance.content_hash`` share
-  one :class:`~repro.solvers.prepared.PreparedNetwork`, so the warm path
-  skips network construction, objective binding, and tile slicing
-  entirely;
-* a **result cache** keyed by ``content_hash × canonical spec × seed``:
-  an exact repeat of a seeded request is answered without solving at all
-  (solves with no effective seed are never cached — they are
-  rng-nondeterministic by construction).
+  one :class:`~repro.solvers.prepared.PreparedNetwork`;
+* a **result cache** keyed by ``content_hash × canonical spec × seed``
+  — the serving layer's idempotency key: an exact repeat of a seeded
+  request (a client retry after a lost response, say) is answered
+  without solving again, and *concurrent* identical requests collapse
+  single-flight onto one execution (``serve.inflight_dedup``).
+
+Resilience (PR 9, DESIGN.md §13) threads through every request:
+
+* **deadlines** — a per-request monotonic :class:`~repro.serve.
+  resilience.Deadline` checked cooperatively at phase seams (dequeue,
+  fault injection, prepare, per-rung), so no request outlives its budget
+  beyond the daemon's watchdog grace;
+* a per-spec **circuit breaker** (closed/open/half-open) that learns
+  which specs are failing and routes around them;
+* the **graceful-degradation ladder** — when the deadline, the breaker,
+  or a quarantine trips, the request re-resolves to a cheaper registered
+  spec (decomposition params stripped, then the greedy baseline) and
+  returns a *valid* schedule tagged ``meta["degraded"]`` instead of an
+  error;
+* an optional seeded **process fault injector**
+  (:class:`~repro.faults.process.ProcessFaultModel`) driving the chaos
+  suite — a null (or absent) model leaves every request on the exact
+  PR 8 path, bit for bit.
 
 Telemetry: the engine always feeds its own
 :class:`~repro.obs.windows.WindowedHistogram` of request latency
@@ -27,7 +45,8 @@ Telemetry: the engine always feeds its own
 daemon's ``/stats``), and mirrors counters/gauges into :mod:`repro.obs`
 when the global registry is enabled (``serve.requests``,
 ``serve.result_cache_hits``/``misses``, ``serve.rejected``,
-``serve.queue_depth``, ``serve.request_latency``).
+``serve.queue_depth``, ``serve.request_latency``, ``serve.degraded``,
+``serve.worker_restarts``, ``serve.breaker_*``, …).
 """
 
 from __future__ import annotations
@@ -37,15 +56,28 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import obs
+from ..faults.process import InjectedWorkerCrash, ProcessFaultModel
 from ..obs.windows import WindowedHistogram
 from ..solvers.artifact import RunArtifact
 from ..solvers.prepared import PREPARED_CACHE
 from ..solvers.registry import get_solver
+from .resilience import (
+    BreakerOpen,
+    CancelToken,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    DegradationLadder,
+    RequestQuarantined,
+    WorkerCrashed,
+    cooperative_sleep,
+)
 
 __all__ = ["EngineBusy", "EngineClosed", "ServeResult", "ScheduleEngine"]
 
@@ -60,7 +92,7 @@ class EngineBusy(RuntimeError):
 
 
 class EngineClosed(RuntimeError):
-    """The engine has been closed; no further submissions are accepted."""
+    """The engine is closed or draining; no further submissions."""
 
 
 @dataclass(frozen=True)
@@ -68,7 +100,8 @@ class ServeResult:
     """One served solve: the artifact plus its serving provenance."""
 
     artifact: RunArtifact
-    #: canonical spec string that produced the artifact
+    #: canonical spec string that produced the artifact (the degraded
+    #: rung's spec when ``degraded``)
     spec: str
     #: ``Instance.content_hash`` of the solved instance
     instance_hash: str
@@ -82,6 +115,15 @@ class ServeResult:
     solve_s: float
     #: seconds spent waiting in the bounded queue
     queued_s: float
+    #: answered by waiting on an identical in-flight request
+    deduped: bool = False
+    #: the degradation ladder produced this (see ``artifact.meta["degraded"]``)
+    degraded: bool = False
+    #: the originally requested canonical spec, when ``degraded``
+    degraded_from: str | None = None
+    #: what tripped: ``deadline`` | ``breaker`` | ``crash`` | ``quarantine``
+    #: | ``watchdog``
+    degrade_reason: str | None = None
 
 
 @dataclass(frozen=True)
@@ -91,6 +133,11 @@ class _Job:
     seed: int | None
     config: object
     use_result_cache: bool
+    deadline: Deadline | None = None
+    token: CancelToken = field(default_factory=CancelToken)
+    degrade: bool = True
+    skip_primary: bool = False
+    degrade_reason: str | None = None
 
 
 class ScheduleEngine:
@@ -102,18 +149,77 @@ class ScheduleEngine:
         workers: int = 2,
         queue_limit: int = 64,
         result_cache_capacity: int = 256,
+        prepared_cache_capacity: int | None = None,
+        default_deadline_s: float | None = None,
+        degradation=True,
+        breaker=None,
+        fault_model=None,
+        supervise: bool = True,
+        supervision_interval_s: float = 0.1,
+        quarantine_after: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if default_deadline_s is not None and not (default_deadline_s > 0):
+            raise ValueError(
+                f"default_deadline_s must be > 0, got {default_deadline_s}"
+            )
+        if quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
         self.queue_limit = int(queue_limit)
+        self.default_deadline_s = default_deadline_s
+        self.quarantine_after = int(quarantine_after)
+        self.supervision_interval_s = float(supervision_interval_s)
+        if prepared_cache_capacity is not None:
+            PREPARED_CACHE.set_capacity(prepared_cache_capacity)
+
+        # Resilience collaborators.  `degradation=True` builds the default
+        # ladder; `breaker=None` the default circuit breaker — pass False
+        # to disable either (the PR 8 hot path is untouched either way:
+        # a closed breaker and an untriggered ladder cost one dict lookup).
+        if degradation is True:
+            self._ladder: DegradationLadder | None = DegradationLadder()
+        elif degradation in (False, None):
+            self._ladder = None
+        elif isinstance(degradation, DegradationLadder):
+            self._ladder = degradation
+        elif callable(degradation):
+            self._ladder = DegradationLadder(degradation)
+        else:
+            raise TypeError(f"bad degradation argument {degradation!r}")
+        if breaker is None:
+            self._breaker: CircuitBreaker | None = CircuitBreaker()
+        elif breaker is False:
+            self._breaker = None
+        elif isinstance(breaker, CircuitBreaker):
+            self._breaker = breaker
+        else:
+            raise TypeError(f"bad breaker argument {breaker!r}")
+        if fault_model is None:
+            self._injector = None
+        elif isinstance(fault_model, ProcessFaultModel):
+            self._injector = (
+                None if fault_model.is_null() else fault_model.injector()
+            )
+        elif hasattr(fault_model, "decide"):
+            self._injector = fault_model  # injector (or replay) directly
+        else:
+            raise TypeError(f"bad fault_model argument {fault_model!r}")
+
         self._queue: queue.Queue = queue.Queue(maxsize=self.queue_limit)
         self._lock = threading.Lock()
         self._closed = False
+        self._draining = False
         self._results: OrderedDict[tuple, tuple[RunArtifact, str]] = OrderedDict()
         self._result_capacity = int(result_cache_capacity)
+        self._inflight: dict[tuple, Future] = {}
+        self._quarantine: dict[tuple, int] = {}
         self._latency = WindowedHistogram(LATENCY_METRIC)
+        self._active = 0
         # Lifetime counters (exported via stats() and the daemon /stats).
         self.requests = 0
         self.completed = 0
@@ -122,6 +228,14 @@ class ScheduleEngine:
         self.result_hits = 0
         self.result_misses = 0
         self.result_evictions = 0
+        self.solves = 0
+        self.degraded = 0
+        self.deadline_expired = 0
+        self.deadline_timeouts = 0
+        self.worker_crashes = 0
+        self.worker_restarts = 0
+        self.inflight_dedup = 0
+        self._stop = threading.Event()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
@@ -130,6 +244,12 @@ class ScheduleEngine:
         ]
         for t in self._workers:
             t.start()
+        self._supervisor: threading.Thread | None = None
+        if supervise:
+            self._supervisor = threading.Thread(
+                target=self._supervise_loop, name="serve-supervisor", daemon=True
+            )
+            self._supervisor.start()
 
     # ------------------------------------------------------------------
     # Submission
@@ -142,22 +262,43 @@ class ScheduleEngine:
         seed: int | None = None,
         config=None,
         use_result_cache: bool = True,
+        deadline_s: float | None = None,
+        degrade: bool = True,
+        skip_primary: bool = False,
+        degrade_reason: str | None = None,
     ) -> Future:
         """Enqueue one solve; returns a :class:`concurrent.futures.Future`.
 
         Raises :class:`EngineBusy` when the bounded queue is full and
-        :class:`EngineClosed` after :meth:`close` — both *before* any work
-        is done, which is what makes the backpressure cheap.
+        :class:`EngineClosed` after :meth:`close` or during
+        :meth:`drain` — both *before* any work is done, which is what
+        makes the backpressure cheap.  ``deadline_s`` starts this
+        request's monotonic budget **now** (queueing time counts);
+        ``None`` falls back to the engine's ``default_deadline_s``.
+        ``skip_primary`` jumps straight to the degradation ladder (the
+        daemon uses it to re-route a request whose primary execution
+        crashed a worker or tripped the watchdog).
         """
-        if self._closed:
-            raise EngineClosed("engine is closed")
+        if self._closed or self._draining:
+            raise EngineClosed(
+                "engine is draining" if self._draining else "engine is closed"
+            )
+        budget = deadline_s if deadline_s is not None else self.default_deadline_s
+        deadline = Deadline(budget) if budget is not None else None
         fut: Future = Future()
+        token = CancelToken()
+        fut.cancel_token = token  # cooperative-cancel handle for the daemon
         job = _Job(
             spec=spec,
             instance=instance,
             seed=seed,
             config=config,
             use_result_cache=use_result_cache,
+            deadline=deadline,
+            token=token,
+            degrade=degrade,
+            skip_primary=skip_primary,
+            degrade_reason=degrade_reason,
         )
         try:
             self._queue.put_nowait((fut, job, time.perf_counter()))
@@ -185,6 +326,8 @@ class ScheduleEngine:
         config=None,
         use_result_cache: bool = True,
         timeout: float | None = None,
+        deadline_s: float | None = None,
+        degrade: bool = True,
     ) -> ServeResult:
         """Submit and wait — the synchronous convenience path."""
         return self.submit(
@@ -193,7 +336,28 @@ class ScheduleEngine:
             seed=seed,
             config=config,
             use_result_cache=use_result_cache,
+            deadline_s=deadline_s,
+            degrade=degrade,
         ).result(timeout=timeout)
+
+    def note_deadline_timeout(self, spec: str) -> None:
+        """Record a daemon-side watchdog expiry against ``spec``.
+
+        The stuck worker cannot be interrupted (threads), but the breaker
+        learns: enough watchdog trips open the circuit and subsequent
+        requests for the spec degrade immediately instead of queueing
+        behind a pathological solve.
+        """
+        try:
+            canonical = get_solver(spec).canonical()
+        except Exception:
+            canonical = str(spec)
+        with self._lock:
+            self.deadline_timeouts += 1
+        if self._breaker is not None:
+            self._breaker.record_failure(canonical)
+        if obs.enabled():
+            obs.inc("serve.deadline_timeouts")
 
     # ------------------------------------------------------------------
     # Worker side
@@ -201,26 +365,131 @@ class ScheduleEngine:
     def _worker_loop(self) -> None:
         while True:
             item = self._queue.get()
+            died = False
             try:
                 if item is _SHUTDOWN:
                     return
                 fut, job, enqueued = item
                 if not fut.set_running_or_notify_cancel():
                     continue
+                with self._lock:
+                    self._active += 1
                 try:
-                    fut.set_result(self._execute(job, enqueued))
-                except BaseException as exc:
+                    fut.set_result(self._execute(job, enqueued, fut))
+                except Exception as exc:
                     with self._lock:
                         self.errors += 1
                     if obs.enabled():
                         obs.inc("serve.errors")
                     fut.set_exception(exc)
+                except BaseException as exc:
+                    # A worker-killing crash: answer/requeue the poisoning
+                    # request, quarantine it, and let this thread die
+                    # (quietly — the supervisor restarts a replacement).
+                    self._note_poison(fut, job, enqueued, exc)
+                    died = True
+                finally:
+                    with self._lock:
+                        self._active -= 1
+                        key = getattr(fut, "_engine_key", None)
+                        if key is not None and self._inflight.get(key) is fut:
+                            del self._inflight[key]
             finally:
                 self._queue.task_done()
                 if obs.enabled():
                     obs.set_gauge("serve.queue_depth", self._queue.qsize())
+            if died:
+                return
 
-    def _execute(self, job: _Job, enqueued: float) -> ServeResult:
+    def _note_poison(self, fut: Future, job: _Job, enqueued, exc) -> None:
+        """Handle a request that killed its worker (quarantine + answer)."""
+        key = getattr(fut, "_engine_key", None)
+        with self._lock:
+            self.worker_crashes += 1
+            self.errors += 1
+            quarantined = False
+            if key is not None:
+                self._quarantine[key] = self._quarantine.get(key, 0) + 1
+                quarantined = self._quarantine[key] >= self.quarantine_after
+        if obs.enabled():
+            obs.inc("serve.worker_crashes")
+            obs.event(
+                "serve.worker_crash",
+                level="error",
+                spec=job.spec,
+                error=repr(exc),
+                quarantined=quarantined,
+            )
+        crash_error = WorkerCrashed(
+            f"worker died executing {job.spec!r}: {type(exc).__name__}: {exc}"
+        )
+        if job.degrade and self._ladder is not None and not job.skip_primary:
+            # Re-route the poisoned request to the degradation ladder on a
+            # fresh future bridged back onto the caller's — the restarted
+            # pool answers it degraded instead of 500.
+            retry_fut: Future = Future()
+            retry_fut.cancel_token = job.token
+            retry_job = _Job(
+                spec=job.spec,
+                instance=job.instance,
+                seed=job.seed,
+                config=job.config,
+                use_result_cache=job.use_result_cache,
+                deadline=job.deadline,
+                token=job.token,
+                degrade=True,
+                skip_primary=True,
+                degrade_reason="crash",
+            )
+
+            def _bridge(done: Future) -> None:
+                err = done.exception()
+                if err is not None:
+                    fut.set_exception(err)
+                else:
+                    fut.set_result(done.result())
+
+            retry_fut.add_done_callback(_bridge)
+            try:
+                self._queue.put_nowait((retry_fut, retry_job, enqueued))
+                return
+            except queue.Full:
+                pass
+        fut.set_exception(crash_error)
+
+    def _is_quarantined(self, key: tuple) -> bool:
+        with self._lock:
+            return self._quarantine.get(key, 0) >= self.quarantine_after
+
+    def _supervise_loop(self) -> None:
+        interval = max(0.01, self.supervision_interval_s)
+        while not self._stop.wait(interval):
+            if self._closed:
+                return
+            with self._lock:
+                snapshot = list(enumerate(self._workers))
+            for i, t in snapshot:
+                if t.is_alive():
+                    continue
+                replacement = threading.Thread(
+                    target=self._worker_loop, name=t.name, daemon=True
+                )
+                with self._lock:
+                    if self._closed or self._workers[i] is not t:
+                        continue
+                    self._workers[i] = replacement
+                    self.worker_restarts += 1
+                replacement.start()
+                if obs.enabled():
+                    obs.inc("serve.worker_restarts")
+                    obs.event(
+                        "serve.worker_restart", level="warning", worker=t.name
+                    )
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def _execute(self, job: _Job, enqueued: float, fut: Future) -> ServeResult:
         queued_s = time.perf_counter() - enqueued
         # Spec strings resolve in the worker (sim/runner.py's pattern) —
         # the canonical form is also the result-cache key component.
@@ -231,6 +500,7 @@ class ScheduleEngine:
         effective = job.seed if job.seed is not None else instance.seed
 
         key = (content, canonical, effective)
+        fut._engine_key = key  # poison quarantine + in-flight cleanup
         cacheable = job.use_result_cache and effective is not None
         if cacheable:
             with self._lock:
@@ -258,32 +528,268 @@ class ScheduleEngine:
             if obs.enabled():
                 obs.inc("serve.result_cache_misses")
 
-        start = time.perf_counter()
-        prepared, warm = PREPARED_CACHE.get_or_prepare(instance)
-        rng = np.random.default_rng(effective)
-        config = job.config if job.config is not None else instance.config
-        artifact = solver.solve_prepared(prepared, rng, config)
-        solve_s = time.perf_counter() - start
-
+        # Single-flight: concurrent identical seeded requests collapse
+        # onto one execution — the idempotency guarantee retrying clients
+        # rely on (no request is ever double-executed).
         if cacheable:
             with self._lock:
-                self._results[key] = (artifact, artifact.content_hash())
-                while len(self._results) > self._result_capacity:
-                    self._results.popitem(last=False)
-                    self.result_evictions += 1
+                leader = self._inflight.get(key)
+                if leader is None or leader is fut or leader.done():
+                    self._inflight[key] = fut
+                    leader = None
+            if leader is not None:
+                return self._await_leader(
+                    leader, solver.name, canonical, content, effective,
+                    queued_s, job.deadline,
+                )
+
+        return self._solve_job(
+            job, solver, canonical, instance, content, effective, key,
+            cacheable, queued_s,
+        )
+
+    def _await_leader(
+        self, leader, solver_name, canonical, content, effective,
+        queued_s, deadline,
+    ) -> ServeResult:
+        with self._lock:
+            self.inflight_dedup += 1
+        if obs.enabled():
+            obs.inc("serve.inflight_dedup")
+        timeout = None
+        if deadline is not None:
+            timeout = max(deadline.remaining(), 0.01)
+        try:
+            lead: ServeResult = leader.result(timeout=timeout)
+        except FutureTimeout:
+            raise DeadlineExceeded(
+                f"deadline expired waiting on an identical in-flight "
+                f"request for {canonical}"
+            ) from None
         with self._lock:
             self.completed += 1
-        self._observe_latency(solver.name, queued_s + solve_s)
+        self._observe_latency(solver_name, queued_s)
         return ServeResult(
-            artifact=artifact,
-            spec=canonical,
+            artifact=lead.artifact,
+            spec=lead.spec,
             instance_hash=content,
             seed=effective,
-            cached=False,
-            warm=warm,
-            solve_s=solve_s,
+            cached=True,
+            warm=True,
+            solve_s=0.0,
             queued_s=queued_s,
+            deduped=True,
+            degraded=lead.degraded,
+            degraded_from=lead.degraded_from,
+            degrade_reason=lead.degrade_reason,
         )
+
+    def _solve_job(
+        self, job: _Job, solver, canonical, instance, content, effective,
+        key, cacheable, queued_s,
+    ) -> ServeResult:
+        deadline, token = job.deadline, job.token
+        degradable = job.degrade and self._ladder is not None
+        reason: str | None = None
+        if job.skip_primary:
+            reason = job.degrade_reason or "crash"
+        elif self._is_quarantined(key):
+            if not degradable:
+                raise RequestQuarantined(
+                    f"request {content[:12]}×{canonical} previously crashed "
+                    f"a worker and is quarantined"
+                )
+            reason = "quarantine"
+        elif deadline is not None and deadline.expired():
+            with self._lock:
+                self.deadline_expired += 1
+            if obs.enabled():
+                obs.inc("serve.deadline_expired")
+            if not degradable:
+                deadline.check(canonical)  # raises DeadlineExceeded
+            reason = "deadline"
+        elif self._breaker is not None and not self._breaker.allow(canonical):
+            if not degradable:
+                raise BreakerOpen(f"circuit breaker open for {canonical}")
+            reason = "breaker"
+
+        if reason is None:
+            start = time.perf_counter()
+            try:
+                artifact, warm = self._solve_once(
+                    solver, canonical, instance, content, effective,
+                    job.config, deadline, token, inject=True,
+                )
+            except DeadlineExceeded:
+                if self._breaker is not None:
+                    self._breaker.record_failure(canonical)
+                with self._lock:
+                    self.deadline_expired += 1
+                if obs.enabled():
+                    obs.inc("serve.deadline_expired")
+                if not degradable:
+                    raise
+                reason = "deadline"
+            except InjectedWorkerCrash:
+                if self._breaker is not None:
+                    self._breaker.record_failure(canonical)
+                raise
+            except Exception:
+                if self._breaker is not None:
+                    self._breaker.record_failure(canonical)
+                raise
+            else:
+                if self._breaker is not None:
+                    self._breaker.record_success(canonical)
+                solve_s = time.perf_counter() - start
+                if cacheable:
+                    with self._lock:
+                        self._results[key] = (artifact, artifact.content_hash())
+                        while len(self._results) > self._result_capacity:
+                            self._results.popitem(last=False)
+                            self.result_evictions += 1
+                with self._lock:
+                    self.completed += 1
+                self._observe_latency(solver.name, queued_s + solve_s)
+                return ServeResult(
+                    artifact=artifact,
+                    spec=canonical,
+                    instance_hash=content,
+                    seed=effective,
+                    cached=False,
+                    warm=warm,
+                    solve_s=solve_s,
+                    queued_s=queued_s,
+                )
+
+        return self._solve_degraded(
+            job, canonical, instance, content, effective, queued_s, reason
+        )
+
+    def _solve_degraded(
+        self, job: _Job, canonical, instance, content, effective,
+        queued_s, reason: str,
+    ) -> ServeResult:
+        """Walk the ladder below ``canonical`` until a rung answers.
+
+        Degraded rungs run **without** deadline checks or fault injection
+        — the whole point is to return a valid schedule rather than fail,
+        and the fallback rungs are cheap by construction.
+        """
+        fallbacks = (
+            self._ladder.fallbacks(canonical) if self._ladder is not None else ()
+        )
+        last_error: Exception | None = None
+        start = time.perf_counter()
+        for rung_spec in fallbacks:
+            rung = get_solver(rung_spec)
+            rcanon = rung.canonical()
+            if self._breaker is not None and not self._breaker.allow(rcanon):
+                continue
+            try:
+                artifact, warm = self._solve_once(
+                    rung, rcanon, instance, content, effective, job.config,
+                    deadline=None, token=job.token, inject=False,
+                )
+            except Exception as exc:
+                if self._breaker is not None:
+                    self._breaker.record_failure(rcanon)
+                last_error = exc
+                continue
+            if self._breaker is not None:
+                self._breaker.record_success(rcanon)
+            solve_s = time.perf_counter() - start
+            artifact.meta["degraded"] = {
+                "from": canonical,
+                "to": rcanon,
+                "reason": reason,
+                "utility": float(artifact.total_utility),
+            }
+            with self._lock:
+                self.degraded += 1
+                self.completed += 1
+            if obs.enabled():
+                obs.inc("serve.degraded")
+                obs.event(
+                    "serve.degraded",
+                    level="warning",
+                    from_spec=canonical,
+                    to_spec=rcanon,
+                    reason=reason,
+                )
+            self._observe_latency(rung.name, queued_s + solve_s)
+            return ServeResult(
+                artifact=artifact,
+                spec=rcanon,
+                instance_hash=content,
+                seed=effective,
+                cached=False,
+                warm=warm,
+                solve_s=solve_s,
+                queued_s=queued_s,
+                degraded=True,
+                degraded_from=canonical,
+                degrade_reason=reason,
+            )
+        # Ladder exhausted (or absent): surface the trip as a typed error.
+        if last_error is not None:
+            raise last_error
+        if reason == "deadline":
+            raise DeadlineExceeded(
+                f"deadline exceeded for {canonical} and no degradation rung "
+                f"was available"
+            )
+        if reason in ("crash", "watchdog"):
+            raise WorkerCrashed(
+                f"primary execution of {canonical} crashed and no "
+                f"degradation rung was available"
+            )
+        if reason == "quarantine":
+            raise RequestQuarantined(
+                f"request {content[:12]}×{canonical} is quarantined and no "
+                f"degradation rung was available"
+            )
+        raise BreakerOpen(f"circuit breaker open for {canonical}")
+
+    def _solve_once(
+        self, solver, canonical, instance, content, effective, config,
+        deadline: Deadline | None, token: CancelToken, *, inject: bool,
+    ) -> tuple[RunArtifact, bool]:
+        """One solve attempt: fault injection, prepare, solve.
+
+        Identical to the PR 8 hot path when no deadline is set and the
+        injector is absent — same call order, same rng construction.
+        """
+        if deadline is not None:
+            deadline.check(canonical)
+        if inject and self._injector is not None:
+            fault = self._injector.decide(canonical, content)
+            if fault.kind == "crash":
+                raise InjectedWorkerCrash(
+                    f"injected crash for {canonical} on {content[:12]}"
+                )
+            if fault.kind in ("slow", "stall"):
+                finished = cooperative_sleep(
+                    fault.seconds, token=token, deadline=deadline
+                )
+                if fault.kind == "stall" and not finished:
+                    # The stall ate the budget down to the degradation
+                    # reserve (or the daemon cancelled): degrade now.
+                    raise DeadlineExceeded(
+                        f"injected {fault.seconds:g}s stall interrupted for "
+                        f"{canonical}"
+                    )
+            if deadline is not None:
+                deadline.check(canonical)
+        prepared, warm = PREPARED_CACHE.get_or_prepare(instance)
+        if deadline is not None:
+            deadline.check(canonical)
+        rng = np.random.default_rng(effective)
+        cfg = config if config is not None else instance.config
+        artifact = solver.solve_prepared(prepared, rng, cfg)
+        with self._lock:
+            self.solves += 1
+        return artifact, warm
 
     def _observe_latency(self, window: str, seconds: float) -> None:
         with self._lock:
@@ -310,31 +816,79 @@ class ScheduleEngine:
                 "completed": self.completed,
                 "errors": self.errors,
                 "rejected": self.rejected,
+                "solves": self.solves,
+                "degraded": self.degraded,
+                "deadline_expired": self.deadline_expired,
+                "deadline_timeouts": self.deadline_timeouts,
+                "inflight_dedup": self.inflight_dedup,
+                "worker_crashes": self.worker_crashes,
+                "worker_restarts": self.worker_restarts,
+                "quarantined": len(
+                    [
+                        1
+                        for count in self._quarantine.values()
+                        if count >= self.quarantine_after
+                    ]
+                ),
             }
-        return {
+            workers_alive = sum(1 for t in self._workers if t.is_alive())
+        stats = {
             **counters,
             "queue_depth": self._queue.qsize(),
             "queue_limit": self.queue_limit,
             "workers": len(self._workers),
+            "workers_alive": workers_alive,
+            "default_deadline_s": self.default_deadline_s,
+            "degradation": self._ladder is not None,
             "result_cache": result_cache,
             "prepared_cache": PREPARED_CACHE.info(),
             "latency": latency,
         }
+        if self._breaker is not None:
+            stats["breaker"] = self._breaker.snapshot()
+        if self._injector is not None:
+            stats["faults"] = self._injector.stats()
+        return stats
 
     def clear_result_cache(self) -> None:
         with self._lock:
             self._results.clear()
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Stop accepting new work; wait for queued + in-flight requests.
+
+        Returns ``True`` when everything finished inside ``timeout_s``.
+        The engine stays alive (stats remain readable) — call
+        :meth:`close` afterwards for the final teardown.  The graceful
+        SIGTERM path of ``repro-haste serve`` is: stop the listener,
+        ``drain(deadline)``, ``close()``, exit 0.
+        """
+        self._draining = True
+        end = time.monotonic() + max(0.0, float(timeout_s))
+        while True:
+            with self._lock:
+                idle = self._active == 0
+            if idle and self._queue.qsize() == 0:
+                return True
+            if time.monotonic() >= end:
+                return False
+            time.sleep(0.02)
 
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting work and (optionally) join the workers."""
         if self._closed:
             return
         self._closed = True
-        for _ in self._workers:
+        self._stop.set()
+        if self._supervisor is not None and wait:
+            self._supervisor.join(timeout=5)
+        with self._lock:
+            workers = list(self._workers)
+        for _ in workers:
             self._queue.put(_SHUTDOWN)
         if wait:
-            for t in self._workers:
-                t.join()
+            for t in workers:
+                t.join(timeout=30)
 
     def __enter__(self) -> "ScheduleEngine":
         return self

@@ -6,6 +6,8 @@ One request shape serves everything::
     {
         "spec": "haste-offline:c=4",        # optional: daemon default spec
         "seed": 7,                           # optional: instance provenance seed
+        "deadline_s": 2.0,                   # optional: per-request budget
+        "degrade": true,                     # optional: allow ladder fallback
         "instance": { ... Instance.to_dict() ... }
         # — or, for quick experiments without shipping arrays —
         "sample": {"scale": "quick", "seed": 7}
@@ -66,6 +68,10 @@ class SolveRequest:
     spec: str
     instance: Instance
     seed: int | None = None
+    #: per-request monotonic budget in seconds (None → daemon default)
+    deadline_s: float | None = None
+    #: whether the graceful-degradation ladder may answer on a trip
+    degrade: bool = True
 
 
 def _parse_seed(value) -> int | None:
@@ -76,6 +82,19 @@ def _parse_seed(value) -> int | None:
     return int(value)
 
 
+def _parse_deadline(value) -> float | None:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            f"deadline_s must be a positive number or null, got {value!r}"
+        )
+    deadline = float(value)
+    if not (deadline > 0.0):
+        raise ProtocolError(f"deadline_s must be > 0, got {value!r}")
+    return deadline
+
+
 def parse_solve_request(payload, *, default_spec: str) -> SolveRequest:
     """Validate a /solve body into a :class:`SolveRequest` (or raise 400)."""
     if not isinstance(payload, dict):
@@ -84,6 +103,10 @@ def parse_solve_request(payload, *, default_spec: str) -> SolveRequest:
     if not isinstance(spec, str) or not spec:
         raise ProtocolError(f"spec must be a non-empty string, got {spec!r}")
     seed = _parse_seed(payload.get("seed"))
+    deadline_s = _parse_deadline(payload.get("deadline_s"))
+    degrade = payload.get("degrade", True)
+    if not isinstance(degrade, bool):
+        raise ProtocolError(f"degrade must be a boolean, got {degrade!r}")
 
     has_instance = "instance" in payload
     has_sample = "sample" in payload
@@ -107,12 +130,23 @@ def parse_solve_request(payload, *, default_spec: str) -> SolveRequest:
         if sample_seed is None:
             raise ProtocolError("sample.seed must be an integer")
         instance = Instance.sample(config_for_scale(scale), sample_seed)
-    return SolveRequest(spec=spec, instance=instance, seed=seed)
+    return SolveRequest(
+        spec=spec,
+        instance=instance,
+        seed=seed,
+        deadline_s=deadline_s,
+        degrade=degrade,
+    )
 
 
 def solve_response(result) -> dict:
-    """The /solve response body for an engine :class:`ServeResult`."""
-    return {
+    """The /solve response body for an engine :class:`ServeResult`.
+
+    The degradation keys appear **only** on degraded results — a
+    fault-free daemon's responses stay byte-identical to the pre-
+    resilience wire format (the chaos suite pins this).
+    """
+    body = {
         "artifact": result.artifact.to_dict(),
         "artifact_hash": result.artifact.content_hash(),
         "spec": result.spec,
@@ -123,3 +157,8 @@ def solve_response(result) -> dict:
         "solve_s": float(result.solve_s),
         "queued_s": float(result.queued_s),
     }
+    if getattr(result, "degraded", False):
+        body["degraded"] = True
+        body["degraded_from"] = result.degraded_from
+        body["degrade_reason"] = result.degrade_reason
+    return body

@@ -1,0 +1,451 @@
+"""Resilience primitives for the serving layer: deadlines, retries,
+circuit breakers, and the graceful-degradation ladder.
+
+PR 4 taught the *negotiation protocol* to survive lossy links and charger
+crashes; this module gives the *service* fronting it the same discipline.
+Four small, composable pieces (DESIGN.md §13):
+
+* :class:`Deadline` — a monotonic-clock request budget.  Created once at
+  submission, threaded through the engine into every solve attempt, and
+  checked cooperatively at phase seams (dequeue, prepare, per-rung) so no
+  request outlives its budget by more than the daemon's watchdog grace.
+* :class:`CancelToken` + :func:`cooperative_sleep` — cooperative
+  cancellation.  Injected slowdowns/stalls (and any other waiting the
+  engine does) sleep *interruptibly*: the sleep wakes early when the
+  token is cancelled or the deadline's degradation reserve is reached,
+  which is what turns a 30 s stall into an on-time degraded answer.
+* :class:`RetryPolicy` — exponential backoff with **full jitter** (AWS
+  architecture-blog style: ``uniform(0, min(cap, base·2^attempt))``),
+  seeded so client retry schedules are replayable in tests.
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine, tracked **per canonical spec**.  Consecutive failures open the
+  circuit; an open circuit routes requests straight to the degradation
+  ladder (or refuses, when degradation is off) without burning a worker;
+  after ``reset_timeout_s`` a limited number of half-open probes decide
+  between closing and re-opening.
+* :class:`DegradationLadder` — maps a spec to successively cheaper
+  *registered* specs.  The default ladder first strips the spatial
+  decomposition parameters (``shards``/``halo``/``shard_procs`` — the
+  expensive fan-out), then falls back to the matching greedy baseline
+  (``greedy-utility`` offline, ``online-greedy-utility`` online), so a
+  deadline or breaker trip still returns a **valid, matroid-feasible
+  schedule** tagged ``meta["degraded"]`` instead of an error.
+
+Everything here is pure mechanism — no engine state, no HTTP — so the
+engine, the daemon, the client, and the tests share one vocabulary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from .. import obs
+
+__all__ = [
+    "BreakerOpen",
+    "CancelToken",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "DegradationLadder",
+    "RequestQuarantined",
+    "RetryPolicy",
+    "WorkerCrashed",
+    "cooperative_sleep",
+    "default_degradation_rungs",
+]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request ran out of its monotonic budget (HTTP 504 when not
+    degradable)."""
+
+
+class WorkerCrashed(RuntimeError):
+    """An engine worker died executing this request (HTTP 500 when not
+    degradable)."""
+
+
+class RequestQuarantined(RuntimeError):
+    """This request previously crashed a worker and is quarantined
+    (HTTP 500 when not degradable)."""
+
+
+class BreakerOpen(RuntimeError):
+    """The per-spec circuit breaker is open and no degradation is
+    available (HTTP 503)."""
+
+
+# ----------------------------------------------------------------------
+# Deadlines and cooperative cancellation
+# ----------------------------------------------------------------------
+class Deadline:
+    """A monotonic-clock request budget.
+
+    ``reserve_s`` is the slice of the budget held back for the
+    degradation ladder: cooperative waits abort once ``remaining()``
+    drops to the reserve, leaving enough budget to still produce a
+    (cheap, degraded) answer.  The clock is injectable for tests.
+    """
+
+    __slots__ = ("budget_s", "reserve_s", "_clock", "_t0")
+
+    def __init__(
+        self,
+        budget_s: float,
+        *,
+        reserve_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not (budget_s > 0.0):
+            raise ValueError(f"deadline budget must be > 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        if reserve_s is None:
+            reserve_s = min(0.25 * self.budget_s, 0.25)
+        self.reserve_s = float(reserve_s)
+        self._clock = clock
+        self._t0 = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def remaining(self) -> float:
+        """Seconds of budget left (negative once expired)."""
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def in_reserve(self) -> bool:
+        """True once only the degradation reserve (or less) is left."""
+        return self.remaining() <= self.reserve_s
+
+    def check(self, label: str = "request") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is gone."""
+        rem = self.remaining()
+        if rem <= 0.0:
+            raise DeadlineExceeded(
+                f"{label} exceeded its {self.budget_s:g}s deadline "
+                f"(over by {-rem:.3f}s)"
+            )
+
+
+class CancelToken:
+    """A cooperative cancellation flag (one-shot, thread-safe)."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancelled (or timeout); returns the cancel state."""
+        return self._event.wait(timeout)
+
+
+def cooperative_sleep(
+    seconds: float,
+    *,
+    token: CancelToken | None = None,
+    deadline: Deadline | None = None,
+    tick_s: float = 0.02,
+) -> bool:
+    """Sleep up to ``seconds``, waking early on cancellation or when the
+    deadline's degradation reserve is reached.
+
+    Returns ``True`` when the full duration elapsed undisturbed and
+    ``False`` when the sleep was interrupted — the caller decides whether
+    an interruption means "degrade now" (injected stall) or "carry on"
+    (injected slowdown that merely ran out of slack).
+    """
+    end = time.monotonic() + max(0.0, float(seconds))
+    while True:
+        now = time.monotonic()
+        if now >= end:
+            return True
+        if token is not None and token.cancelled:
+            return False
+        if deadline is not None and deadline.in_reserve():
+            return False
+        chunk = min(tick_s, end - now)
+        if token is not None:
+            if token.wait(chunk):
+                return False
+        else:
+            time.sleep(chunk)
+
+
+# ----------------------------------------------------------------------
+# Retry policy: exponential backoff + full jitter
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter, replayable when seeded.
+
+    Attempt ``a`` (0-based) sleeps ``uniform(0, min(max_s, base_s·2^a))``
+    — full jitter decorrelates a thundering herd of retrying clients,
+    which is exactly the scenario the ``EngineBusy`` backpressure tests
+    drive.  ``seed=None`` draws from a fresh OS-seeded generator.
+    """
+
+    retries: int = 4
+    base_s: float = 0.05
+    max_s: float = 2.0
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if not (self.base_s > 0.0):
+            raise ValueError(f"base_s must be > 0, got {self.base_s}")
+        if self.max_s < self.base_s:
+            raise ValueError(
+                f"max_s ({self.max_s}) must be >= base_s ({self.base_s})"
+            )
+
+    def delays(
+        self, rng: np.random.Generator | None = None
+    ) -> Iterator[float]:
+        """The per-retry sleep durations (``retries`` values)."""
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        for attempt in range(self.retries):
+            cap = min(self.max_s, self.base_s * (2.0**attempt))
+            yield float(rng.uniform(0.0, cap))
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker (per-spec, closed/open/half-open)
+# ----------------------------------------------------------------------
+#: Gauge codes exported per spec: 0 = closed, 1 = half-open, 2 = open.
+_STATE_CODE = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class _BreakerEntry:
+    __slots__ = ("state", "failures", "opened_at", "probes", "trips")
+
+    def __init__(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probes = 0
+        self.trips = 0
+
+
+def _gauge_key(spec: str) -> str:
+    """A metric-name-safe rendering of a canonical spec string."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in spec)
+
+
+class CircuitBreaker:
+    """Per-key (canonical spec) closed/open/half-open circuit breaker.
+
+    * **closed** — requests flow; ``failure_threshold`` *consecutive*
+      failures trip the circuit open.
+    * **open** — :meth:`allow` refuses until ``reset_timeout_s`` has
+      elapsed since the trip, then admits up to ``half_open_max``
+      half-open probes.
+    * **half-open** — a probe success closes the circuit (failure count
+      reset); a probe failure re-opens it and restarts the timeout.
+
+    State changes are mirrored to :mod:`repro.obs` when enabled
+    (``serve.breaker_trips`` counter, per-spec ``serve.breaker_state.*``
+    gauges with 0/1/2 = closed/half-open/open).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        half_open_max: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if not (reset_timeout_s > 0.0):
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        if half_open_max < 1:
+            raise ValueError(f"half_open_max must be >= 1, got {half_open_max}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self.half_open_max = int(half_open_max)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[str, _BreakerEntry] = {}
+
+    def _entry(self, key: str) -> _BreakerEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = _BreakerEntry()
+        return entry
+
+    def _export(self, key: str, entry: _BreakerEntry) -> None:
+        if obs.enabled():
+            obs.set_gauge(
+                f"serve.breaker_state.{_gauge_key(key)}",
+                _STATE_CODE[entry.state],
+            )
+
+    def allow(self, key: str) -> bool:
+        """Whether a request for ``key`` may execute right now."""
+        with self._lock:
+            entry = self._entry(key)
+            if entry.state == "closed":
+                return True
+            if entry.state == "open":
+                if self._clock() - entry.opened_at < self.reset_timeout_s:
+                    return False
+                entry.state = "half-open"
+                entry.probes = 0
+                self._export(key, entry)
+            # half-open: admit a bounded number of probes
+            if entry.probes < self.half_open_max:
+                entry.probes += 1
+                return True
+            return False
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            entry = self._entry(key)
+            entry.failures = 0
+            if entry.state != "closed":
+                entry.state = "closed"
+                entry.probes = 0
+                self._export(key, entry)
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            entry = self._entry(key)
+            entry.failures += 1
+            tripped = (
+                entry.state == "half-open"
+                or (
+                    entry.state == "closed"
+                    and entry.failures >= self.failure_threshold
+                )
+            )
+            if tripped:
+                entry.state = "open"
+                entry.opened_at = self._clock()
+                entry.trips += 1
+                self._export(key, entry)
+                if obs.enabled():
+                    obs.inc("serve.breaker_trips")
+                    obs.event(
+                        "serve.breaker_open",
+                        level="warning",
+                        spec=key,
+                        failures=entry.failures,
+                    )
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.state if entry is not None else "closed"
+
+    def snapshot(self) -> dict:
+        """Per-spec breaker state for ``/stats``."""
+        with self._lock:
+            return {
+                key: {
+                    "state": entry.state,
+                    "failures": entry.failures,
+                    "trips": entry.trips,
+                }
+                for key, entry in self._entries.items()
+            }
+
+
+# ----------------------------------------------------------------------
+# Degradation ladder
+# ----------------------------------------------------------------------
+#: Spec parameters the first ladder rung strips: the spatial-decomposition
+#: fan-out is the expensive, failure-prone part of a request, and
+#: ``shards=1`` is pinned bit-identical in *shape* (same solver family).
+_DECOMPOSITION_PARAMS = ("shards", "halo", "shard_procs")
+
+#: Cheapest registered fallback per solver setting — the greedy baselines
+#: are deterministic, near-instant, and matroid-feasible by construction.
+_BASELINE_BY_SETTING = {
+    "offline": "greedy-utility",
+    "online": "online-greedy-utility",
+}
+
+
+def default_degradation_rungs(spec: str) -> tuple[str, ...]:
+    """The default ladder for ``spec``: itself, then cheaper variants.
+
+    1. the canonical spec itself (rung 0 — the primary);
+    2. the same spec with ``shards``/``halo``/``shard_procs`` stripped
+       (only when the request asked for decomposition);
+    3. the greedy baseline matching the solver's setting.
+
+    Every rung is validated against the registry here, at ladder-build
+    time, so a degraded execution can never hit an unknown spec.
+    """
+    from ..solvers.registry import get_solver
+    from ..solvers.spec import SolverSpec, parse_spec
+
+    solver = get_solver(spec)
+    canonical = solver.canonical()
+    rungs = [canonical]
+    parsed = parse_spec(canonical)
+    stripped = {
+        k: v
+        for k, v in parsed.params.items()
+        if k not in _DECOMPOSITION_PARAMS
+    }
+    if stripped != parsed.params:
+        candidate = SolverSpec(parsed.name, stripped).canonical()
+        rungs.append(get_solver(candidate).canonical())
+    baseline = _BASELINE_BY_SETTING.get(solver.capabilities.setting)
+    if baseline is not None and parsed.name != baseline:
+        rungs.append(get_solver(baseline).canonical())
+    # Drop accidental duplicates while preserving order.
+    seen: set[str] = set()
+    unique = [r for r in rungs if not (r in seen or seen.add(r))]
+    return tuple(unique)
+
+
+class DegradationLadder:
+    """A cached spec → rungs mapping (rung 0 is always the spec itself)."""
+
+    def __init__(
+        self,
+        fn: Callable[[str], tuple[str, ...]] = default_degradation_rungs,
+    ) -> None:
+        self._fn = fn
+        self._lock = threading.Lock()
+        self._cache: dict[str, tuple[str, ...]] = {}
+
+    def rungs(self, canonical_spec: str) -> tuple[str, ...]:
+        with self._lock:
+            rungs = self._cache.get(canonical_spec)
+        if rungs is None:
+            rungs = tuple(self._fn(canonical_spec))
+            if not rungs or rungs[0] != canonical_spec:
+                rungs = (canonical_spec, *rungs)
+            with self._lock:
+                self._cache[canonical_spec] = rungs
+        return rungs
+
+    def fallbacks(self, canonical_spec: str) -> tuple[str, ...]:
+        """The rungs below the primary (may be empty)."""
+        return self.rungs(canonical_spec)[1:]

@@ -32,6 +32,7 @@ telemetry is enabled.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 
@@ -257,6 +258,8 @@ class PreparedCache:
     """Thread-safe single-flight LRU of :class:`PreparedNetwork` by hash."""
 
     def __init__(self, capacity: int = 8) -> None:
+        if int(capacity) < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._entries: OrderedDict[str, PreparedNetwork] = OrderedDict()
@@ -323,6 +326,23 @@ class PreparedCache:
             gate.set()
         return prepared, False
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the cache, evicting LRU entries down to the new bound.
+
+        The serving layer exposes this as the ``ScheduleEngine``'s
+        ``prepared_cache_capacity`` knob (and the ``REPRO_PREPARED_CACHE``
+        environment variable sets the process default at import time).
+        """
+        if int(capacity) < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        with self._lock:
+            self.capacity = int(capacity)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                if obs.enabled():
+                    obs.inc("prepared.cache_evictions")
+
     def clear(self) -> None:
         """Drop every cached prepare (tests; memory pressure at large n)."""
         with self._lock:
@@ -341,11 +361,28 @@ class PreparedCache:
             }
 
 
+def _env_capacity(default: int = 8, environ=os.environ) -> int:
+    """The ``REPRO_PREPARED_CACHE`` capacity override (>= 1), else default.
+
+    Malformed or non-positive values fall back to the default rather than
+    refusing to import — cache sizing is a tuning knob, not a contract.
+    """
+    raw = str(environ.get("REPRO_PREPARED_CACHE", "")).strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 1 else default
+
+
 #: The process-global cache — one cache, one eviction policy.  Capacity is
 #: small on purpose: built networks dominate memory at large n, and the
 #: serving layer's working set is "the hot instances", not "every instance
-#: ever seen".
-PREPARED_CACHE = PreparedCache(capacity=8)
+#: ever seen".  ``REPRO_PREPARED_CACHE`` overrides the default of 8, and
+#: ``ScheduleEngine(prepared_cache_capacity=…)`` resizes it at runtime.
+PREPARED_CACHE = PreparedCache(capacity=_env_capacity())
 
 
 def prepare(instance, *, cached: bool = True) -> PreparedNetwork:

@@ -83,6 +83,10 @@ class DriveResult:
     #: ``"spans"`` (measured) or ``"fallback"`` (imputed plan_s / events)
     latency_source: str = "fallback"
     wall_s: float = 0.0
+    #: the engine's degradation ladder answered (engine drives only)
+    degraded: bool = False
+    #: the spec that degraded answer came from, when ``degraded``
+    degraded_from: str | None = None
 
 
 def _fallback_latencies(stream: TrafficStream, artifact: RunArtifact) -> list:
@@ -105,6 +109,7 @@ def drive_stream(
     telemetry: bool = True,
     seed: int | None = None,
     engine=None,
+    deadline_s: float | None = None,
 ) -> DriveResult:
     """Run ``stream`` through ``spec`` and capture per-arrival latencies.
 
@@ -119,6 +124,10 @@ def drive_stream(
     the solve, and span capture needs the negotiation to actually run
     (the engine's worker threads feed the same global obs registry, so
     the collector sees their ``online.arrival`` spans unchanged).
+    ``deadline_s`` threads a per-request budget into the engine: when it
+    (or the engine's circuit breaker) trips, the drive returns the
+    ladder's degraded-but-valid schedule, flagged on the result and in
+    the report point.
     """
     solver = get_solver(spec)
     if stream.instance.m == 0:
@@ -134,15 +143,21 @@ def drive_stream(
         collector = ArrivalLatencyCollector()
         reg.sinks.append(collector)
     start = time.perf_counter()
+    degraded = False
+    degraded_from: str | None = None
     try:
         if engine is not None:
-            artifact = engine.solve(
+            served = engine.solve(
                 spec,
                 stream.instance,
                 seed=effective,
                 config=stream.config,
                 use_result_cache=False,
-            ).artifact
+                deadline_s=deadline_s,
+            )
+            artifact = served.artifact
+            degraded = bool(served.degraded)
+            degraded_from = served.degraded_from
         else:
             rng = np.random.default_rng(effective)
             artifact = solver.solve_from_instance(
@@ -164,6 +179,8 @@ def drive_stream(
         latencies=latencies,
         latency_source=source,
         wall_s=wall,
+        degraded=degraded,
+        degraded_from=degraded_from,
     )
 
 
@@ -239,6 +256,9 @@ def _load_point(
         "phases": phases,
         "phase_arrivals": phase_arrivals,
         "gauges": _online_gauges(),
+        # Not part of the deterministic report digest (runtime-dependent).
+        "degraded": drive.degraded,
+        "degraded_from": drive.degraded_from,
     }
 
 

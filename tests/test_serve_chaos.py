@@ -1,0 +1,440 @@
+"""Serve-layer chaos suite: process faults against the live daemon.
+
+Marked ``chaos`` and excluded from the tier-1 run (``addopts`` carries
+``-m "not chaos"``); CI runs it as its own ``chaos-serve`` job over
+several base seeds via ``REPRO_CHAOS_SEED`` and both kernel modes, under
+an external no-hang timeout.  Every test also arms a per-test
+``faulthandler`` watchdog: if anything wedges for 30 s the process dumps
+all stacks and dies — a hang is a *loud* failure, never a stuck job.
+
+What is pinned:
+
+* **liveness + validity under fire** — with seeded crash/slow/stall
+  rates up to 50 %, every ``/solve`` completes in bounded time with
+  either the correct artifact or a degraded-tagged schedule that
+  re-executes to its claimed utility;
+* **supervision** — injected worker deaths show up as
+  ``worker_restarts`` in ``/stats`` and the pool ends full-strength;
+* **replayability** — a recorded process-fault trace re-served through
+  :class:`ReplayProcessInjector` reproduces the exact same decisions;
+* **zero-fault bit-identity** — with no fault model and no deadline,
+  daemon responses are byte-identical to direct ``solve_instance`` runs
+  (the PR 8 contract), including under link-fault specs at loss 0.5;
+* **graceful shutdown** — a real ``repro-haste serve`` subprocess
+  drains and exits 0 on SIGTERM.
+"""
+
+from __future__ import annotations
+
+import faulthandler
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.policy import Schedule
+from repro.faults import ProcessFaultModel, ReplayProcessInjector
+from repro.serve import (
+    RetryPolicy,
+    ScheduleEngine,
+    ServeClient,
+    start_in_thread,
+)
+from repro.sim.config import SimulationConfig
+from repro.sim.engine import execute_schedule
+from repro.solvers import Instance, RunArtifact, solve_instance
+
+pytestmark = pytest.mark.chaos
+
+#: CI varies this (0/1/2) to run the same suite over different fault seeds.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+SEEDS = [CHAOS_SEED * 100 + off for off in (7, 19, 123)]
+
+QUICK = SimulationConfig.quick()
+
+#: Mixed-fault regimes, up to a 50 % total fault rate.  Stalls are sized
+#: far beyond any deadline so only the cooperative interrupt can save
+#: the request.
+FAULT_CONFIGS = {
+    "slowish": ProcessFaultModel(slow=0.3, slow_s=0.05, seed=CHAOS_SEED),
+    "crashy": ProcessFaultModel(crash=0.25, slow=0.1, slow_s=0.05,
+                                seed=CHAOS_SEED + 1),
+    "stally": ProcessFaultModel(stall=0.2, stall_s=30.0, slow=0.1,
+                                slow_s=0.05, seed=CHAOS_SEED + 2),
+    "brutal": ProcessFaultModel(crash=0.2, stall=0.15, stall_s=30.0,
+                                slow=0.15, slow_s=0.1, seed=CHAOS_SEED + 3),
+}
+
+#: Specs exercised under fire: the flagship, a sharded one, and a
+#: link-fault online spec at 50 % loss (process chaos × radio chaos).
+CHAOS_SPECS = (
+    "haste-offline",
+    "haste-offline:shards=2",
+    "online-haste:fault_seed=5,loss=0.5",
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_hang_watchdog():
+    """Dump all stacks and die if any single test wedges for 60 s.
+
+    The per-request liveness bound is asserted much tighter inside the
+    tests; this is the backstop that turns a true hang into a loud,
+    stack-traced failure instead of a stuck CI job (whose ``timeout``
+    wrapper is the final 30 s-grace line of defense).
+    """
+    faulthandler.dump_traceback_later(60.0, exit=True)
+    yield
+    faulthandler.cancel_dump_traceback_later()
+
+
+def _assert_valid(artifact: RunArtifact, instance: Instance) -> None:
+    net = instance.network()
+    sched = Schedule.from_matrix(net, artifact.schedule_sel)
+    ex = execute_schedule(net, sched, rho=instance.config.rho)
+    assert np.isfinite(artifact.total_utility)
+    assert abs(ex.total_utility - artifact.total_utility) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Liveness + correct-or-degraded under mixed faults
+# ----------------------------------------------------------------------
+class TestDaemonUnderChaos:
+    @pytest.mark.parametrize("config", sorted(FAULT_CONFIGS))
+    def test_every_request_completes_correct_or_degraded(self, config):
+        model = FAULT_CONFIGS[config]
+        engine = ScheduleEngine(
+            workers=2,
+            fault_model=model,
+            default_deadline_s=2.0,
+            supervision_interval_s=0.02,
+        )
+        handle = start_in_thread(engine)
+        try:
+            client = ServeClient(port=handle.port)
+            client.wait_ready()
+            instances = {
+                seed: Instance.sample(QUICK, seed) for seed in SEEDS
+            }
+            direct = {
+                (spec, seed): solve_instance(spec, inst, seed=seed)
+                for spec in CHAOS_SPECS
+                for seed, inst in instances.items()
+            }
+            served = degraded = 0
+            for spec in CHAOS_SPECS:
+                for seed, inst in instances.items():
+                    start = time.monotonic()
+                    status, reply = client.solve_with_retries(
+                        spec=spec,
+                        instance=inst,
+                        seed=seed,
+                        deadline_s=2.0,
+                        policy=RetryPolicy(retries=4, base_s=0.02,
+                                           seed=seed),
+                    )
+                    elapsed = time.monotonic() - start
+                    assert elapsed < 10.0, (
+                        f"{spec} seed {seed} took {elapsed:.1f}s under "
+                        f"{config!r}"
+                    )
+                    assert status == 200, (config, spec, seed, reply)
+                    art = RunArtifact.from_dict(reply["artifact"])
+                    if reply.get("degraded"):
+                        degraded += 1
+                        assert reply["degraded_from"] == direct[
+                            (spec, seed)
+                        ].solver
+                        assert art.meta["degraded"]["reason"] in (
+                            "deadline", "breaker", "crash", "quarantine",
+                            "watchdog",
+                        )
+                        _assert_valid(art, inst)
+                    else:
+                        assert (
+                            reply["artifact_hash"]
+                            == direct[(spec, seed)].content_hash()
+                        )
+                    served += 1
+            assert served == len(CHAOS_SPECS) * len(SEEDS)
+            stats = client.stats()
+            assert stats["workers_alive"] == stats["workers"]
+            if stats["worker_crashes"]:
+                assert stats["worker_restarts"] >= 1
+            if config == "crashy":
+                # crash=0.25 over 9+ primary executions: statistically
+                # certain to hit at least once for every base seed.
+                assert stats["worker_crashes"] >= 1
+                assert degraded >= 1
+        finally:
+            handle.stop()
+            engine.close()
+
+    def test_concurrent_chaos_load_never_hangs(self):
+        """Many clients × mixed faults × small queue: everything resolves
+        (200 or a typed refusal), no request is lost, the pool survives."""
+        model = FAULT_CONFIGS["brutal"]
+        engine = ScheduleEngine(
+            workers=2,
+            queue_limit=8,
+            fault_model=model,
+            default_deadline_s=2.0,
+            supervision_interval_s=0.02,
+        )
+        handle = start_in_thread(engine)
+        try:
+            client = ServeClient(port=handle.port)
+            client.wait_ready()
+            outcomes: list[int] = []
+            lock = threading.Lock()
+
+            def drive(k: int) -> None:
+                inst = Instance.sample(QUICK, SEEDS[k % len(SEEDS)])
+                status, reply = client.solve_with_retries(
+                    spec="haste-offline",
+                    instance=inst,
+                    seed=k,
+                    deadline_s=2.0,
+                    policy=RetryPolicy(retries=6, base_s=0.02, seed=k),
+                )
+                if status == 200 and reply.get("degraded"):
+                    art = RunArtifact.from_dict(reply["artifact"])
+                    _assert_valid(art, inst)
+                with lock:
+                    outcomes.append(status)
+
+            threads = [
+                threading.Thread(target=drive, args=(k,)) for k in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not any(t.is_alive() for t in threads), "client hang"
+            assert len(outcomes) == 12
+            # Everything resolves to a definite answer; under brutal chaos
+            # with bounded retries a residual 5xx is legal, a hang is not.
+            assert set(outcomes) <= {200, 500, 503, 504}
+            assert outcomes.count(200) >= 6
+            stats = client.stats()
+            assert stats["workers_alive"] == stats["workers"]
+        finally:
+            handle.stop()
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Replayability of the process-fault stream
+# ----------------------------------------------------------------------
+class TestProcessFaultReplay:
+    def test_recorded_trace_replays_identically_through_the_engine(self):
+        model = ProcessFaultModel(
+            crash=0.2, slow=0.3, slow_s=0.02, stall=0.1, stall_s=30.0,
+            seed=CHAOS_SEED,
+        )
+        requests = [
+            ("haste-offline", Instance.sample(QUICK, seed), seed)
+            for seed in SEEDS
+        ] * 2
+
+        def run(injector):
+            # One worker + sequential submission → decisions consume in
+            # request order, the injector's determinism contract.
+            engine = ScheduleEngine(
+                workers=1,
+                fault_model=injector,
+                default_deadline_s=2.0,
+                supervision_interval_s=0.02,
+            )
+            results = []
+            try:
+                for spec, inst, seed in requests:
+                    result = engine.solve(
+                        spec, inst, seed=seed, deadline_s=2.0, timeout=30,
+                        use_result_cache=False,
+                    )
+                    results.append(
+                        (
+                            result.degraded,
+                            result.degrade_reason,
+                            result.artifact.content_hash(),
+                        )
+                    )
+            finally:
+                engine.close()
+            return results
+
+        recording = model.injector()
+        first = run(recording)
+        digest = recording.trace.digest()
+
+        replay = ReplayProcessInjector(recording.trace)
+        second = run(replay)
+        assert second == first
+        assert replay.exhausted()
+        assert replay.trace.digest() == digest
+
+
+# ----------------------------------------------------------------------
+# Zero-fault bit-identity (the PR 8 contract must survive PR 9)
+# ----------------------------------------------------------------------
+class TestNullFaultBitIdentity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("spec", CHAOS_SPECS)
+    def test_daemon_identical_to_direct_solve(self, spec, seed):
+        """No fault model, no deadline: the resilience machinery must be
+        invisible — responses match direct ``solve_instance`` bit for
+        bit, in whichever kernel mode this job runs."""
+        engine = ScheduleEngine(workers=2)
+        handle = start_in_thread(engine)
+        try:
+            client = ServeClient(port=handle.port)
+            client.wait_ready()
+            inst = Instance.sample(QUICK, seed)
+            direct = solve_instance(spec, inst, seed=seed)
+            status, reply = client.solve(spec=spec, instance=inst, seed=seed)
+            assert status == 200, reply
+            assert reply["artifact_hash"] == direct.content_hash()
+            assert "degraded" not in reply
+            decoded = RunArtifact.from_dict(reply["artifact"])
+            assert decoded.content_hash() == direct.content_hash()
+        finally:
+            handle.stop()
+            engine.close()
+
+    def test_null_model_is_skipped_entirely(self):
+        engine = ScheduleEngine(workers=1, fault_model=ProcessFaultModel())
+        try:
+            assert engine._injector is None
+            assert "faults" not in engine.stats()
+        finally:
+            engine.close()
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown of the real CLI daemon
+# ----------------------------------------------------------------------
+class TestGracefulShutdown:
+    def _spawn(self, *extra: str) -> subprocess.Popen:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--workers", "1", "--no-telemetry",
+                *extra,
+            ],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+
+    def _port_from_banner(self, proc: subprocess.Popen) -> int:
+        assert proc.stdout is not None
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline()
+            if "listening on" in line:
+                return int(line.rsplit(":", 1)[1].split()[0])
+            if not line and proc.poll() is not None:
+                break
+        raise AssertionError("daemon banner never appeared")
+
+    def test_sigterm_drains_inflight_and_exits_zero(self):
+        proc = self._spawn("--chaos", f"slow=1.0,slow_s=0.5,seed={CHAOS_SEED}")
+        try:
+            port = self._port_from_banner(proc)
+            client = ServeClient(port=port)
+            client.wait_ready()
+            inst = Instance.sample(QUICK, SEEDS[0])
+
+            reply_box: dict = {}
+
+            def slow_request() -> None:
+                reply_box["result"] = client.solve(
+                    spec="greedy-utility", instance=inst, seed=0
+                )
+
+            t = threading.Thread(target=slow_request)
+            t.start()
+            time.sleep(0.2)  # the slowdown keeps the request in flight
+            proc.send_signal(signal.SIGTERM)
+            t.join(timeout=30)
+            assert not t.is_alive(), "in-flight request lost during drain"
+            status, reply = reply_box["result"]
+            assert status == 200
+            direct = solve_instance("greedy-utility", inst, seed=0)
+            assert reply["artifact_hash"] == direct.content_hash()
+            out = proc.stdout.read() if proc.stdout else ""
+            assert proc.wait(timeout=30) == 0, out
+            assert "draining" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_sigterm_idle_exits_zero_quickly(self):
+        proc = self._spawn()
+        try:
+            port = self._port_from_banner(proc)
+            client = ServeClient(port=port)
+            client.wait_ready()
+            start = time.monotonic()
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+            assert time.monotonic() - start < 15.0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Stats surface under chaos (JSON-serializable end to end)
+# ----------------------------------------------------------------------
+class TestStatsSurface:
+    def test_stats_json_roundtrip_with_all_subsystems_live(self):
+        model = FAULT_CONFIGS["brutal"]
+        engine = ScheduleEngine(
+            workers=1,
+            fault_model=model,
+            default_deadline_s=2.0,
+            supervision_interval_s=0.02,
+        )
+        handle = start_in_thread(engine)
+        try:
+            client = ServeClient(port=handle.port)
+            client.wait_ready()
+            for seed in SEEDS:
+                client.solve_with_retries(
+                    spec="haste-offline",
+                    instance=Instance.sample(QUICK, seed),
+                    seed=seed,
+                    deadline_s=2.0,
+                    policy=RetryPolicy(retries=4, base_s=0.02, seed=seed),
+                )
+            stats = client.stats()
+            blob = json.loads(json.dumps(stats))
+            assert blob["faults"]["decisions"] >= 3
+            assert "trace_digest" in blob["faults"]
+            assert isinstance(blob["breaker"], dict)
+            assert blob["default_deadline_s"] == 2.0
+            assert blob["degradation"] is True
+            for key in (
+                "degraded", "deadline_expired", "worker_crashes",
+                "worker_restarts", "inflight_dedup", "quarantined",
+            ):
+                assert key in blob
+        finally:
+            handle.stop()
+            engine.close()
