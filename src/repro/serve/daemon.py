@@ -178,7 +178,13 @@ class ServeDaemon:
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
 
-        length = int(headers.get("content-length", 0) or 0)
+        raw_length = headers.get("content-length", "").strip() or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            return 400, {"error": f"invalid Content-Length {raw_length!r}"}
+        if length < 0:
+            return 400, {"error": f"invalid Content-Length {raw_length!r}"}
         if length > MAX_BODY_BYTES:
             return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
         body = await reader.readexactly(length) if length else b""
@@ -283,10 +289,15 @@ class ServeDaemon:
                 )
             }
         try:
+            # skip_primary also bypasses the engine's result cache and
+            # single-flight dedup — the retry's idempotency key matches
+            # the wedged request it replaces, and following that leader
+            # would block forever — and carries its own bounded deadline.
             fut = self.engine.submit(
                 request.spec,
                 request.instance,
                 seed=request.seed,
+                deadline_s=WATCHDOG_RETRY_S,
                 skip_primary=True,
                 degrade_reason="watchdog",
             )

@@ -12,9 +12,12 @@ harness) sit on.  One engine holds:
   thread that detects crashed workers, restarts them, and counts the
   restarts (``serve.worker_restarts``) — a request that kills a worker
   is quarantined instead of wedging the queue;
-* the **prepared-state cache** (:data:`~repro.solvers.prepared.
-  PREPARED_CACHE`): requests for the same ``Instance.content_hash`` share
-  one :class:`~repro.solvers.prepared.PreparedNetwork`;
+* a **prepared-state cache**: requests for the same
+  ``Instance.content_hash`` share one :class:`~repro.solvers.prepared.
+  PreparedNetwork` — the process-global :data:`~repro.solvers.prepared.
+  PREPARED_CACHE` by default, or a private cache when
+  ``prepared_cache_capacity`` is given (so sizing one engine never
+  evicts state other components rely on);
 * a **result cache** keyed by ``content_hash × canonical spec × seed``
   — the serving layer's idempotency key: an exact repeat of a seeded
   request (a client retry after a lost response, say) is answered
@@ -65,7 +68,7 @@ from .. import obs
 from ..faults.process import InjectedWorkerCrash, ProcessFaultModel
 from ..obs.windows import WindowedHistogram
 from ..solvers.artifact import RunArtifact
-from ..solvers.prepared import PREPARED_CACHE
+from ..solvers.prepared import PREPARED_CACHE, PreparedCache
 from ..solvers.registry import get_solver
 from .resilience import (
     BreakerOpen,
@@ -83,6 +86,15 @@ __all__ = ["EngineBusy", "EngineClosed", "ServeResult", "ScheduleEngine"]
 
 #: Windowed request-latency metric (window = solver name).
 LATENCY_METRIC = "serve.request_latency"
+
+#: Poll cadence of a follower waiting on an identical in-flight leader —
+#: between polls the follower checks its cancel token and deadline.
+_FOLLOWER_POLL_S = 0.05
+
+#: Hard bound on how long a *deadline-less* follower waits on a leader
+#: before falling through to the degradation ladder — a wedged leader
+#: must never pin follower worker threads along with its own.
+FOLLOWER_MAX_WAIT_S = 30.0
 
 _SHUTDOWN = object()
 
@@ -174,8 +186,16 @@ class ScheduleEngine:
         self.default_deadline_s = default_deadline_s
         self.quarantine_after = int(quarantine_after)
         self.supervision_interval_s = float(supervision_interval_s)
+        # `prepared_cache_capacity` scopes a *private* PreparedCache to
+        # this engine; without it the engine shares the process-global
+        # cache.  (Resizing the global here would silently change
+        # eviction for every other engine/solver in the process.)
         if prepared_cache_capacity is not None:
-            PREPARED_CACHE.set_capacity(prepared_cache_capacity)
+            self._prepared_cache = PreparedCache(
+                capacity=prepared_cache_capacity
+            )
+        else:
+            self._prepared_cache = PREPARED_CACHE
 
         # Resilience collaborators.  `degradation=True` builds the default
         # ladder; `breaker=None` the default circuit breaker — pass False
@@ -219,7 +239,6 @@ class ScheduleEngine:
         self._inflight: dict[tuple, Future] = {}
         self._quarantine: dict[tuple, int] = {}
         self._latency = WindowedHistogram(LATENCY_METRIC)
-        self._active = 0
         # Lifetime counters (exported via stats() and the daemon /stats).
         self.requests = 0
         self.completed = 0
@@ -372,8 +391,6 @@ class ScheduleEngine:
                 fut, job, enqueued = item
                 if not fut.set_running_or_notify_cancel():
                     continue
-                with self._lock:
-                    self._active += 1
                 try:
                     fut.set_result(self._execute(job, enqueued, fut))
                 except Exception as exc:
@@ -390,7 +407,6 @@ class ScheduleEngine:
                     died = True
                 finally:
                     with self._lock:
-                        self._active -= 1
                         key = getattr(fut, "_engine_key", None)
                         if key is not None and self._inflight.get(key) is fut:
                             del self._inflight[key]
@@ -501,7 +517,15 @@ class ScheduleEngine:
 
         key = (content, canonical, effective)
         fut._engine_key = key  # poison quarantine + in-flight cleanup
-        cacheable = job.use_result_cache and effective is not None
+        # A degrade-only resubmission (worker crash / daemon watchdog)
+        # bypasses the result cache *and* single-flight dedup: its key is
+        # the very request it replaces, so following that (possibly
+        # wedged) leader would block instead of degrading.
+        cacheable = (
+            job.use_result_cache
+            and effective is not None
+            and not job.skip_primary
+        )
         if cacheable:
             with self._lock:
                 hit = self._results.get(key)
@@ -539,8 +563,8 @@ class ScheduleEngine:
                     leader = None
             if leader is not None:
                 return self._await_leader(
-                    leader, solver.name, canonical, content, effective,
-                    queued_s, job.deadline,
+                    leader, job, solver, canonical, content, effective,
+                    queued_s,
                 )
 
         return self._solve_job(
@@ -549,26 +573,55 @@ class ScheduleEngine:
         )
 
     def _await_leader(
-        self, leader, solver_name, canonical, content, effective,
-        queued_s, deadline,
+        self, leader, job: _Job, solver, canonical, content, effective,
+        queued_s,
     ) -> ServeResult:
+        """Wait on an identical in-flight request's result — *bounded*.
+
+        The wait polls instead of blocking: between polls the follower
+        checks its cancel token and deadline, and a deadline-less
+        follower gives up after :data:`FOLLOWER_MAX_WAIT_S`, so a wedged
+        leader never pins follower worker threads along with its own.
+        A stuck or cancelled wait falls through to the degradation
+        ladder (typed :class:`DeadlineExceeded` when degradation is
+        off).
+        """
         with self._lock:
             self.inflight_dedup += 1
         if obs.enabled():
             obs.inc("serve.inflight_dedup")
-        timeout = None
-        if deadline is not None:
-            timeout = max(deadline.remaining(), 0.01)
-        try:
-            lead: ServeResult = leader.result(timeout=timeout)
-        except FutureTimeout:
-            raise DeadlineExceeded(
-                f"deadline expired waiting on an identical in-flight "
-                f"request for {canonical}"
-            ) from None
+        deadline, token = job.deadline, job.token
+        budget = (
+            max(deadline.remaining(), 0.01)
+            if deadline is not None
+            else FOLLOWER_MAX_WAIT_S
+        )
+        limit = time.monotonic() + budget
+        while True:
+            try:
+                lead: ServeResult = leader.result(
+                    timeout=min(
+                        _FOLLOWER_POLL_S,
+                        max(limit - time.monotonic(), 0.001),
+                    )
+                )
+                break
+            except FutureTimeout:
+                if not token.cancelled and time.monotonic() < limit:
+                    continue
+                reason = "watchdog" if token.cancelled else "deadline"
+                if job.degrade and self._ladder is not None:
+                    return self._solve_degraded(
+                        job, canonical, job.instance, content, effective,
+                        queued_s, reason,
+                    )
+                raise DeadlineExceeded(
+                    f"gave up waiting on an identical in-flight request "
+                    f"for {canonical} after {budget:.3f}s"
+                ) from None
         with self._lock:
             self.completed += 1
-        self._observe_latency(solver_name, queued_s)
+        self._observe_latency(solver.name, queued_s)
         return ServeResult(
             artifact=lead.artifact,
             spec=lead.spec,
@@ -781,7 +834,7 @@ class ScheduleEngine:
                     )
             if deadline is not None:
                 deadline.check(canonical)
-        prepared, warm = PREPARED_CACHE.get_or_prepare(instance)
+        prepared, warm = self._prepared_cache.get_or_prepare(instance)
         if deadline is not None:
             deadline.check(canonical)
         rng = np.random.default_rng(effective)
@@ -841,7 +894,7 @@ class ScheduleEngine:
             "default_deadline_s": self.default_deadline_s,
             "degradation": self._ladder is not None,
             "result_cache": result_cache,
-            "prepared_cache": PREPARED_CACHE.info(),
+            "prepared_cache": self._prepared_cache.info(),
             "latency": latency,
         }
         if self._breaker is not None:
@@ -865,14 +918,18 @@ class ScheduleEngine:
         """
         self._draining = True
         end = time.monotonic() + max(0.0, float(timeout_s))
-        while True:
-            with self._lock:
-                idle = self._active == 0
-            if idle and self._queue.qsize() == 0:
-                return True
-            if time.monotonic() >= end:
-                return False
-            time.sleep(0.02)
+        # `unfinished_tasks` counts puts not yet matched by task_done(),
+        # which workers call only after fully answering a request — so a
+        # dequeued-but-executing item still counts, with no window where
+        # the engine looks idle mid-request.
+        q = self._queue
+        with q.all_tasks_done:
+            while q.unfinished_tasks:
+                remaining = end - time.monotonic()
+                if remaining <= 0.0:
+                    return False
+                q.all_tasks_done.wait(remaining)
+        return True
 
     def close(self, *, wait: bool = True) -> None:
         """Stop accepting work and (optionally) join the workers."""

@@ -329,9 +329,10 @@ class PreparedCache:
     def set_capacity(self, capacity: int) -> None:
         """Resize the cache, evicting LRU entries down to the new bound.
 
-        The serving layer exposes this as the ``ScheduleEngine``'s
-        ``prepared_cache_capacity`` knob (and the ``REPRO_PREPARED_CACHE``
-        environment variable sets the process default at import time).
+        (``REPRO_PREPARED_CACHE`` sets the *process-global* cache's
+        default at import time; ``ScheduleEngine``'s
+        ``prepared_cache_capacity`` knob builds the engine a private
+        cache rather than resizing the global one.)
         """
         if int(capacity) < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -380,8 +381,9 @@ def _env_capacity(default: int = 8, environ=os.environ) -> int:
 #: The process-global cache — one cache, one eviction policy.  Capacity is
 #: small on purpose: built networks dominate memory at large n, and the
 #: serving layer's working set is "the hot instances", not "every instance
-#: ever seen".  ``REPRO_PREPARED_CACHE`` overrides the default of 8, and
-#: ``ScheduleEngine(prepared_cache_capacity=…)`` resizes it at runtime.
+#: ever seen".  ``REPRO_PREPARED_CACHE`` overrides the default of 8;
+#: ``ScheduleEngine(prepared_cache_capacity=…)`` gives that engine its
+#: own private cache instead of resizing this one.
 PREPARED_CACHE = PreparedCache(capacity=_env_capacity())
 
 

@@ -320,16 +320,28 @@ class TestPreparedCacheCapacity:
         with pytest.raises(ValueError):
             cache.set_capacity(0)
 
-    def test_engine_kwarg_sets_global_capacity(self):
+    def test_engine_kwarg_scopes_private_cache(self):
+        """The kwarg must not resize the process-global cache (a side
+        effect that would outlive the engine and evict prepared state
+        other components rely on) — the engine gets its own cache."""
         from repro.solvers.prepared import PREPARED_CACHE
 
         original = PREPARED_CACHE.capacity
+        engine = _engine(prepared_cache_capacity=3)
         try:
-            engine = _engine(prepared_cache_capacity=3)
-            engine.close()
-            assert PREPARED_CACHE.capacity == 3
+            assert PREPARED_CACHE.capacity == original
+            stats = engine.stats()["prepared_cache"]
+            assert stats["capacity"] == 3
+            assert stats["builds"] == 0
+            engine.solve(
+                "greedy-utility", Instance.sample(QUICK, 905), seed=0,
+                timeout=30,
+            )
+            # The solve flowed through the engine's private cache.
+            assert engine.stats()["prepared_cache"]["builds"] == 1
         finally:
-            PREPARED_CACHE.set_capacity(original)
+            engine.close()
+        assert PREPARED_CACHE.capacity == original
 
     def test_eviction_pressure_still_correct(self):
         """Capacity 1 under alternating instances: every request reprepares,
@@ -531,6 +543,73 @@ class TestSingleFlightDedup:
             assert stats["solves"] == 1  # never double-executed
             assert stats["inflight_dedup"] == 1
         finally:
+            engine.close()
+
+
+class TestStuckLeader:
+    """A non-cooperating leader must never pin other requests with it.
+
+    The leader below stalls 30 s with *no deadline and no cancellation*
+    — the engine-level stand-in for a worker wedged in non-cooperative
+    code.  Watchdog resubmissions and dedup followers both have to get
+    out from behind it (REVIEW: single-flight dedup defeating
+    ``skip_primary``; unbounded ``_await_leader`` waits)."""
+
+    def _stuck_leader(self):
+        model = ProcessFaultModel(stall=1.0, stall_s=30.0, seed=0)
+        engine = ScheduleEngine(
+            workers=2, fault_model=model, supervision_interval_s=0.02
+        )
+        inst = Instance.sample(QUICK, 945)
+        leader = engine.submit("haste-offline", inst, seed=5)
+        time.sleep(0.2)  # leader registers in-flight, starts its stall
+        return engine, inst, leader
+
+    def test_skip_primary_bypasses_dedup_behind_stuck_leader(self):
+        """The daemon's watchdog retry shares the stuck request's
+        idempotency key; it must degrade, not follow the wedged leader."""
+        engine, inst, leader = self._stuck_leader()
+        try:
+            retry = engine.submit(
+                "haste-offline", inst, seed=5,
+                skip_primary=True, degrade_reason="watchdog",
+            )
+            res = retry.result(timeout=10)
+            assert res.degraded and res.degrade_reason == "watchdog"
+            assert not res.deduped
+            _assert_valid(res.artifact, inst)
+            assert engine.stats()["inflight_dedup"] == 0
+        finally:
+            leader.cancel_token.cancel()  # wake the stall for teardown
+            engine.close()
+
+    def test_follower_with_deadline_degrades_behind_stuck_leader(self):
+        engine, inst, leader = self._stuck_leader()
+        try:
+            follower = engine.submit(
+                "haste-offline", inst, seed=5, deadline_s=1.0
+            )
+            res = follower.result(timeout=10)
+            assert res.degraded and res.degrade_reason == "deadline"
+            _assert_valid(res.artifact, inst)
+            assert engine.stats()["inflight_dedup"] == 1
+        finally:
+            leader.cancel_token.cancel()
+            engine.close()
+
+    def test_deadline_less_follower_unblocks_on_cancel(self):
+        """A cancelled follower with no deadline must not wait on the
+        leader forever (the worker-pool-depletion failure mode)."""
+        engine, inst, leader = self._stuck_leader()
+        try:
+            follower = engine.submit("haste-offline", inst, seed=5)
+            time.sleep(0.3)  # follower is polling the wedged leader
+            follower.cancel_token.cancel()
+            res = follower.result(timeout=10)
+            assert res.degraded and res.degrade_reason == "watchdog"
+            _assert_valid(res.artifact, inst)
+        finally:
+            leader.cancel_token.cancel()
             engine.close()
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import threading
 
 import pytest
@@ -148,6 +149,27 @@ class TestDaemonRoutesAndErrors:
         status, payload = _raw_request(client, "POST", "/solve", b"{not json")
         assert status == 400
         assert "invalid JSON" in payload["error"]
+
+    @pytest.mark.parametrize("value", ["abc", "-5", "1.5"])
+    def test_malformed_content_length_400(self, served, value):
+        """A bad Content-Length must answer 400, not drop the connection
+        with an unhandled ValueError."""
+        _engine, client = served
+        with socket.create_connection(
+            (client.host, client.port), timeout=30
+        ) as conn:
+            conn.sendall(
+                f"POST /solve HTTP/1.1\r\n"
+                f"Content-Length: {value}\r\n\r\n".encode()
+            )
+            data = b""
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        assert data.split(b"\r\n", 1)[0].split()[1] == b"400"
+        assert b"invalid Content-Length" in data
 
     @pytest.mark.parametrize(
         "body",
