@@ -1,0 +1,223 @@
+"""Batched-solve benchmark → ``BENCH_batch.json``.
+
+Measures the PR 10 acceptance number: sustained **instances per second**
+of the batched multi-instance solve path
+(:meth:`~repro.solvers.registry.BoundSolver.solve_prepared_batch`)
+against the sequential :meth:`solve_prepared` loop over the same
+instances, at paper scale, on every solver registered with a batched
+kernel.  The acceptance bar is a ≥ 2× sustained-throughput win for the
+batched path in at least one kernel mode.
+
+Method:
+
+* ``--batch-size`` distinct instances (different sampling seeds) are
+  prepared **outside** the timed region — both sides measure the warm
+  solve, which is what the serving engine's micro-batch coalescing
+  amortizes (prepare is shared either way through the prepared cache).
+* Sequential and batched repeats are interleaved in time so slow host
+  drift (thermal, co-tenants) hits both sides equally; the median
+  per-pass time is reported.
+* Before timing, the batched artifacts are checked **bit-identical**
+  (``content_hash``) to the sequential loop's — a throughput number for
+  a kernel that diverges would be meaningless.
+* A float32 row (batched kernel only) reports the same throughput plus
+  the worst relative total-utility error against float64, the tolerance
+  DESIGN.md §14 documents.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --batch           # paper scale
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --batch --quick   # CI-sized
+
+(or run this file directly with the same flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Solvers with a registered batched kernel (``batch_fn``).
+SPECS = ("greedy-utility", "greedy-cover")
+
+
+def _config(scale: str):
+    from repro.sim.config import SimulationConfig
+
+    return (
+        SimulationConfig.paper() if scale == "paper" else SimulationConfig.quick()
+    )
+
+
+def _build(spec: str, config, batch: int, base_seed: int):
+    """Distinct instances + private prepared state, outside the timing."""
+    import numpy as np
+
+    from repro.solvers import Instance, get_solver
+    from repro.solvers.prepared import prepare
+
+    solver = get_solver(spec)
+    instances = [
+        Instance.sample(config, base_seed + j) for j in range(batch)
+    ]
+    prepareds = [prepare(inst, cached=False) for inst in instances]
+    for prepared in prepareds:  # force the network build out of the loop
+        prepared.network
+    configs = [inst.config for inst in instances]
+    seeds = [inst.seed for inst in instances]
+    del np
+    return solver, instances, prepareds, configs, seeds
+
+
+def _seq_pass(solver, prepareds, configs, seeds):
+    import numpy as np
+
+    return [
+        solver.solve_prepared(p, np.random.default_rng(s), c)
+        for p, c, s in zip(prepareds, configs, seeds)
+    ]
+
+
+def _batch_pass(solver, prepareds, configs, seeds, dtype=None):
+    import numpy as np
+
+    rngs = [np.random.default_rng(s) for s in seeds]
+    return solver.solve_prepared_batch(prepareds, rngs, configs, dtype=dtype)
+
+
+def throughput_row(spec: str, scale: str, batch: int, repeats: int) -> dict:
+    """Sequential loop vs one batched call over the same instances."""
+    config = _config(scale)
+    solver, instances, prepareds, configs, seeds = _build(
+        spec, config, batch, base_seed=1000
+    )
+
+    # Differential gate first: a fast-but-wrong batch would be useless.
+    seq_arts = _seq_pass(solver, prepareds, configs, seeds)
+    batch_arts = _batch_pass(solver, prepareds, configs, seeds)
+    for a, b in zip(seq_arts, batch_arts):
+        if a.content_hash() != b.content_hash():
+            raise AssertionError(
+                f"batched {spec} diverged from the sequential loop"
+            )
+
+    seq_times, batch_times = [], []
+    for _ in range(repeats):  # interleaved: drift hits both sides equally
+        t0 = time.perf_counter()
+        _seq_pass(solver, prepareds, configs, seeds)
+        seq_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _batch_pass(solver, prepareds, configs, seeds)
+        batch_times.append(time.perf_counter() - t0)
+
+    seq_s = statistics.median(seq_times)
+    batch_s = statistics.median(batch_times)
+    return {
+        "op": f"batched_solve[{spec}]",
+        "spec": spec,
+        "scale": scale,
+        "batch": batch,
+        "repeats": repeats,
+        "sequential_median_s": seq_s,
+        "batched_median_s": batch_s,
+        "sequential_inst_per_s": batch / seq_s,
+        "batched_inst_per_s": batch / batch_s,
+        "speedup": seq_s / batch_s,
+        "bit_identical": True,
+    }
+
+
+def float32_row(scale: str, batch: int, repeats: int) -> dict:
+    """Float32 batched throughput + worst relative utility error."""
+    spec = "greedy-utility"
+    import numpy as np
+
+    config = _config(scale)
+    solver, instances, prepareds, configs, seeds = _build(
+        spec, config, batch, base_seed=2000
+    )
+    f64 = _batch_pass(solver, prepareds, configs, seeds)
+    f32 = _batch_pass(solver, prepareds, configs, seeds, dtype=np.float32)
+    rel_err = max(
+        abs(a.total_utility - b.total_utility)
+        / max(abs(a.total_utility), 1e-30)
+        for a, b in zip(f64, f32)
+    )
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _batch_pass(solver, prepareds, configs, seeds, dtype=np.float32)
+        times.append(time.perf_counter() - t0)
+    batch_s = statistics.median(times)
+    return {
+        "op": f"batched_solve_float32[{spec}]",
+        "spec": spec,
+        "scale": scale,
+        "batch": batch,
+        "repeats": repeats,
+        "batched_median_s": batch_s,
+        "batched_inst_per_s": batch / batch_s,
+        "max_rel_utility_err": rel_err,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized instances instead of paper scale")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="instances per batch (default 8 paper, 16 quick)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed passes per side (default 5)")
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args()
+
+    scale = "quick" if args.quick else "paper"
+    batch = args.batch_size or (16 if args.quick else 8)
+    repeats = args.repeats or 5
+    kernel_mode = (
+        "numpy" if os.environ.get("REPRO_DISABLE_CKERNEL") == "1"
+        else "compiled"
+    )
+
+    results = []
+    for spec in SPECS:
+        print(f"batched vs sequential [{spec}] "
+              f"({scale}, B={batch}, {repeats} repeats/side)")
+        row = throughput_row(spec, scale, batch, repeats)
+        results.append(row)
+        print(f"  {row['sequential_inst_per_s']:.1f} → "
+              f"{row['batched_inst_per_s']:.1f} inst/s "
+              f"({row['speedup']:.2f}x)")
+    print(f"float32 batched [greedy-utility] ({scale}, B={batch})")
+    row = float32_row(scale, batch, repeats)
+    results.append(row)
+    print(f"  {row['batched_inst_per_s']:.1f} inst/s, "
+          f"max rel utility err {row['max_rel_utility_err']:.2e}")
+
+    report = {
+        "description": "Batched multi-instance solve throughput: "
+                       "solve_prepared_batch vs the sequential "
+                       "solve_prepared loop over the same distinct warm "
+                       "instances (bit-identity asserted before timing); "
+                       "acceptance is a >= 2x sustained instances/sec win "
+                       "at paper scale.",
+        "scale": scale,
+        "kernel_mode": kernel_mode,
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    out = args.output or str(REPO_ROOT / "BENCH_batch.json")
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

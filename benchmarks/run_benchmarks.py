@@ -33,6 +33,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_benchmarks.py --traffic  # BENCH_traffic.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --serve    # BENCH_serve.json
     PYTHONPATH=src python benchmarks/run_benchmarks.py --resilience  # BENCH_resilience.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --batch    # BENCH_batch.json
 
 The default output path is ``BENCH_kernels.json`` next to the repo root;
 ``--skip-seed`` falls back to flags-reference for the end-to-end rows
@@ -439,15 +440,20 @@ def main() -> None:
                         help="measure the serve-resilience layer instead "
                              "(delegates to bench_resilience.py → "
                              "BENCH_resilience.json)")
+    parser.add_argument("--batch", action="store_true",
+                        help="measure the batched solve path instead "
+                             "(delegates to bench_batch.py → "
+                             "BENCH_batch.json)")
     parser.add_argument("--obs-baseline", default="HEAD",
                         help="git rev of the pre-instrumentation tree the "
                              "--obs disabled-path rows compare against")
     args = parser.parse_args()
 
-    if args.shard or args.traffic or args.serve or args.resilience:
+    if args.shard or args.traffic or args.serve or args.resilience or args.batch:
         sys.path.insert(0, str(Path(__file__).resolve().parent))
         module = __import__(
-            "bench_resilience" if args.resilience
+            "bench_batch" if args.batch
+            else "bench_resilience" if args.resilience
             else "bench_serve" if args.serve
             else "bench_traffic" if args.traffic
             else "bench_shard"

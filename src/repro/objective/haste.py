@@ -37,6 +37,18 @@ rows × receivable columns block).
 :class:`HasteSetFunction` adapts the objective to the generic
 :class:`~repro.submodular.functions.SetFunction` interface for the property
 tests and reference algorithms.
+
+**Batched multi-instance evaluation.**  :class:`BatchedCharger` stacks one
+charger position's selection data (slot-energy blocks, activity columns,
+required energies) across a *batch of instances* so the element-wise stage
+of the gain kernel runs once over a padded ``(batch, policies, tasks)``
+tensor instead of once per instance.  The weighted sum over tasks is kept
+per instance on its exact ``(P_b, t_b)`` block — the same BLAS call the
+sequential path makes — so the float64 batched gains are bit-identical to
+:meth:`HasteObjective.partition_gains` per member (pinned by
+``tests/test_batch_equivalence.py``).  An opt-in ``dtype=np.float32`` mode
+trades that guarantee for half the bandwidth; see DESIGN.md §14 for the
+tolerance argument.
 """
 
 from __future__ import annotations
@@ -47,10 +59,10 @@ import numpy as np
 
 from ..core.network import ChargerNetwork
 from ..core.policy import Schedule
-from ..core.utility import LinearBoundedUtility, UtilityFunction
+from ..core.utility import LinearBoundedUtility, PowerLawUtility, UtilityFunction
 from ..submodular.functions import SetFunction
 
-__all__ = ["HasteObjective", "HasteSetFunction"]
+__all__ = ["BatchedCharger", "HasteObjective", "HasteSetFunction"]
 
 
 class HasteObjective:
@@ -385,6 +397,156 @@ class HasteObjective:
         for i, k, p in items:
             sched.set(i, k, p)
         return sched
+
+
+class BatchedCharger:
+    """One charger position's gain/apply kernel, stacked across instances.
+
+    Members are ``(objective, charger)`` pairs — typically the same charger
+    index of every instance in a batch — each contributing a sparse
+    ``(P_b, t_b)`` policy block.  The element-wise stage of the gain kernel
+    (slot-energy broadcast + clipped-utility difference) runs once on padded
+    ``(M, P*, t*)`` tensors; the weighted task sum is then taken per member
+    on a contiguous copy of its exact ``(P_b, t_b)`` block, which is the
+    very same GEMV the sequential :meth:`HasteObjective._gains_cols` path
+    issues.  Padding is exact, not approximate:
+
+    * slot-energy pads are ``+0.0``, so padded lanes produce ``0.0`` gain
+      through the clipped-utility difference (``E`` pads are ``1.0`` to keep
+      the division defined);
+    * the gains buffer pads policies with ``-1.0`` — every real gain is
+      ``≥ 0`` — so a full-row ``argmax`` can never select a padded policy
+      and keeps numpy's first-maximum tie-breaking on the real prefix;
+    * the idle row (policy 0) of every slot-energy block is exactly zero,
+      so a batched ``apply`` may scatter-add the selected rows
+      unconditionally: non-committing members add ``+0.0``.
+
+    With ``dtype=np.float64`` (default) the per-member gains are
+    bit-identical to the sequential path.  ``dtype=np.float32`` stores the
+    stacked state in single precision and inlines the linear-bounded gain
+    formula (supported for :class:`LinearBoundedUtility` only); DESIGN.md
+    §14 documents the measured tolerance.
+    """
+
+    def __init__(
+        self,
+        members: list[tuple[HasteObjective, int]],
+        *,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        dt = np.dtype(dtype)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(f"dtype must be float64 or float32, got {dt}")
+        if not members:
+            raise ValueError("BatchedCharger needs at least one member")
+        self.members = list(members)
+        self.dtype = dt
+        M = len(self.members)
+        utils: list[UtilityFunction] = []
+        shapes: list[tuple[int, int, int]] = []
+        for obj, i in self.members:
+            if not obj.use_sparse:
+                raise ValueError("BatchedCharger requires sparse-path objectives")
+            se = obj._sparse_energy[i]
+            if se.shape[0] < 2 or se.shape[1] == 0:
+                raise ValueError(
+                    "members must have >= 2 policies and >= 1 receivable task"
+                )
+            utils.append(obj._util_cols[i])
+            shapes.append((se.shape[0], se.shape[1], obj.active.shape[1]))
+        ufam = type(utils[0])
+        if any(type(u) is not ufam for u in utils):
+            raise ValueError("all members must share one utility family")
+        if dt == np.dtype(np.float32) and ufam is not LinearBoundedUtility:
+            raise ValueError(
+                "float32 batching supports LinearBoundedUtility only"
+            )
+        P_max = max(s[0] for s in shapes)
+        t_max = max(s[1] for s in shapes)
+        K_max = max(s[2] for s in shapes)
+        self.shapes = shapes
+        self.num_slots = K_max
+        # Stacked static data.  SE pads with +0.0 (exact no-op lanes), the
+        # activity pad is False (kills padded slots/tasks), E pads with 1.0
+        # (keeps the division defined on dead lanes).
+        SE = np.zeros((M, P_max, t_max), dtype=dt)
+        ACT = np.zeros((M, t_max, K_max), dtype=bool)
+        E = np.ones((M, t_max), dtype=dt)
+        gammas: set[float] = set()
+        for m, (obj, i) in enumerate(self.members):
+            P, t, K = shapes[m]
+            SE[m, :P, :t] = obj._sparse_energy[i]
+            ACT[m, :t, :K] = obj._active_sub[i]
+            E[m, :t] = np.broadcast_to(utils[m].required_energy, (t,))
+            if ufam is PowerLawUtility:
+                gammas.add(utils[m].gamma)
+        self._SE = SE
+        self._ACT = ACT
+        self._E3 = E[:, None, :]  # broadcast against (M, P*, t*)
+        if dt == np.dtype(np.float32):
+            # Single precision inlines the linear-bounded gain formula; the
+            # utility classes would silently upcast to float64.
+            self._util: UtilityFunction | None = None
+        elif ufam is PowerLawUtility:
+            if len(gammas) != 1:
+                raise ValueError("all members must share one power-law gamma")
+            self._util = PowerLawUtility(self._E3, gamma=gammas.pop())
+        else:
+            # Same class as the sequential restricted utility, so `.gain`
+            # runs the identical ufunc sequence on the stacked operands.
+            self._util = ufam(self._E3)
+        # Per-member weight vectors stay exact (unpadded): the task-sum GEMV
+        # is issued per member on its own block.
+        self._w = [
+            np.ascontiguousarray(obj._w_cols[i], dtype=dt)
+            for obj, i in self.members
+        ]
+        self.cur = np.zeros((M, t_max), dtype=dt)
+        self._G = np.empty((M, P_max), dtype=dt)
+        self.arange = np.arange(M)
+
+    def gains(self, slot: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked partition gains for ``slot``: ``(G, add)``.
+
+        ``G`` is ``(M, P*)`` with padded policies at ``-1.0``; ``add`` is the
+        stacked ``(M, P*, t*)`` slot-energy tensor, to be passed back to
+        :meth:`apply`.  ``G[m, :P_m]`` equals the sequential
+        ``partition_gains`` output of member ``m`` bit-for-bit (float64).
+        """
+        acol = self._ACT[:, :, slot] if slot < self._ACT.shape[2] else None
+        if acol is None:
+            add = np.zeros_like(self._SE)
+        else:
+            add = self._SE * acol[:, None, :]
+        cur3 = self.cur[:, None, :]
+        if self._util is not None:
+            tens = self._util.gain(cur3, add)
+        else:
+            one = self.dtype.type(1.0)
+            tens = np.minimum((cur3 + add) / self._E3, one) - np.minimum(
+                cur3 / self._E3, one
+            )
+        G = self._G
+        G[:, :] = -1.0
+        for m, (P, t, _K) in enumerate(self.shapes):
+            # ascontiguousarray -> the same contiguous (P, t) @ (t,) GEMV
+            # the sequential path issues, hence the same reduction order.
+            G[m, :P] = np.ascontiguousarray(tens[m, :P, :t]) @ self._w[m]
+        return G, add
+
+    def apply(self, add: np.ndarray, policies: np.ndarray) -> None:
+        """Commit one selected policy per member onto the stacked state.
+
+        ``policies`` is ``(M,)`` int; members that stay idle pass policy 0,
+        whose slot-energy row is exactly zero — the scatter-add is a
+        bitwise no-op for them.
+        """
+        self.cur += add[self.arange, policies, :]
+
+    def energies(self, member: int) -> np.ndarray:
+        """Member's accumulated per-receivable-task energies ``(t_b,)``."""
+        _P, t, _K = self.shapes[member]
+        return self.cur[member, :t]
 
 
 class HasteSetFunction(SetFunction):

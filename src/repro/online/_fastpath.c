@@ -22,6 +22,16 @@
  *     (receiver, sample-row, task-column) block of the stacked (n, S, m)
  *     views array.
  *
+ *   fill_batch(jobs) -> None
+ *     Run ``fill`` for a whole advertisement round in one call: ``jobs``
+ *     is a list of 7-tuples, each holding one agent's ``fill`` argument
+ *     vector.  Per-agent results are identical to per-agent ``fill``
+ *     calls (agents touch disjoint tensors), this just amortizes the
+ *     Python call overhead across the window's agents.
+ *
+ *   finish_batch(rgs, total_samples) -> list[(best_policy, best_total)]
+ *     ``finish`` over a list of per-agent row-gain matrices.
+ *
  * Numerical contract: every operation here is bit-for-bit identical to
  * the pure NumPy reference path in distributed.py.  Element-wise ops
  * (add, divide, clip, subtract) are the same IEEE-754 double ops; the
@@ -48,13 +58,11 @@
  * instances larger than this (never hit by the paper's scales). */
 #define FP_MAX_DIM 512
 
-static PyObject *
-fastpath_fill(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+/* Core of fill(); `args` is the 7-element argument vector.  Returns 0 on
+ * success, -1 with a Python exception set on failure. */
+static int
+fill_impl(PyObject *const *args)
 {
-    if (nargs != 7) {
-        PyErr_SetString(PyExc_TypeError, "fill expects 7 arguments");
-        return NULL;
-    }
     PyArrayObject *view = (PyArrayObject *)args[0];
     PyArrayObject *tens = (PyArrayObject *)args[1];
     PyArrayObject *rows = (PyArrayObject *)args[2];
@@ -69,7 +77,7 @@ fastpath_fill(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     const npy_intp m = PyArray_DIM(view, 1);
     if (t > FP_MAX_DIM) {
         PyErr_SetString(PyExc_ValueError, "fill: too many task columns");
-        return NULL;
+        return -1;
     }
 
     const double *view_d = (const double *)PyArray_DATA(view);
@@ -89,7 +97,7 @@ fastpath_fill(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     } else {
         if (!PyList_Check(dirty)) {
             PyErr_SetString(PyExc_TypeError, "fill: dirty must be list|None");
-            return NULL;
+            return -1;
         }
         n_refresh = PyList_GET_SIZE(dirty);
         dirty_items = ((PyListObject *)dirty)->ob_item;
@@ -102,10 +110,10 @@ fastpath_fill(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
             r = PyLong_AsSsize_t(dirty_items[d]);
             if (r < 0 || r >= R) {
                 if (PyErr_Occurred()) {
-                    return NULL;
+                    return -1;
                 }
                 PyErr_SetString(PyExc_IndexError, "fill: dirty out of range");
-                return NULL;
+                return -1;
             }
         }
         const double *vrow = view_d + rows_d[r] * m;
@@ -128,22 +136,56 @@ fastpath_fill(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
             }
         }
     }
+    return 0;
+}
+
+static PyObject *
+fastpath_fill(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 7) {
+        PyErr_SetString(PyExc_TypeError, "fill expects 7 arguments");
+        return NULL;
+    }
+    if (fill_impl(args) < 0) {
+        return NULL;
+    }
     Py_RETURN_NONE;
 }
 
 static PyObject *
-fastpath_finish(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+fastpath_fill_batch(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
 {
-    if (nargs != 2) {
-        PyErr_SetString(PyExc_TypeError, "finish expects 2 arguments");
+    if (nargs != 1) {
+        PyErr_SetString(PyExc_TypeError, "fill_batch expects 1 argument");
         return NULL;
     }
-    PyArrayObject *rg = (PyArrayObject *)args[0];
-    double total_samples = PyFloat_AsDouble(args[1]);
-    if (total_samples == -1.0 && PyErr_Occurred()) {
+    PyObject *jobs = args[0];
+    if (!PyList_Check(jobs)) {
+        PyErr_SetString(PyExc_TypeError, "fill_batch: jobs must be a list");
         return NULL;
     }
+    const Py_ssize_t n_jobs = PyList_GET_SIZE(jobs);
+    PyObject **items = ((PyListObject *)jobs)->ob_item;
+    for (Py_ssize_t b = 0; b < n_jobs; b++) {
+        PyObject *job = items[b];
+        if (!PyTuple_Check(job) || PyTuple_GET_SIZE(job) != 7) {
+            PyErr_SetString(PyExc_TypeError,
+                            "fill_batch: each job must be a 7-tuple");
+            return NULL;
+        }
+        if (fill_impl(((PyTupleObject *)job)->ob_item) < 0) {
+            return NULL;
+        }
+    }
+    Py_RETURN_NONE;
+}
 
+/* Core of finish(); writes the winner through `best`/`best_v`.  Returns 0
+ * on success, -1 with a Python exception set on failure. */
+static int
+finish_impl(PyArrayObject *rg, double total_samples,
+            Py_ssize_t *best, double *best_v)
+{
     const npy_intp R = PyArray_DIM(rg, 0);
     const npy_intp P = PyArray_DIM(rg, 1);
     if (P < 2 || P > FP_MAX_DIM) {
@@ -151,7 +193,7 @@ fastpath_finish(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
          * path, which this sequential loop does not replicate; callers
          * only negotiate partitions with at least two policies. */
         PyErr_SetString(PyExc_ValueError, "finish: policy count out of range");
-        return NULL;
+        return -1;
     }
     const double *rg_d = (const double *)PyArray_DATA(rg);
 
@@ -167,16 +209,78 @@ fastpath_finish(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
             total[p] += rgr[p];
         }
     }
-    npy_intp best = 0;
-    double best_v = total[0] / total_samples;
+    npy_intp win = 0;
+    double win_v = total[0] / total_samples;
     for (npy_intp p = 1; p < P; p++) {
         const double v = total[p] / total_samples;
-        if (v > best_v) {
-            best_v = v;
-            best = p;
+        if (v > win_v) {
+            win_v = v;
+            win = p;
         }
     }
-    return Py_BuildValue("nd", (Py_ssize_t)best, best_v);
+    *best = (Py_ssize_t)win;
+    *best_v = win_v;
+    return 0;
+}
+
+static PyObject *
+fastpath_finish(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "finish expects 2 arguments");
+        return NULL;
+    }
+    double total_samples = PyFloat_AsDouble(args[1]);
+    if (total_samples == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    Py_ssize_t best;
+    double best_v;
+    if (finish_impl((PyArrayObject *)args[0], total_samples,
+                    &best, &best_v) < 0) {
+        return NULL;
+    }
+    return Py_BuildValue("nd", best, best_v);
+}
+
+static PyObject *
+fastpath_finish_batch(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError, "finish_batch expects 2 arguments");
+        return NULL;
+    }
+    PyObject *rgs = args[0];
+    if (!PyList_Check(rgs)) {
+        PyErr_SetString(PyExc_TypeError, "finish_batch: rgs must be a list");
+        return NULL;
+    }
+    double total_samples = PyFloat_AsDouble(args[1]);
+    if (total_samples == -1.0 && PyErr_Occurred()) {
+        return NULL;
+    }
+    const Py_ssize_t n_jobs = PyList_GET_SIZE(rgs);
+    PyObject **items = ((PyListObject *)rgs)->ob_item;
+    PyObject *out = PyList_New(n_jobs);
+    if (out == NULL) {
+        return NULL;
+    }
+    for (Py_ssize_t b = 0; b < n_jobs; b++) {
+        Py_ssize_t best;
+        double best_v;
+        if (finish_impl((PyArrayObject *)items[b], total_samples,
+                        &best, &best_v) < 0) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyObject *pair = Py_BuildValue("nd", best, best_v);
+        if (pair == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, b, pair);
+    }
+    return out;
 }
 
 static PyObject *
@@ -234,6 +338,10 @@ static PyMethodDef fastpath_methods[] = {
      "Refresh dirty rows of the clipped-utility difference tensor."},
     {"finish", (PyCFunction)(void (*)(void))fastpath_finish, METH_FASTCALL,
      "Column-sum per-row gains and return (best_policy, best_total)."},
+    {"fill_batch", (PyCFunction)(void (*)(void))fastpath_fill_batch,
+     METH_FASTCALL, "Run fill for a list of per-agent argument tuples."},
+    {"finish_batch", (PyCFunction)(void (*)(void))fastpath_finish_batch,
+     METH_FASTCALL, "Run finish over a list of per-agent row-gain arrays."},
     {"fold", (PyCFunction)(void (*)(void))fastpath_fold, METH_FASTCALL,
      "Scatter-add committed energy into stacked receiver views."},
     {NULL, NULL, 0, NULL},

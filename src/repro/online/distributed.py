@@ -308,6 +308,90 @@ class ChargerAgent:
             self._row_gains = None
 
 
+def _store_proposal(agent: "ChargerAgent", best_p: int, best_v: float) -> None:
+    """Commit a compiled-kernel result into the agent's proposal cache.
+
+    Mirrors the tail of the compiled branch of
+    :meth:`ChargerAgent.best_candidate` exactly.
+    """
+    agent._dirty_pos.clear()
+    if best_p == IDLE_POLICY or best_v <= MIN_GAIN:
+        agent._proposal = (0.0, IDLE_POLICY)
+    else:
+        agent._proposal = (best_v, best_p)
+
+
+def _evaluate_pending(
+    agents: dict[int, "ChargerAgent"],
+    pending: list[int],
+    slot: int,
+    match: dict[int, np.ndarray],
+    total_samples: int,
+) -> None:
+    """Evaluate every pending agent's proposal, batching the C kernel.
+
+    The advertisement phase is embarrassingly parallel — each agent reads
+    only its own energy view, and no view mutates until the commit phase —
+    so the per-agent ``fill``/``finish`` C calls of one round collapse
+    into one ``fill_batch``/``finish_batch`` pair, with the per-agent
+    ``np.matmul`` weighted sums kept in between (their BLAS ordering is
+    part of the reference semantics, exactly as in
+    :meth:`ChargerAgent.best_candidate`).  Agents off the compiled path —
+    ``REPRO_DISABLE_CKERNEL=1``, non-linear utilities, oversized blocks,
+    or empty row lists — take :meth:`~ChargerAgent.best_candidate`, the
+    bit-identical pure-NumPy reference.  Per-agent results are pinned
+    identical to per-agent calls by ``tests/test_fastpath_equivalence.py``
+    and the batch-equivalence suite.
+    """
+    batch: list[tuple] = []
+    for i in pending:
+        agent = agents[i]
+        if agent._ck is None or not agent._row_list:
+            agent.best_candidate(slot, match[i], total_samples)
+            continue
+        # Mirror best_candidate's compiled-path prep: once the rg buffer
+        # is bound the evaluation must complete through the kernel path.
+        n_rows = len(agent._row_list)
+        rg = agent._row_gains
+        if rg is None:
+            rg = agent._row_gains = agent._rg_full[:n_rows]
+            dirty = None
+        else:
+            dirty = sorted(agent._dirty_pos)
+        tens = agent._tens_full[:n_rows]
+        batch.append(
+            (
+                agent,
+                rg,
+                tens,
+                (
+                    agent.energies, tens, agent._rows, dirty,
+                    agent._cols_i, agent._add, agent._E_i,
+                ),
+            )
+        )
+    if not batch:
+        return
+    ck = batch[0][0]._ck
+    if len(batch) == 1 or not hasattr(ck, "fill_batch"):
+        # One agent (no amortization to win) or a stale extension built
+        # before the batched entry points existed: per-agent calls.
+        for agent, rg, tens, job in batch:
+            ck.fill(*job)
+            np.matmul(tens, agent._w_i, out=rg)
+            best_p, best_v = ck.finish(rg, total_samples)
+            _store_proposal(agent, best_p, best_v)
+        return
+    ck.fill_batch([job for _agent, _rg, _tens, job in batch])
+    for agent, rg, tens, _job in batch:
+        np.matmul(tens, agent._w_i, out=rg)
+    results = ck.finish_batch(
+        [rg for _agent, rg, _tens, _job in batch], total_samples
+    )
+    for (agent, _rg, _tens, _job), (best_p, best_v) in zip(batch, results):
+        _store_proposal(agent, best_p, best_v)
+
+
 @dataclass
 class NegotiationResult:
     """Outcome of negotiating one window of slots.
@@ -592,15 +676,25 @@ def _negotiate_window(
                 # withdrawal).  Each broadcast is one transmission plus
                 # ``|N(s_i)|`` deliveries in the Fig. 16 accounting.
                 proposals: dict[int, tuple[float, int]] = {}
+                pending = []
                 for i in order:
-                    agent = agents[i]
-                    prop = agent._proposal
+                    prop = agents[i]._proposal
                     if prop is None:
-                        prop = agent.best_candidate(k, match[i], S)
+                        pending.append(i)
                         prop_evals += 1
                     else:
                         prop_hits += 1
-                    proposals[i] = prop
+                        proposals[i] = prop
+                if pending:
+                    # Batched advertisement: all cache-missing agents run
+                    # the gain kernel in one C round trip (bit-identical
+                    # to per-agent best_candidate calls — see
+                    # _evaluate_pending).
+                    _evaluate_pending(agents, pending, k, match, S)
+                    for i in pending:
+                        proposals[i] = agents[i]._proposal
+                for i in order:
+                    prop = proposals[i]
                     standing[i] = prop[0] if prop[0] > MIN_GAIN else None
                 stats.broadcasts += len(order)
                 stats.messages += (

@@ -42,6 +42,23 @@ Resilience (PR 9, DESIGN.md §13) threads through every request:
   suite — a null (or absent) model leaves every request on the exact
   PR 8 path, bit for bit.
 
+Micro-batch coalescing (PR 10, DESIGN.md §14): when a worker dequeues a
+request for a solver registered with a batched kernel (``batch_fn``), it
+opportunistically drains up to ``coalesce_max - 1`` already-queued
+requests for the *same canonical spec and dtype* and answers the whole
+group with one :meth:`~repro.solvers.registry.BoundSolver.
+solve_prepared_batch` call.  At float64 the batched kernel is
+bit-identical to per-request solves, so coalescing is invisible in the
+artifacts (pinned by ``tests/test_serve.py``); only
+``ServeResult.coalesced`` and the ``coalesced_batches``/
+``coalesced_requests`` counters reveal it.  Degraded and skip-primary
+resubmissions never coalesce, chaos runs (an active fault injector)
+disable coalescing entirely, and result-cache hits, single-flight
+dedup, quarantine, and deadline gates are applied per member exactly as
+on the solo path.  ``submit(dtype=np.float32)`` opts a request into the
+single-precision batched kernel; float32 results are cached under a
+*distinct* result-cache key so they can never answer a float64 request.
+
 Telemetry: the engine always feeds its own
 :class:`~repro.obs.windows.WindowedHistogram` of request latency
 (windowed per solver, readable via :meth:`ScheduleEngine.stats` and the
@@ -136,6 +153,8 @@ class ServeResult:
     #: what tripped: ``deadline`` | ``breaker`` | ``crash`` | ``quarantine``
     #: | ``watchdog``
     degrade_reason: str | None = None
+    #: answered by an opportunistic micro-batch (coalesced solve)
+    coalesced: bool = False
 
 
 @dataclass(frozen=True)
@@ -150,6 +169,8 @@ class _Job:
     degrade: bool = True
     skip_primary: bool = False
     degrade_reason: str | None = None
+    #: normalized np.dtype (float32) or None (float64 default path)
+    dtype: object = None
 
 
 class ScheduleEngine:
@@ -169,11 +190,16 @@ class ScheduleEngine:
         supervise: bool = True,
         supervision_interval_s: float = 0.1,
         quarantine_after: int = 1,
+        coalesce_max: int = 4,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if coalesce_max < 0:
+            raise ValueError(
+                f"coalesce_max must be >= 0, got {coalesce_max}"
+            )
         if default_deadline_s is not None and not (default_deadline_s > 0):
             raise ValueError(
                 f"default_deadline_s must be > 0, got {default_deadline_s}"
@@ -185,6 +211,8 @@ class ScheduleEngine:
         self.queue_limit = int(queue_limit)
         self.default_deadline_s = default_deadline_s
         self.quarantine_after = int(quarantine_after)
+        #: micro-batch size cap — 0 or 1 disables coalescing entirely
+        self.coalesce_max = int(coalesce_max)
         self.supervision_interval_s = float(supervision_interval_s)
         # `prepared_cache_capacity` scopes a *private* PreparedCache to
         # this engine; without it the engine shares the process-global
@@ -254,6 +282,11 @@ class ScheduleEngine:
         self.worker_crashes = 0
         self.worker_restarts = 0
         self.inflight_dedup = 0
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
+        #: worker thread idents that must exit after their current item
+        #: (a coalescing drain consumed their _SHUTDOWN sentinel)
+        self._deferred_exit: set[int] = set()
         self._stop = threading.Event()
         self._workers = [
             threading.Thread(
@@ -285,6 +318,7 @@ class ScheduleEngine:
         degrade: bool = True,
         skip_primary: bool = False,
         degrade_reason: str | None = None,
+        dtype=None,
     ) -> Future:
         """Enqueue one solve; returns a :class:`concurrent.futures.Future`.
 
@@ -296,12 +330,23 @@ class ScheduleEngine:
         ``None`` falls back to the engine's ``default_deadline_s``.
         ``skip_primary`` jumps straight to the degradation ladder (the
         daemon uses it to re-route a request whose primary execution
-        crashed a worker or tripped the watchdog).
+        crashed a worker or tripped the watchdog).  ``dtype=np.float32``
+        opts into the single-precision batched kernel (batched solvers
+        only; see DESIGN.md §14) — float32 results live under a distinct
+        result-cache key, never answering a float64 request.
         """
         if self._closed or self._draining:
             raise EngineClosed(
                 "engine is draining" if self._draining else "engine is closed"
             )
+        if dtype is not None:
+            dtype = np.dtype(dtype)
+            if dtype == np.dtype(np.float64):
+                dtype = None  # the default path — one cache key, not two
+            elif dtype != np.dtype(np.float32):
+                raise ValueError(
+                    f"dtype must be float64 or float32, got {dtype}"
+                )
         budget = deadline_s if deadline_s is not None else self.default_deadline_s
         deadline = Deadline(budget) if budget is not None else None
         fut: Future = Future()
@@ -318,6 +363,7 @@ class ScheduleEngine:
             degrade=degrade,
             skip_primary=skip_primary,
             degrade_reason=degrade_reason,
+            dtype=dtype,
         )
         try:
             self._queue.put_nowait((fut, job, time.perf_counter()))
@@ -347,6 +393,7 @@ class ScheduleEngine:
         timeout: float | None = None,
         deadline_s: float | None = None,
         degrade: bool = True,
+        dtype=None,
     ) -> ServeResult:
         """Submit and wait — the synchronous convenience path."""
         return self.submit(
@@ -357,6 +404,7 @@ class ScheduleEngine:
             use_result_cache=use_result_cache,
             deadline_s=deadline_s,
             degrade=degrade,
+            dtype=dtype,
         ).result(timeout=timeout)
 
     def note_deadline_timeout(self, spec: str) -> None:
@@ -414,8 +462,17 @@ class ScheduleEngine:
                 self._queue.task_done()
                 if obs.enabled():
                     obs.set_gauge("serve.queue_depth", self._queue.qsize())
-            if died:
+            if died or self._check_deferred_exit():
                 return
+
+    def _check_deferred_exit(self) -> bool:
+        """Whether this worker consumed a _SHUTDOWN while coalescing."""
+        ident = threading.get_ident()
+        with self._lock:
+            if ident in self._deferred_exit:
+                self._deferred_exit.discard(ident)
+                return True
+        return False
 
     def _note_poison(self, fut: Future, job: _Job, enqueued, exc) -> None:
         """Handle a request that killed its worker (quarantine + answer)."""
@@ -515,7 +572,7 @@ class ScheduleEngine:
         content = instance.content_hash()
         effective = job.seed if job.seed is not None else instance.seed
 
-        key = (content, canonical, effective)
+        key = self._result_key(content, canonical, effective, job.dtype)
         fut._engine_key = key  # poison quarantine + in-flight cleanup
         # A degrade-only resubmission (worker crash / daemon watchdog)
         # bypasses the result cache *and* single-flight dedup: its key is
@@ -637,9 +694,21 @@ class ScheduleEngine:
             degrade_reason=lead.degrade_reason,
         )
 
+    @staticmethod
+    def _result_key(content, canonical, effective, dtype) -> tuple:
+        """Result-cache / single-flight key for one request.
+
+        The float64 key keeps its historical three-component shape;
+        float32 requests get a fourth component so a single-precision
+        artifact can never answer (or be answered by) a float64 request.
+        """
+        if dtype is not None:
+            return (content, canonical, effective, "float32")
+        return (content, canonical, effective)
+
     def _solve_job(
         self, job: _Job, solver, canonical, instance, content, effective,
-        key, cacheable, queued_s,
+        key, cacheable, queued_s, *, coalesce: bool = True,
     ) -> ServeResult:
         deadline, token = job.deadline, job.token
         degradable = job.degrade and self._ladder is not None
@@ -667,11 +736,19 @@ class ScheduleEngine:
             reason = "breaker"
 
         if reason is None:
+            if coalesce and self._coalesceable(job, solver):
+                group = self._drain_followers()
+                if group:
+                    return self._solve_coalesced(
+                        job, solver, canonical, content, effective, key,
+                        cacheable, queued_s, group,
+                    )
             start = time.perf_counter()
             try:
                 artifact, warm = self._solve_once(
                     solver, canonical, instance, content, effective,
                     job.config, deadline, token, inject=True,
+                    dtype=job.dtype,
                 )
             except DeadlineExceeded:
                 if self._breaker is not None:
@@ -718,6 +795,468 @@ class ScheduleEngine:
         return self._solve_degraded(
             job, canonical, instance, content, effective, queued_s, reason
         )
+
+    # ------------------------------------------------------------------
+    # Opportunistic micro-batch coalescing
+    # ------------------------------------------------------------------
+    def _coalesceable(self, job: _Job, solver) -> bool:
+        """Whether this request may lead an opportunistic micro-batch.
+
+        Chaos runs (an active fault injector) and degraded/skip-primary
+        resubmissions never coalesce — those stay on the exact
+        per-request path, bit for bit.
+        """
+        return (
+            self.coalesce_max >= 2
+            and self._injector is None
+            and not job.skip_primary
+            and job.degrade_reason is None
+            and solver._batchable()
+        )
+
+    def _drain_followers(self) -> list[tuple]:
+        """Non-blockingly drain up to ``coalesce_max - 1`` queued items.
+
+        Every drained item is *owned* by the caller — answered in
+        :meth:`_solve_coalesced` (batched, deduped, degraded, or run
+        solo) and matched with one ``task_done`` there.  Nothing is ever
+        put back, so a full queue can never deadlock the drain.  A
+        drained ``_SHUTDOWN`` sentinel stops the drain and marks this
+        worker for exit after the current group (close() is tearing
+        down).
+        """
+        drained: list[tuple] = []
+        limit = self.coalesce_max - 1
+        while len(drained) < limit:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                self._queue.task_done()
+                with self._lock:
+                    self._deferred_exit.add(threading.get_ident())
+                break
+            drained.append(item)
+        if drained and obs.enabled():
+            obs.set_gauge("serve.queue_depth", self._queue.qsize())
+        return drained
+
+    def _run_drained(self, fut: Future, job: _Job, enqueued: float) -> None:
+        """Answer one drained-but-uncoalescible item as the worker would.
+
+        Mirrors the ``_worker_loop`` body: regular failures become the
+        future's exception; a worker-killing crash quarantines/requeues
+        via :meth:`_note_poison` and defers this worker's exit (the
+        supervisor restarts a replacement).
+        """
+        if not fut.set_running_or_notify_cancel():
+            return
+        try:
+            fut.set_result(self._execute(job, enqueued, fut))
+        except Exception as exc:
+            with self._lock:
+                self.errors += 1
+            if obs.enabled():
+                obs.inc("serve.errors")
+            fut.set_exception(exc)
+        except BaseException as exc:
+            self._note_poison(fut, job, enqueued, exc)
+            with self._lock:
+                self._deferred_exit.add(threading.get_ident())
+        finally:
+            with self._lock:
+                key = getattr(fut, "_engine_key", None)
+                if key is not None and self._inflight.get(key) is fut:
+                    del self._inflight[key]
+
+    def _solve_coalesced(
+        self, job: _Job, solver, canonical, content, effective, key,
+        cacheable, queued_s, drained,
+    ) -> ServeResult:
+        """Answer the leader plus a drained group with one batched solve.
+
+        Each drained item is classified exactly as the solo path would
+        have: different-spec/dtype (or resubmitted) items run solo after
+        the batch; result-cache hits answer immediately; quarantined or
+        deadline-expired members degrade; duplicates of an in-group key
+        dedup onto the member's artifact; followers of an *external*
+        in-flight leader wait on it.  The rest — distinct keys, same
+        canonical spec and dtype — solve in one
+        :meth:`~repro.solvers.registry.BoundSolver.solve_prepared_batch`
+        call, bit-identical at float64 to per-member solves.  If the
+        batched kernel raises, every member falls back to its own solo
+        :meth:`_solve_job` (coalescing suppressed), so no request is
+        lost to a batch failure.
+        """
+        now = time.perf_counter()
+        # Members: the leader (fut None — its result is *returned*) plus
+        # every coalesced follower.  Parallel per-member state.
+        members: list[dict] = [
+            dict(
+                fut=None, job=job, content=content, effective=effective,
+                key=key, cacheable=cacheable, queued_s=queued_s,
+                result=None,
+            )
+        ]
+        members_by_key: dict[tuple, int] = {key: 0} if cacheable else {}
+        passthrough: list[tuple] = []  # (fut, job, enqueued) → _run_drained
+        dups: list[tuple] = []         # (fut, content, effective, queued_s, idx)
+        ext_waiters: list[tuple] = []  # (fut, job, leader_fut, content, eff, q)
+        degrades: list[tuple] = []     # (fut, job, content, eff, q, reason)
+        group_futs: list[Future] = []
+        leader_exc: Exception | None = None
+        pending_exc: BaseException | None = None
+        try:
+            for fut2, job2, enq2 in drained:
+                queued2 = now - enq2
+                eligible = (
+                    not job2.skip_primary
+                    and job2.degrade_reason is None
+                    and job2.dtype == job.dtype
+                )
+                if eligible:
+                    try:
+                        eligible = get_solver(job2.spec).canonical() == canonical
+                    except Exception:
+                        eligible = False
+                if not eligible:
+                    passthrough.append((fut2, job2, enq2))
+                    continue
+                if not fut2.set_running_or_notify_cancel():
+                    continue
+                group_futs.append(fut2)
+                instance2 = job2.instance
+                try:
+                    content2 = instance2.content_hash()
+                except Exception as exc:
+                    with self._lock:
+                        self.errors += 1
+                    if obs.enabled():
+                        obs.inc("serve.errors")
+                    fut2.set_exception(exc)
+                    continue
+                effective2 = (
+                    job2.seed if job2.seed is not None else instance2.seed
+                )
+                key2 = self._result_key(
+                    content2, canonical, effective2, job2.dtype
+                )
+                fut2._engine_key = key2
+                cacheable2 = job2.use_result_cache and effective2 is not None
+                if cacheable2:
+                    with self._lock:
+                        hit = self._results.get(key2)
+                        if hit is not None:
+                            self._results.move_to_end(key2)
+                            self.result_hits += 1
+                            self.completed += 1
+                    if hit is not None:
+                        if obs.enabled():
+                            obs.inc("serve.result_cache_hits")
+                        self._observe_latency(solver.name, queued2)
+                        fut2.set_result(
+                            ServeResult(
+                                artifact=hit[0],
+                                spec=canonical,
+                                instance_hash=content2,
+                                seed=effective2,
+                                cached=True,
+                                warm=True,
+                                solve_s=0.0,
+                                queued_s=queued2,
+                            )
+                        )
+                        continue
+                    with self._lock:
+                        self.result_misses += 1
+                    if obs.enabled():
+                        obs.inc("serve.result_cache_misses")
+                degradable2 = job2.degrade and self._ladder is not None
+                if self._is_quarantined(key2):
+                    if not degradable2:
+                        with self._lock:
+                            self.errors += 1
+                        fut2.set_exception(
+                            RequestQuarantined(
+                                f"request {content2[:12]}×{canonical} "
+                                f"previously crashed a worker and is "
+                                f"quarantined"
+                            )
+                        )
+                        continue
+                    degrades.append(
+                        (fut2, job2, content2, effective2, queued2,
+                         "quarantine")
+                    )
+                    continue
+                if job2.deadline is not None and job2.deadline.expired():
+                    with self._lock:
+                        self.deadline_expired += 1
+                    if obs.enabled():
+                        obs.inc("serve.deadline_expired")
+                    if not degradable2:
+                        with self._lock:
+                            self.errors += 1
+                        fut2.set_exception(
+                            DeadlineExceeded(
+                                f"deadline exceeded for {canonical} while "
+                                f"queued for a coalesced solve"
+                            )
+                        )
+                        continue
+                    degrades.append(
+                        (fut2, job2, content2, effective2, queued2,
+                         "deadline")
+                    )
+                    continue
+                if cacheable2:
+                    dup_idx = members_by_key.get(key2)
+                    if dup_idx is not None:
+                        dups.append(
+                            (fut2, content2, effective2, queued2, dup_idx)
+                        )
+                        continue
+                    with self._lock:
+                        leader2 = self._inflight.get(key2)
+                        if leader2 is None or leader2.done():
+                            self._inflight[key2] = fut2
+                            leader2 = None
+                    if leader2 is not None:
+                        ext_waiters.append(
+                            (fut2, job2, leader2, content2, effective2,
+                             queued2)
+                        )
+                        continue
+                idx = len(members)
+                members.append(
+                    dict(
+                        fut=fut2, job=job2, content=content2,
+                        effective=effective2, key=key2,
+                        cacheable=cacheable2, queued_s=queued2,
+                        result=None,
+                    )
+                )
+                if cacheable2:
+                    members_by_key[key2] = idx
+
+            # --- the batched solve over every distinct member ---------
+            batch_error: Exception | None = None
+            artifacts: list[RunArtifact] = []
+            warms: list[bool] = []
+            start = time.perf_counter()
+            try:
+                prepareds, rngs, cfgs = [], [], []
+                for mem in members:
+                    prepared, warm = self._prepared_cache.get_or_prepare(
+                        mem["job"].instance
+                    )
+                    prepareds.append(prepared)
+                    warms.append(warm)
+                    rngs.append(np.random.default_rng(mem["effective"]))
+                    cfg = mem["job"].config
+                    if cfg is None:
+                        cfg = mem["job"].instance.config
+                    cfgs.append(cfg)
+                artifacts = solver.solve_prepared_batch(
+                    prepareds, rngs, cfgs, dtype=job.dtype
+                )
+            except Exception as exc:
+                batch_error = exc
+
+            if batch_error is None:
+                solve_s = time.perf_counter() - start
+                with self._lock:
+                    self.solves += len(members)
+                    self.coalesced_batches += 1
+                    self.coalesced_requests += len(members)
+                if obs.enabled():
+                    obs.inc("serve.coalesced_batches")
+                    obs.inc("serve.coalesced_requests", len(members))
+                for mem, artifact, warm in zip(members, artifacts, warms):
+                    if self._breaker is not None:
+                        self._breaker.record_success(canonical)
+                    if mem["cacheable"]:
+                        with self._lock:
+                            self._results[mem["key"]] = (
+                                artifact, artifact.content_hash(),
+                            )
+                            while len(self._results) > self._result_capacity:
+                                self._results.popitem(last=False)
+                                self.result_evictions += 1
+                    with self._lock:
+                        self.completed += 1
+                    self._observe_latency(
+                        solver.name, mem["queued_s"] + solve_s
+                    )
+                    res = ServeResult(
+                        artifact=artifact,
+                        spec=canonical,
+                        instance_hash=mem["content"],
+                        seed=mem["effective"],
+                        cached=False,
+                        warm=warm,
+                        solve_s=solve_s,
+                        queued_s=mem["queued_s"],
+                        coalesced=True,
+                    )
+                    mem["result"] = res
+                    if mem["fut"] is not None:
+                        mem["fut"].set_result(res)
+            else:
+                # The batched kernel failed as a whole: charge the
+                # breaker once, then answer every member with its own
+                # solo solve (coalescing suppressed — no recursion).
+                if self._breaker is not None:
+                    self._breaker.record_failure(canonical)
+                if obs.enabled():
+                    obs.event(
+                        "serve.coalesce_fallback",
+                        level="warning",
+                        spec=canonical,
+                        batch=len(members),
+                        error=repr(batch_error),
+                    )
+                for mem in members:
+                    mjob = mem["job"]
+                    try:
+                        res = self._solve_job(
+                            mjob, solver, canonical, mjob.instance,
+                            mem["content"], mem["effective"], mem["key"],
+                            mem["cacheable"], mem["queued_s"],
+                            coalesce=False,
+                        )
+                    except Exception as exc:
+                        if mem["fut"] is None:
+                            leader_exc = exc
+                        else:
+                            with self._lock:
+                                self.errors += 1
+                            if obs.enabled():
+                                obs.inc("serve.errors")
+                            mem["fut"].set_exception(exc)
+                        continue
+                    mem["result"] = res
+                    if mem["fut"] is not None:
+                        mem["fut"].set_result(res)
+
+            # --- in-group duplicates dedup onto their member ----------
+            for fut2, content2, effective2, queued2, idx in dups:
+                lead = members[idx]["result"]
+                if lead is None:
+                    # The member itself failed — give the duplicate its
+                    # own solo attempt rather than inheriting the error.
+                    mjob = members[idx]["job"]
+                    try:
+                        res = self._solve_job(
+                            mjob, solver, canonical, mjob.instance,
+                            content2, effective2, members[idx]["key"],
+                            members[idx]["cacheable"], queued2,
+                            coalesce=False,
+                        )
+                        fut2.set_result(res)
+                    except Exception as exc:
+                        with self._lock:
+                            self.errors += 1
+                        if obs.enabled():
+                            obs.inc("serve.errors")
+                        fut2.set_exception(exc)
+                    continue
+                with self._lock:
+                    self.inflight_dedup += 1
+                    self.completed += 1
+                if obs.enabled():
+                    obs.inc("serve.inflight_dedup")
+                self._observe_latency(solver.name, queued2)
+                fut2.set_result(
+                    ServeResult(
+                        artifact=lead.artifact,
+                        spec=lead.spec,
+                        instance_hash=content2,
+                        seed=effective2,
+                        cached=True,
+                        warm=True,
+                        solve_s=0.0,
+                        queued_s=queued2,
+                        deduped=True,
+                        degraded=lead.degraded,
+                        degraded_from=lead.degraded_from,
+                        degrade_reason=lead.degrade_reason,
+                        coalesced=lead.coalesced,
+                    )
+                )
+
+            # --- followers of an external in-flight leader ------------
+            for fut2, job2, leader2, content2, effective2, queued2 in \
+                    ext_waiters:
+                try:
+                    fut2.set_result(
+                        self._await_leader(
+                            leader2, job2, solver, canonical, content2,
+                            effective2, queued2,
+                        )
+                    )
+                except Exception as exc:
+                    with self._lock:
+                        self.errors += 1
+                    if obs.enabled():
+                        obs.inc("serve.errors")
+                    fut2.set_exception(exc)
+
+            # --- members whose gates tripped degrade as usual ---------
+            for fut2, job2, content2, effective2, queued2, reason2 in \
+                    degrades:
+                try:
+                    fut2.set_result(
+                        self._solve_degraded(
+                            job2, canonical, job2.instance, content2,
+                            effective2, queued2, reason2,
+                        )
+                    )
+                except Exception as exc:
+                    with self._lock:
+                        self.errors += 1
+                    if obs.enabled():
+                        obs.inc("serve.errors")
+                    fut2.set_exception(exc)
+
+            # --- uncoalescible drained items run solo, in order -------
+            for fut2, job2, enq2 in passthrough:
+                self._run_drained(fut2, job2, enq2)
+        except BaseException as exc:
+            pending_exc = exc
+            raise
+        finally:
+            # One task_done per drained item (the leader's own item is
+            # accounted by the worker loop), in-flight cleanup for every
+            # group future, and a safety sweep so no follower future is
+            # ever left unresolved by an unexpected unwind.
+            with self._lock:
+                for fut2 in group_futs:
+                    k2 = getattr(fut2, "_engine_key", None)
+                    if k2 is not None and self._inflight.get(k2) is fut2:
+                        del self._inflight[k2]
+            for fut2 in group_futs:
+                if not fut2.done():
+                    with self._lock:
+                        self.errors += 1
+                    if obs.enabled():
+                        obs.inc("serve.errors")
+                    fut2.set_exception(
+                        pending_exc
+                        if pending_exc is not None
+                        else RuntimeError("coalesced solve aborted")
+                    )
+            for _ in drained:
+                self._queue.task_done()
+            if obs.enabled():
+                obs.set_gauge("serve.queue_depth", self._queue.qsize())
+
+        if leader_exc is not None:
+            raise leader_exc
+        leader_result = members[0]["result"]
+        assert leader_result is not None
+        return leader_result
 
     def _solve_degraded(
         self, job: _Job, canonical, instance, content, effective,
@@ -807,11 +1346,15 @@ class ScheduleEngine:
     def _solve_once(
         self, solver, canonical, instance, content, effective, config,
         deadline: Deadline | None, token: CancelToken, *, inject: bool,
+        dtype=None,
     ) -> tuple[RunArtifact, bool]:
         """One solve attempt: fault injection, prepare, solve.
 
         Identical to the PR 8 hot path when no deadline is set and the
         injector is absent — same call order, same rng construction.
+        A float32 request routes through the batched kernel as a batch
+        of one (non-batchable solvers surface the registry's
+        SolverError).
         """
         if deadline is not None:
             deadline.check(canonical)
@@ -839,7 +1382,12 @@ class ScheduleEngine:
             deadline.check(canonical)
         rng = np.random.default_rng(effective)
         cfg = config if config is not None else instance.config
-        artifact = solver.solve_prepared(prepared, rng, cfg)
+        if dtype is not None:
+            artifact = solver.solve_prepared_batch(
+                [prepared], [rng], [cfg], dtype=dtype
+            )[0]
+        else:
+            artifact = solver.solve_prepared(prepared, rng, cfg)
         with self._lock:
             self.solves += 1
         return artifact, warm
@@ -874,6 +1422,8 @@ class ScheduleEngine:
                 "deadline_expired": self.deadline_expired,
                 "deadline_timeouts": self.deadline_timeouts,
                 "inflight_dedup": self.inflight_dedup,
+                "coalesced_batches": self.coalesced_batches,
+                "coalesced_requests": self.coalesced_requests,
                 "worker_crashes": self.worker_crashes,
                 "worker_restarts": self.worker_restarts,
                 "quarantined": len(
@@ -889,6 +1439,7 @@ class ScheduleEngine:
             **counters,
             "queue_depth": self._queue.qsize(),
             "queue_limit": self.queue_limit,
+            "coalesce_max": self.coalesce_max,
             "workers": len(self._workers),
             "workers_alive": workers_alive,
             "default_deadline_s": self.default_deadline_s,

@@ -36,6 +36,7 @@ from .prepared import (
     prepare_network,
     prepared_cache_info,
 )
+from .batch import InstanceBatch, pack_padded, pad_mask, unpack_padded
 from .registry import (
     REGISTRY,
     BoundSolver,
@@ -46,6 +47,7 @@ from .registry import (
     SolverRegistry,
     get_solver,
     register,
+    solve_batch,
     solve_instance,
     solver_names,
 )
@@ -74,8 +76,13 @@ __all__ = [
     "SolverRegistry",
     "get_solver",
     "register",
+    "solve_batch",
     "solve_instance",
     "solver_names",
+    "InstanceBatch",
+    "pack_padded",
+    "unpack_padded",
+    "pad_mask",
     "SolverSpec",
     "SpecError",
     "parse_spec",

@@ -55,6 +55,11 @@ from ..offline.baselines import (
     static_orientation_schedule,
 )
 from ..faults.model import FaultModel
+from ..offline.batched import (
+    execute_schedule_batch,
+    greedy_cover_schedule_batch,
+    greedy_utility_schedule_batch,
+)
 from ..offline.centralized import CentralizedScheduler
 from ..offline.optimal import optimal_schedule
 from ..offline.smoothing import smooth_switches
@@ -191,6 +196,53 @@ def _solve_greedy_cover(prepared, rng, config, params) -> RunArtifact:
     return artifact_from_execution(
         network, schedule, execution, meta={"plan_s": plan_s}
     )
+
+
+def _batch_meta(dtype, plan_s) -> dict:
+    meta = {"plan_s": plan_s, "batched": True}
+    if np.dtype(dtype) == np.dtype(np.float32):
+        meta["dtype"] = "float32"
+    return meta
+
+
+def _batch_greedy_utility(prepareds, rngs, configs, params, dtype) -> list[RunArtifact]:
+    """Batched GreedyUtility — bit-identical (float64) to the loop above."""
+    networks = [p.network for p in prepareds]
+    utils = [_prepared_utility(p, params) for p in prepareds]
+    start = time.perf_counter()
+    schedules = greedy_utility_schedule_batch(
+        networks, utilities=utils, dtype=dtype
+    )
+    plan_s = (time.perf_counter() - start) / len(prepareds)
+    executions = execute_schedule_batch(
+        networks,
+        schedules,
+        rhos=[config.rho for config in configs],
+        utilities=utils,
+    )
+    return [
+        artifact_from_execution(
+            net, sched, execution, meta=_batch_meta(dtype, plan_s)
+        )
+        for net, sched, execution in zip(networks, schedules, executions)
+    ]
+
+
+def _batch_greedy_cover(prepareds, rngs, configs, params, dtype) -> list[RunArtifact]:
+    """Batched GreedyCover — planning is boolean, so dtype never matters."""
+    networks = [p.network for p in prepareds]
+    start = time.perf_counter()
+    schedules = greedy_cover_schedule_batch(networks)
+    plan_s = (time.perf_counter() - start) / len(prepareds)
+    executions = execute_schedule_batch(
+        networks, schedules, rhos=[config.rho for config in configs]
+    )
+    return [
+        artifact_from_execution(
+            net, sched, execution, meta=_batch_meta(dtype, plan_s)
+        )
+        for net, sched, execution in zip(networks, schedules, executions)
+    ]
 
 
 def _solve_static(prepared, rng, config, params) -> RunArtifact:
@@ -337,6 +389,7 @@ register(
         description="GreedyUtility baseline (paper §7.2): per-charger myopic gain",
     ),
     defaults={"utility": None, "gamma": 0.5},
+    batch_fn=_batch_greedy_utility,
 )
 
 register(
@@ -347,6 +400,7 @@ register(
         deterministic=True,
         description="GreedyCover baseline (paper §7.2): maximize covered tasks",
     ),
+    batch_fn=_batch_greedy_cover,
 )
 
 register(

@@ -57,6 +57,7 @@ __all__ = [
     "get_solver",
     "solver_names",
     "solve_instance",
+    "solve_batch",
 ]
 
 #: A registered solver body: ``fn(prepared, rng, config, params) ->
@@ -123,6 +124,12 @@ class SolverEntry:
     #: parameter name → default value; ``None`` defaults mean "taken from
     #: the SimulationConfig at solve time" (resolved inside the body).
     defaults: Mapping = field(default_factory=dict)
+    #: Optional batched solve body: ``batch_fn(prepareds, rngs, configs,
+    #: params, dtype) -> list[RunArtifact]``.  Must be bit-identical (at
+    #: float64) to mapping ``fn`` over the batch — pinned by
+    #: ``tests/test_batch_equivalence.py``.  ``None`` means
+    #: :meth:`BoundSolver.solve_prepared_batch` falls back to that loop.
+    batch_fn: Callable | None = None
 
 
 class BoundSolver:
@@ -248,6 +255,132 @@ class BoundSolver:
         config = config if config is not None else instance.config
         return self.solve_prepared(prepare(instance), rng, config)
 
+    def _batchable(self) -> bool:
+        """Whether this binding routes through the batched kernel."""
+        shards = self.params.get("shards", 1)
+        return self.entry.batch_fn is not None and not (
+            isinstance(shards, int)
+            and not isinstance(shards, bool)
+            and shards > 1
+        )
+
+    def solve_prepared_batch(
+        self,
+        prepareds: list[PreparedNetwork],
+        rngs: list[np.random.Generator] | None = None,
+        configs: list[SimulationConfig | None] | None = None,
+        *,
+        dtype=None,
+    ) -> list[RunArtifact]:
+        """Phase two over a whole batch, one rng stream per member.
+
+        Solvers registered with a ``batch_fn`` evaluate the batch in one
+        stacked pass; at float64 (the default) the results are
+        **bit-identical** to calling :meth:`solve_prepared` per member.
+        ``dtype=np.float32`` opts into the single-precision planning
+        kernel (batched solvers only — others raise
+        :class:`SolverError`); DESIGN.md §14 documents its tolerance.
+        Solvers without a batched kernel fall back to the sequential
+        loop, so the method is total over the registry.
+
+        Per-member ``wall_time_s`` on the batched path is the batch
+        elapsed time divided by the batch size (amortized cost); obs
+        counter deltas are not attributed per member.
+        """
+        B = len(prepareds)
+        dt = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        if dt not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise SolverError(f"dtype must be float64 or float32, got {dt}")
+        if rngs is None:
+            rngs = [np.random.default_rng() for _ in range(B)]
+        if configs is None:
+            configs = [None] * B
+        if len(rngs) != B or len(configs) != B:
+            raise SolverError(
+                "prepareds, rngs and configs must have equal lengths"
+            )
+        resolved = []
+        for prepared, config in zip(prepareds, configs):
+            if config is None and prepared.instance is not None:
+                config = prepared.instance.config
+            resolved.append(config if config is not None else SimulationConfig())
+        if B == 0:
+            return []
+        if not self._batchable():
+            if dt == np.dtype(np.float32):
+                raise SolverError(
+                    f"solver {self.entry.name!r} has no batched kernel; "
+                    "float32 batching is unavailable for it"
+                )
+            return [
+                self.solve_prepared(prepared, rng, config)
+                for prepared, rng, config in zip(prepareds, rngs, resolved)
+            ]
+        start = time.perf_counter()
+        artifacts = self.entry.batch_fn(
+            prepareds, list(rngs), resolved, self.params, dt
+        )
+        per_member = (time.perf_counter() - start) / B
+        canonical = self.canonical()
+        for artifact in artifacts:
+            artifact.wall_time_s = per_member
+            artifact.solver = canonical
+        return artifacts
+
+    def solve_batch(
+        self,
+        instances: list[Instance],
+        seeds: list[int | None] | None = None,
+        *,
+        dtype=None,
+    ) -> list[RunArtifact]:
+        """Solve a batch of instances (prepare + batched solve).
+
+        Seeds default per member to the instance's own provenance seed —
+        the same resolution :func:`solve_instance` applies — so
+        ``solve_batch(instances)[j]`` reproduces
+        ``solve_instance(spec, instances[j])`` bit for bit at float64.
+        Each artifact's ``meta["batch"]`` records the batch size, the
+        member's position, and the order-independent
+        :meth:`~repro.solvers.batch.InstanceBatch.digest`.
+        """
+        from .batch import InstanceBatch
+
+        instances = list(instances)
+        B = len(instances)
+        if seeds is None:
+            seeds = [None] * B
+        if len(seeds) != B:
+            raise SolverError("seeds must match instances in length")
+        effective = [
+            seed if seed is not None else inst.seed
+            for seed, inst in zip(seeds, instances)
+        ]
+        # Memoize prepares locally by content hash: a batch may repeat an
+        # instance (coalesced duplicates) or exceed the global prepared
+        # cache's capacity, and either way each distinct payload should be
+        # built exactly once for this call.
+        memo: dict[str, PreparedNetwork] = {}
+        prepareds = []
+        for inst in instances:
+            h = inst.content_hash()
+            prepared = memo.get(h)
+            if prepared is None:
+                prepared = prepare(inst)
+                memo[h] = prepared
+            prepareds.append(prepared)
+        rngs = [np.random.default_rng(e) for e in effective]
+        configs = [inst.config for inst in instances]
+        artifacts = self.solve_prepared_batch(
+            prepareds, rngs, configs, dtype=dtype
+        )
+        digest = InstanceBatch.from_instances(instances).digest()
+        for j, artifact in enumerate(artifacts):
+            meta = dict(artifact.meta or {})
+            meta["batch"] = {"size": B, "index": j, "digest": digest}
+            artifact.meta = meta
+        return artifacts
+
 
 class SolverRegistry:
     """Name → :class:`SolverEntry` mapping with spec-string lookup."""
@@ -261,6 +394,7 @@ class SolverRegistry:
         fn: SolverBody,
         capabilities: SolverCapabilities,
         defaults: Mapping | None = None,
+        batch_fn: Callable | None = None,
     ) -> SolverEntry:
         if name in self._entries:
             raise ValueError(f"solver {name!r} is already registered")
@@ -269,6 +403,7 @@ class SolverRegistry:
             fn=fn,
             capabilities=capabilities,
             defaults=dict(defaults or {}),
+            batch_fn=batch_fn,
         )
         self._entries[name] = entry
         return entry
@@ -300,9 +435,10 @@ def register(
     fn: SolverBody,
     capabilities: SolverCapabilities,
     defaults: Mapping | None = None,
+    batch_fn: Callable | None = None,
 ) -> SolverEntry:
     """Register a solver in the global registry."""
-    return REGISTRY.register(name, fn, capabilities, defaults)
+    return REGISTRY.register(name, fn, capabilities, defaults, batch_fn)
 
 
 def get_solver(spec) -> BoundSolver:
@@ -332,3 +468,20 @@ def solve_instance(
     effective = seed if seed is not None else instance.seed
     rng = np.random.default_rng(effective)
     return solver.solve_from_instance(instance, rng, instance.config)
+
+
+def solve_batch(
+    spec,
+    instances: list[Instance],
+    *,
+    seeds: list[int | None] | None = None,
+    dtype=None,
+) -> list[RunArtifact]:
+    """Run a solver on a batch of instances in one stacked pass.
+
+    Equivalent to ``[solve_instance(spec, inst, seed=s) for inst, s in
+    zip(instances, seeds)]`` — bit for bit at float64 — but solvers with a
+    batched kernel amortize the per-call dispatch across the batch.  See
+    :meth:`BoundSolver.solve_batch`.
+    """
+    return get_solver(spec).solve_batch(instances, seeds, dtype=dtype)

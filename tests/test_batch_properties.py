@@ -1,0 +1,129 @@
+"""Property-based tests for the batch packing/masking/digest layer.
+
+Hypothesis quantifies over the ragged shapes the batched solve path has
+to pad and mask — zero-length axes (a member with no tasks), singleton
+axes (one charger), heterogeneous sizes — and over batch orderings for
+the content digest:
+
+* :func:`~repro.solvers.batch.pack_padded` /
+  :func:`~repro.solvers.batch.unpack_padded` round-trip **exactly**
+  (values and dtype), whatever the shape mix;
+* :func:`~repro.solvers.batch.pad_mask` is true precisely on the
+  in-bounds region of every member;
+* :meth:`~repro.solvers.batch.InstanceBatch.digest` is a pure function
+  of the *set* of member ``content_hash`` values — invariant under
+  permutation, sensitive to membership — while
+  :meth:`~repro.solvers.batch.InstanceBatch.content_hashes` preserves
+  batch order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import SimulationConfig
+from repro.solvers import Instance, InstanceBatch, pack_padded, pad_mask, unpack_padded
+
+#: Ragged member shapes: rank 1–3, any axis may be zero or one (the
+#: zero-task / single-charger degenerate members the padding must carry).
+_shapes = st.integers(min_value=1, max_value=3).flatmap(
+    lambda rank: st.lists(
+        st.tuples(*[st.integers(min_value=0, max_value=5)] * rank),
+        min_size=1,
+        max_size=6,
+    )
+)
+
+
+def _arrays(shapes, dtype):
+    rng = np.random.default_rng(0)
+    return [
+        (rng.random(shape) * 100 - 50).astype(dtype) for shape in shapes
+    ]
+
+
+class TestPackPaddedRoundTrip:
+    @given(shapes=_shapes, dtype=st.sampled_from(["float64", "int64", "bool"]))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_exact(self, shapes, dtype):
+        arrays = _arrays(shapes, np.dtype(dtype))
+        packed, recorded = pack_padded(arrays)
+        unpacked = unpack_padded(packed, recorded)
+        assert len(unpacked) == len(arrays)
+        for original, back in zip(arrays, unpacked):
+            assert back.shape == original.shape
+            assert back.dtype == packed.dtype
+            assert np.array_equal(back, original.astype(packed.dtype))
+
+    @given(shapes=_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_padding_is_fill_value(self, shapes):
+        arrays = _arrays(shapes, np.float64)
+        packed, recorded = pack_padded(arrays, fill=-7.5)
+        mask = pad_mask(recorded, packed.shape[1:])
+        # Outside every member's in-bounds region: exactly the fill.
+        assert np.all(packed[~mask] == -7.5)
+
+    @given(shapes=_shapes)
+    @settings(max_examples=60, deadline=None)
+    def test_pad_mask_matches_shapes(self, shapes):
+        arrays = _arrays(shapes, np.float64)
+        packed, recorded = pack_padded(arrays)
+        mask = pad_mask(recorded, packed.shape[1:])
+        assert mask.shape == packed.shape
+        for b, shape in enumerate(shapes):
+            region = mask[b]
+            inside = region[tuple(slice(0, d) for d in shape)]
+            assert inside.all()
+            assert region.sum() == int(np.prod(shape))
+
+
+class TestBatchDigest:
+    #: Small pool of real instances (sampling is the slow part — the
+    #: property quantifies over *orderings*, not topologies).
+    _POOL = [
+        Instance.sample(SimulationConfig.small_scale(), 210 + j)
+        for j in range(4)
+    ]
+
+    @given(perm=st.permutations(range(4)))
+    @settings(max_examples=24, deadline=None)
+    def test_digest_invariant_under_permutation(self, perm):
+        base = InstanceBatch.from_instances(self._POOL)
+        shuffled = InstanceBatch.from_instances(
+            [self._POOL[i] for i in perm]
+        )
+        assert shuffled.digest() == base.digest()
+        # …while the per-member hashes keep batch order.
+        assert list(shuffled.content_hashes()) == [
+            self._POOL[i].content_hash() for i in perm
+        ]
+
+    @given(
+        subset=st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    @settings(max_examples=24, deadline=None)
+    def test_digest_is_sorted_hash_digest(self, subset):
+        batch = InstanceBatch.from_instances([self._POOL[i] for i in subset])
+        want = hashlib.sha256(
+            b"".join(
+                h.encode("ascii") + b"\x00"
+                for h in sorted(batch.content_hashes())
+            )
+        ).hexdigest()
+        assert batch.digest() == want
+
+    def test_membership_changes_digest(self):
+        a = InstanceBatch.from_instances(self._POOL[:2])
+        b = InstanceBatch.from_instances(self._POOL[:3])
+        c = InstanceBatch.from_instances([self._POOL[0], self._POOL[0]])
+        assert len({a.digest(), b.digest(), c.digest()}) == 3

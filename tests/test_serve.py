@@ -355,3 +355,158 @@ class TestTrafficEnginePath:
             )
         for key in ("utility", "events", "digest", "arrivals"):
             assert served.points[0][key] == direct.points[0][key], key
+
+
+class TestCoalescing:
+    """Micro-batch coalescing (PR 10): invisible in the artifacts.
+
+    The single-worker engine makes the scenario deterministic: a gated
+    ``static`` request pins the worker while same-spec requests pile up
+    in the queue; releasing the gate lets the worker dequeue the first
+    one as leader and drain the rest into one batched solve.
+    """
+
+    @staticmethod
+    def _pile_up(engine, gate, blocker, submit):
+        """Pin the single worker, queue followers, release, collect."""
+        stall = engine.submit(
+            "static", _BlockingInstance(blocker, gate), seed=1
+        )
+        for _ in range(200):  # wait for the worker to pick the stall up
+            if engine._queue.qsize() == 0:
+                break
+            threading.Event().wait(0.01)
+        futs = submit()
+        gate.set()
+        return stall, [f.result(timeout=60) for f in futs]
+
+    def test_coalesced_bit_identical_to_direct_solve(self):
+        instances = [Instance.sample(QUICK, 900 + j) for j in range(4)]
+        direct = [
+            solve_instance("greedy-utility", inst, seed=5).content_hash()
+            for inst in instances
+        ]
+        gate = threading.Event()
+        engine = ScheduleEngine(workers=1, queue_limit=32, coalesce_max=4)
+        try:
+            stall, results = self._pile_up(
+                engine, gate, Instance.sample(QUICK, 890),
+                lambda: [
+                    engine.submit("greedy-utility", inst, seed=5)
+                    for inst in instances
+                ],
+            )
+            assert stall.result(timeout=60).artifact is not None
+        finally:
+            gate.set()
+            engine.close()
+        assert [r.artifact.content_hash() for r in results] == direct
+        assert sum(r.coalesced for r in results) >= 2
+        assert all(not r.cached and not r.degraded for r in results)
+        stats = engine.stats()
+        assert stats["coalesced_batches"] >= 1
+        assert stats["coalesced_requests"] >= 2
+        assert stats["errors"] == 0
+
+    def test_coalesce_max_zero_disables(self):
+        instances = [Instance.sample(QUICK, 910 + j) for j in range(3)]
+        gate = threading.Event()
+        engine = ScheduleEngine(workers=1, queue_limit=32, coalesce_max=0)
+        try:
+            _stall, results = self._pile_up(
+                engine, gate, Instance.sample(QUICK, 891),
+                lambda: [
+                    engine.submit("greedy-utility", inst, seed=5)
+                    for inst in instances
+                ],
+            )
+        finally:
+            gate.set()
+            engine.close()
+        assert all(not r.coalesced for r in results)
+        assert engine.stats()["coalesced_batches"] == 0
+
+    def test_single_flight_dedup_preserved_in_batch(self):
+        inst = Instance.sample(QUICK, 920)
+        other = Instance.sample(QUICK, 921)
+        gate = threading.Event()
+        engine = ScheduleEngine(workers=1, queue_limit=32, coalesce_max=4)
+        try:
+            _stall, results = self._pile_up(
+                engine, gate, Instance.sample(QUICK, 892),
+                lambda: [
+                    engine.submit("greedy-utility", inst, seed=7),
+                    engine.submit("greedy-utility", inst, seed=7),
+                    engine.submit("greedy-utility", other, seed=7),
+                ],
+            )
+        finally:
+            gate.set()
+            engine.close()
+        first, dup, distinct = results
+        assert dup.deduped and dup.artifact.content_hash() == \
+            first.artifact.content_hash()
+        assert not first.deduped and not distinct.deduped
+        stats = engine.stats()
+        assert stats["inflight_dedup"] == 1
+        # The duplicate never solved: one batch covered the two keys.
+        assert stats["coalesced_requests"] == 2
+
+    def test_degraded_resubmission_never_coalesces(self):
+        instances = [Instance.sample(QUICK, 930 + j) for j in range(2)]
+        resub = Instance.sample(QUICK, 935)
+        gate = threading.Event()
+        engine = ScheduleEngine(workers=1, queue_limit=32, coalesce_max=4)
+        try:
+            _stall, results = self._pile_up(
+                engine, gate, Instance.sample(QUICK, 893),
+                lambda: [
+                    engine.submit("greedy-utility", instances[0], seed=3),
+                    engine.submit(
+                        "haste-offline", resub, seed=3, skip_primary=True,
+                        degrade_reason="watchdog",
+                    ),
+                    engine.submit("greedy-utility", instances[1], seed=3),
+                ],
+            )
+        finally:
+            gate.set()
+            engine.close()
+        leader, resubbed, follower = results
+        # The resubmission degraded on its own path, never batched…
+        assert resubbed.degraded and not resubbed.coalesced
+        assert resubbed.degrade_reason == "watchdog"
+        assert resubbed.degraded_from == "haste-offline"
+        assert resubbed.spec == "greedy-utility"
+        # …while the requests around it coalesced normally.
+        assert leader.coalesced and follower.coalesced
+        assert not leader.degraded and not follower.degraded
+
+    def test_float32_results_never_answer_float64_requests(self):
+        import numpy as np
+
+        inst = Instance.sample(QUICK, 940)
+        with ScheduleEngine(workers=1) as engine:
+            f32 = engine.solve(
+                "greedy-utility", inst, seed=1, dtype=np.float32
+            )
+            f64 = engine.solve("greedy-utility", inst, seed=1)
+            assert not f32.cached and not f64.cached  # no cross-dtype hit
+            f64_again = engine.solve("greedy-utility", inst, seed=1)
+            f32_again = engine.solve(
+                "greedy-utility", inst, seed=1, dtype="float32"
+            )
+            assert f64_again.cached and f32_again.cached
+            assert f32.artifact.meta.get("dtype") == "float32"
+            assert f64.artifact.meta.get("dtype") is None
+            assert f64.artifact.total_utility == pytest.approx(
+                f32.artifact.total_utility, rel=1e-6
+            )
+
+    def test_float32_rejected_on_unbatched_solver(self):
+        import numpy as np
+
+        inst = Instance.sample(QUICK, 941)
+        with ScheduleEngine(workers=1, degradation=False) as engine:
+            with pytest.raises(Exception, match="float32"):
+                engine.solve("static", inst, seed=1, dtype=np.float32)
